@@ -1,0 +1,158 @@
+"""Ablation studies for the design decisions called out in DESIGN.md.
+
+Each ablation disables one modelling mechanism and shows that a paper
+shape disappears — evidence the mechanism is load-bearing rather than
+decorative.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from conftest import write_figure
+
+from repro.analysis import format_rows
+from repro.apps import get_app
+from repro.config import KIB, LINE_BYTES, CacheLevelConfig, baseline_node
+from repro.core import Musa
+from repro.trace import profile_stream
+from repro.trace.streams import random_uniform, sequential_sweep
+from repro.uarch import (
+    SetAssociativeCache,
+    resolve_contention,
+    time_kernel,
+    vectorize,
+)
+from repro.uarch.vector import _fusion_at
+
+
+def test_ablation1_stack_distance_vs_exact(benchmark, output_dir):
+    """The sweep's analytic cache model tracks the exact simulator."""
+    streams = {
+        "sweep-fits": sequential_sweep(ws_bytes=2 * KIB, n_sweeps=8,
+                                       elem_bytes=8),
+        "sweep-thrashes": sequential_sweep(ws_bytes=64 * KIB, n_sweeps=4,
+                                           elem_bytes=8),
+        "random-small": random_uniform(ws_bytes=2 * KIB, n_accesses=20_000,
+                                       seed=1),
+        "random-large": random_uniform(ws_bytes=128 * KIB, n_accesses=30_000,
+                                       seed=2),
+    }
+    cfg = CacheLevelConfig("T", 8 * KIB, 4, 1)
+
+    def analytic_miss_ratio():
+        p = profile_stream(streams["random-large"], max_samples=30_000)
+        return p.miss_ratio(cfg.n_lines, associativity=cfg.associativity,
+                            n_sets=cfg.n_sets)
+
+    benchmark(analytic_miss_ratio)
+
+    rows = []
+    errors = []
+    for name, stream in streams.items():
+        sim = SetAssociativeCache(cfg)
+        sim.access_stream(stream // LINE_BYTES)
+        exact = sim.stats.miss_ratio
+        model = profile_stream(stream, max_samples=len(stream)).miss_ratio(
+            cfg.n_lines, associativity=cfg.associativity, n_sets=cfg.n_sets)
+        errors.append(abs(model - exact))
+        rows.append([name, exact, model, abs(model - exact)])
+    assert max(errors) < 0.12
+    write_figure(output_dir, "ablation1_cache_model.txt", format_rows(
+        "Ablation 1 — analytic stack-distance model vs exact LRU simulator",
+        ["stream", "exact miss ratio", "model miss ratio", "abs error"],
+        rows))
+
+
+def test_ablation2_mlp_term(benchmark, output_dir):
+    """Removing the MLP limit collapses Specfem3D's OoO sensitivity."""
+    node = baseline_node(64)
+    spec = get_app("spec3d").detailed_trace()["element_kernel"]
+    spec_nomlp = dataclasses.replace(spec, mlp=1e6, row_hit_rate=1.0)
+
+    def ratio(sig):
+        lo = time_kernel(sig, node.with_(core="lowend")).cycles
+        ag = time_kernel(sig, node.with_(core="aggressive")).cycles
+        return ag / lo
+
+    with_mlp = benchmark(ratio, spec)
+    without = ratio(spec_nomlp)
+    # The MLP term deepens the gap on top of the window-exposure effect
+    # (which stems from the same ROB mechanism and stays active here).
+    assert with_mlp < without - 0.015
+    write_figure(output_dir, "ablation2_mlp.txt", format_rows(
+        "Ablation 2 — Specfem3D lowend/aggressive ratio",
+        ["model", "ratio (lower = more OoO-sensitive)"],
+        [["ROB/MSHR-limited MLP (paper shape)", with_mlp],
+         ["unlimited MLP (ablated)", without]]))
+
+
+def test_ablation3_trip_count_gate(benchmark, output_dir):
+    """Without the repetition gate, LULESH spuriously gains from 512-bit."""
+    lulesh = get_app("lulesh").detailed_trace()["stress"]
+    gated = benchmark(lambda: vectorize(lulesh, 512).instr_scale)
+    # Ungated: fuse at the full 8 lanes regardless of trip count.
+    r_ungated = _fusion_at(max(lulesh.trip_count, 16), 8)
+    m = lulesh.mix
+    vf = lulesh.vec_fraction
+    scale_ungated = ((m.fp + m.mem) * ((1 - vf) + vf / r_ungated)
+                     + m.int_alu + m.branch + m.other)
+    assert gated > scale_ungated + 0.03  # gate keeps LULESH flat
+    write_figure(output_dir, "ablation3_trip_gate.txt", format_rows(
+        "Ablation 3 — LULESH 512-bit instruction scale",
+        ["model", "instr scale (lower = spurious speedup)"],
+        [["trip-count gated (paper shape: flat)", gated],
+         ["ungated fusion (ablated)", scale_ungated]]))
+
+
+def test_ablation4_wallclock_runtime_overheads(benchmark, output_dir):
+    """Scaling runtime-event costs with frequency removes HYDRO's 3 GHz
+    plateau (Sec. V-B5)."""
+    from repro.runtime import simulate_phase
+
+    musa = Musa(get_app("hydro"))
+    phase = musa.app.representative_phase()
+    detailed = musa.detailed
+
+    def makespan(freq, overheads_wallclock):
+        node = baseline_node(64).with_(frequency_ghz=freq)
+        timing = time_kernel(detailed["godunov"], node, l3_share_cores=64)
+        durations = [timing.duration_ns * t.work_units for t in phase.tasks]
+        scale = 1.0 if overheads_wallclock else 2.0 / freq
+        return simulate_phase(phase, 64, task_durations_ns=durations,
+                              overhead_scale=scale).makespan_ns
+
+    paper_gain = benchmark.pedantic(
+        lambda: makespan(2.5, True) / makespan(3.0, True),
+        rounds=3, iterations=1)
+    ablated_gain = makespan(2.5, False) / makespan(3.0, False)
+    assert paper_gain < ablated_gain - 0.02  # plateau only with wall-clock
+    write_figure(output_dir, "ablation4_runtime_overheads.txt", format_rows(
+        "Ablation 4 — HYDRO 2.5 -> 3.0 GHz speedup",
+        ["model", "speedup"],
+        [["wall-clock runtime events (paper shape: plateau)", paper_gain],
+         ["frequency-scaled runtime events (ablated)", ablated_gain]]))
+
+
+def test_ablation5_bandwidth_queueing(benchmark, output_dir):
+    """Without node-level contention, LULESH's 8-channel benefit vanishes."""
+    node4 = baseline_node(64)
+    node8 = node4.with_(memory="8chDDR4")
+    sig = get_app("lulesh").detailed_trace()["stress"]
+
+    def duration(node, contended):
+        t = time_kernel(sig, node, l3_share_cores=50)
+        if contended:
+            t = resolve_contention(t, 50, node.memory).timing
+        return t.duration_ns
+
+    with_model = benchmark(
+        lambda: duration(node4, True) / duration(node8, True))
+    without = duration(node4, False) / duration(node8, False)
+    assert with_model > 1.2
+    assert abs(without - 1.0) < 0.02
+    write_figure(output_dir, "ablation5_bandwidth.txt", format_rows(
+        "Ablation 5 — LULESH per-task 8ch/4ch speedup",
+        ["model", "speedup"],
+        [["bandwidth contention fixed point (paper shape)", with_model],
+         ["unlimited bandwidth (ablated)", without]]))

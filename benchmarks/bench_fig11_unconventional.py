@@ -1,0 +1,89 @@
+"""Table II + Fig. 11: unconventional application-specific configurations.
+
+SP-MZ chases SIMD width (Vector+ 1024-bit, Vector++ 2048-bit): modest
+extra speedup at rapidly exploding power/energy.  LULESH chases memory
+bandwidth with narrow FPUs (MEM+ 16-channel DDR4, MEM++ 16-channel
+HBM): large energy savings at near-parity performance, with HBM's lower
+latency the fastest memory configuration (no energy data for HBM, as in
+the paper).
+"""
+
+import pytest
+from conftest import write_figure
+
+from repro.analysis import format_rows
+from repro.apps import get_app
+from repro.config import unconventional_configs
+from repro.core import Musa
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for app, cfgs in unconventional_configs().items():
+        musa = Musa(get_app(app))
+        out[app] = {label: musa.simulate_node(node)
+                    for label, node in cfgs.items()}
+    return out
+
+
+def render(results) -> str:
+    blocks = ["Fig. 11 — application-specific configurations "
+              "(relative to each app's Best-DSE)"]
+    paper = {
+        ("spmz", "Vector+"): (1.13, "~1.1", "~1.1"),
+        ("spmz", "Vector++"): (1.43, 3.14, 2.5),
+        ("lulesh", "MEM+"): (1.07, None, 0.53),
+        ("lulesh", "MEM++"): (1.30, None, None),
+    }
+    for app, runs in results.items():
+        base = runs["Best-DSE"]
+        rows = [["Best-DSE", 1.0, 1.0, 1.0, "(baseline)"]]
+        for label, r in runs.items():
+            if label == "Best-DSE":
+                continue
+            perf = base.time_ns / r.time_ns
+            power = r.power.known_total_w / base.power.total_w
+            energy = (None if r.energy_j is None
+                      else r.energy_j / base.energy_j)
+            p = paper[(app, label)]
+            rows.append([label, perf, power, energy,
+                         f"(paper: {p[0]}/{p[1]}/{p[2]})"])
+        blocks.append(format_rows(f"{app}",
+                                  ["config", "perf", "power", "energy",
+                                   "paper perf/power/energy"], rows))
+    return "\n\n".join(blocks)
+
+
+def test_fig11_unconventional(benchmark, results, output_dir):
+    musa = Musa(get_app("spmz"))
+    node = unconventional_configs()["spmz"]["Vector++"]
+
+    def simulate_special():
+        musa._detail_cache.clear()
+        return musa.simulate_node(node)
+
+    benchmark(simulate_special)
+
+    spmz, lulesh = results["spmz"], results["lulesh"]
+
+    # SP-MZ: wider vectors keep helping but cost explodes.
+    assert spmz["Best-DSE"].time_ns >= spmz["Vector+"].time_ns
+    assert spmz["Vector+"].time_ns >= spmz["Vector++"].time_ns
+    p_ratio = (spmz["Vector++"].power.total_w
+               / spmz["Best-DSE"].power.total_w)
+    e_ratio = spmz["Vector++"].energy_j / spmz["Best-DSE"].energy_j
+    assert p_ratio > 1.4       # paper: 3.14x
+    assert e_ratio > 1.2       # paper: 2.5x
+
+    # LULESH: MEM+ saves energy at near-parity performance.
+    e_mem = lulesh["MEM+"].energy_j / lulesh["Best-DSE"].energy_j
+    assert e_mem < 0.90        # paper: -47%
+    perf_mem = lulesh["Best-DSE"].time_ns / lulesh["MEM+"].time_ns
+    assert perf_mem == pytest.approx(1.0, abs=0.12)  # paper: +7%
+
+    # MEM++ (HBM): fastest memory config, no energy data.
+    assert lulesh["MEM++"].time_ns < lulesh["MEM+"].time_ns
+    assert lulesh["MEM++"].energy_j is None
+
+    write_figure(output_dir, "fig11_unconventional.txt", render(results))

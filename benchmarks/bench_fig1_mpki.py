@@ -1,0 +1,66 @@
+"""Fig. 1: application runtime statistics — cache MPKI and DRAM request
+rates at the 32- and 64-core baseline configurations.
+"""
+
+import pytest
+from conftest import write_figure
+
+from repro.analysis import format_rows
+from repro.apps import APP_NAMES, get_app
+from repro.config import baseline_node
+from repro.core import Musa
+
+PAPER = {  # (L1, L2, L3 MPKI, Grq/s) at 32 cores
+    "hydro": (5.98, 1.78, 0.19, 0.02),
+    "spmz": (96.99, 22.26, 13.80, 0.48),
+    "btmz": (24.14, 1.86, 0.57, 0.11),
+    "spec3d": (43.32, 6.95, 4.81, 0.41),
+    "lulesh": (13.50, 4.61, 5.27, 0.51),
+}
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    out = {}
+    for cores in (32, 64):
+        node = baseline_node(cores)
+        for name in APP_NAMES:
+            out[(name, cores)] = Musa(get_app(name)).simulate_node(node)
+    return out
+
+
+def render(characterization) -> str:
+    blocks = []
+    for cores in (32, 64):
+        rows = []
+        for name in APP_NAMES:
+            r = characterization[(name, cores)]
+            p = PAPER[name]
+            rows.append([
+                name, r.mpki_l1, r.mpki_l2, r.mpki_l3, r.gmem_req_per_s,
+                f"({p[0]}/{p[1]}/{p[2]}/{p[3]})",
+            ])
+        blocks.append(format_rows(
+            f"Fig. 1 — {cores} cores x 256 ranks "
+            "(model vs paper L1/L2/L3 MPKI + Grq/s)",
+            ["app", "L1-MPKI", "L2-MPKI", "L3-MPKI", "Grq/s", "paper"],
+            rows))
+    return "\n\n".join(blocks)
+
+
+def test_fig1_characterization(benchmark, characterization, output_dir):
+    musa = Musa(get_app("spmz"))
+    node = baseline_node(32)
+
+    def one_characterization():
+        musa._detail_cache.clear()
+        return musa.simulate_node(node)
+
+    result = benchmark(one_characterization)
+    assert result.mpki_l1 > 0
+    # Shape assertions (rank order of Fig. 1).
+    l1 = {n: characterization[(n, 32)].mpki_l1 for n in APP_NAMES}
+    assert l1["spmz"] > l1["spec3d"] > l1["btmz"] > l1["lulesh"] > l1["hydro"]
+    rates = {n: characterization[(n, 32)].gmem_req_per_s for n in APP_NAMES}
+    assert max(rates, key=rates.get) == "lulesh"
+    write_figure(output_dir, "fig1_mpki.txt", render(characterization))

@@ -1,0 +1,72 @@
+"""Fig. 2: hardware-agnostic scaling of the five applications.
+
+(a) a single representative compute region on 1/32/64 cores;
+(b) the full parallel region including MPI overheads at 256 ranks.
+"""
+
+import pytest
+from conftest import write_figure
+
+from repro.analysis import (
+    compute_region_scaling,
+    format_rows,
+    full_app_scaling,
+)
+from repro.apps import APP_NAMES, get_app
+from repro.core import Musa
+
+
+@pytest.fixture(scope="module")
+def curves():
+    region, full = {}, {}
+    for name in APP_NAMES:
+        musa = Musa(get_app(name))
+        region[name] = compute_region_scaling(musa)
+        full[name] = full_app_scaling(musa, n_ranks=256, n_iterations=2)
+    return region, full
+
+
+def render(region, full) -> str:
+    rows_a, rows_b = [], []
+    for name in APP_NAMES:
+        a, b = region[name], full[name]
+        rows_a.append([name, a.speedups[1], a.speedups[2],
+                       a.efficiency(32), a.efficiency(64)])
+        rows_b.append([name, b.speedups[1], b.speedups[2],
+                       b.efficiency(32), b.efficiency(64)])
+    avg = lambda rows, i: sum(r[i] for r in rows) / len(rows)
+    rows_a.append(["AVERAGE", avg(rows_a, 1), avg(rows_a, 2),
+                   avg(rows_a, 3), avg(rows_a, 4)])
+    rows_b.append(["AVERAGE", avg(rows_b, 1), avg(rows_b, 2),
+                   avg(rows_b, 3), avg(rows_b, 4)])
+    header = ["app", "speedup@32", "speedup@64", "eff@32", "eff@64"]
+    return "\n\n".join([
+        format_rows("Fig. 2a — single compute region, hardware agnostic "
+                    "(paper avg eff: ~0.70@32, ~0.50@64)", header, rows_a),
+        format_rows("Fig. 2b — full parallel region incl. MPI, 256 ranks "
+                    "(paper avg eff: ~0.49@32, ~0.28@64)", header, rows_b),
+    ])
+
+
+def test_fig2_scaling(benchmark, curves, output_dir):
+    region, full = curves
+
+    musa = Musa(get_app("btmz"))
+
+    def one_burst_replay():
+        return musa.simulate_burst_full(n_cores=64, n_ranks=256,
+                                        n_iterations=1).total_ns
+
+    total = benchmark.pedantic(one_burst_replay, rounds=3, iterations=1)
+    assert total > 0
+
+    # Paper claims.
+    assert region["hydro"].efficiency(64) > 0.75
+    for name in APP_NAMES:
+        if name != "hydro":
+            assert region[name].efficiency(64) < 0.75
+        assert full[name].efficiency(64) <= region[name].efficiency(64) + 0.02
+    avg_b64 = sum(full[n].efficiency(64) for n in APP_NAMES) / 5
+    assert avg_b64 < 0.45  # paper: drops below 30%
+
+    write_figure(output_dir, "fig2_scaling.txt", render(region, full))

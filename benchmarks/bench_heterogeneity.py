@@ -1,0 +1,62 @@
+"""Extension study: heterogeneous (big.LITTLE) sockets under equal area.
+
+Sec. II-B motivates leaner cores; the open question is *mixing* them.
+For each application's representative phase, compare a homogeneous
+64-aggressive-core socket against area-matched mixes of a few big cores
+plus many little ones.  The result mirrors the paper's scaling
+analysis: only codes with abundant fine-grained parallelism (HYDRO)
+can exploit the extra little cores — starved codes (Specfem3D) lose.
+"""
+
+import pytest
+from conftest import write_figure
+
+from repro.analysis import format_rows
+from repro.apps import APP_NAMES, get_app
+from repro.config import baseline_node
+from repro.runtime import (
+    area_matched_mix,
+    simulate_phase,
+    simulate_phase_hetero,
+)
+
+
+@pytest.fixture(scope="module")
+def hetero_study():
+    node = baseline_node(64).with_(core="aggressive")
+    rows = []
+    for name in APP_NAMES:
+        phase = get_app(name).representative_phase()
+        homo = simulate_phase(phase, 64)
+        row = [name, phase.n_tasks]
+        for n_big in (8, 16, 32):
+            mix = area_matched_mix(node, n_big=n_big, little_speed=0.6)
+            het = simulate_phase_hetero(phase, mix.speeds())
+            row.append(f"{homo.makespan_ns / het.makespan_ns:.2f}x "
+                       f"({mix.n_cores}c)")
+        rows.append(row)
+    return rows
+
+
+def test_big_little_study(benchmark, hetero_study, output_dir):
+    node = baseline_node(64).with_(core="aggressive")
+    phase = get_app("hydro").representative_phase()
+    mix = area_matched_mix(node, n_big=8, little_speed=0.6)
+    speeds = mix.speeds()
+
+    benchmark(lambda: simulate_phase_hetero(phase, speeds).makespan_ns)
+
+    by_app = {r[0]: r for r in hetero_study}
+    # HYDRO tolerates (or profits from) little cores; Specfem3D loses.
+    hydro_8 = float(by_app["hydro"][2].split("x")[0])
+    spec_8 = float(by_app["spec3d"][2].split("x")[0])
+    assert hydro_8 > 0.95
+    assert spec_8 < 0.85
+    assert hydro_8 > spec_8
+
+    write_figure(output_dir, "heterogeneity.txt", format_rows(
+        "Area-matched big.LITTLE vs 64 aggressive cores "
+        "(speedup of the mixed socket; little cores at 0.6x)",
+        ["app", "tasks", "8 big + littles", "16 big + littles",
+         "32 big + littles"],
+        hetero_study))

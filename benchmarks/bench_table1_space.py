@@ -1,0 +1,69 @@
+"""Table I: the architectural parameter space (864 configurations).
+
+Regenerates the table's contents from the config layer and benchmarks
+design-space enumeration.
+"""
+
+from conftest import write_figure
+
+from repro.analysis import format_rows
+from repro.config import (
+    CACHE_LABELS,
+    CORE_LABELS,
+    MEMORY_LABELS,
+    cache_preset,
+    core_preset,
+    full_design_space,
+    memory_preset,
+)
+
+
+def render_table1() -> str:
+    sections = []
+    cache_rows = []
+    for label in CACHE_LABELS:
+        h = cache_preset(label)
+        cache_rows.append([
+            label,
+            f"{h.l3.size_bytes >> 20}MB/{h.l3.associativity}/{h.l3.latency_cycles}",
+            f"{h.l2.size_bytes >> 10}kB/{h.l2.associativity}/{h.l2.latency_cycles}",
+        ])
+    sections.append(format_rows(
+        "Table I (caches): size / associativity / latency",
+        ["label", "L3", "L2"], cache_rows))
+
+    core_rows = []
+    for label in CORE_LABELS:
+        c = core_preset(label)
+        core_rows.append([label, c.rob_size, c.issue_width, c.store_buffer,
+                          f"{c.n_alu}/{c.n_fpu}",
+                          f"{c.irf_size}/{c.frf_size}"])
+    sections.append(format_rows(
+        "Table I (cores): OoO structures",
+        ["label", "ROB", "issue", "store buf", "ALU/FPU", "IRF/FRF"],
+        core_rows))
+
+    space = full_design_space()
+    other_rows = [
+        ["Frequency [GHz]", ", ".join(map(str, space.frequencies))],
+        ["Vector width [bits]", ", ".join(map(str, space.vector_widths))],
+        ["Memory", ", ".join(MEMORY_LABELS)],
+        ["Number of cores", ", ".join(map(str, space.core_counts))],
+        ["TOTAL CONFIGURATIONS", str(len(space))],
+    ]
+    sections.append(format_rows("Table I (other parameters)",
+                                ["parameter", "values"], other_rows))
+    return "\n\n".join(sections)
+
+
+def test_table1_space(benchmark, output_dir):
+    space = full_design_space()
+
+    def enumerate_space():
+        return sum(1 for _ in space)
+
+    count = benchmark(enumerate_space)
+    assert count == 864
+    # Memory preset sanity for the table footer.
+    assert memory_preset("8chDDR4").total_dimms == 16
+    write_figure(output_dir, "table1_space.txt", render_table1())

@@ -1,0 +1,56 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The full 864-point sweep of all five applications is computed once per
+session (parallel across processes) and cached on disk; every figure
+benchmark derives its panel from it, exactly as the paper derives every
+bar chart from the same simulation campaign.
+
+Each ``bench_figN_*.py`` writes its regenerated figure/table to
+``benchmarks/output/`` and asserts the paper's qualitative shape.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROCS``  — sweep worker processes (default: cpu count, max 8)
+* ``REPRO_BENCH_FRESH=1`` — ignore the on-disk sweep cache
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.config import full_design_space
+from repro.core import ResultSet, run_sweep
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+_CACHE = Path(__file__).parent / ".cache" / "full_sweep.json"
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def full_sweep():
+    """All 864 configurations x 5 applications (4320 simulations)."""
+    fresh = os.environ.get("REPRO_BENCH_FRESH") == "1"
+    if _CACHE.exists() and not fresh:
+        rs = ResultSet.load(_CACHE)
+        if len(rs) == 864 * 5:
+            return rs
+    procs = int(os.environ.get("REPRO_BENCH_PROCS",
+                               min(os.cpu_count() or 1, 8)))
+    rs = run_sweep(APP_NAMES, full_design_space(), processes=procs)
+    _CACHE.parent.mkdir(parents=True, exist_ok=True)
+    rs.save(_CACHE)
+    return rs
+
+
+def write_figure(output_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated figure and echo it to the terminal."""
+    path = output_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}")

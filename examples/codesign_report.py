@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Co-design report: from a sweep to procurement guidance.
+
+The paper's final deliverable (Sec. VII) is a set of evidence-based
+recommendations for next-generation HPC systems.  This example derives
+that report programmatically: run a sweep, extract per-application
+Pareto fronts, pick winners per objective, and print the guideline
+summary — then drill into *why* with CPI stacks.
+
+Usage::
+
+    python examples/codesign_report.py
+"""
+
+from repro import APP_NAMES, get_app
+from repro.analysis import (
+    Constraints,
+    best_configs,
+    format_rows,
+    optimize_node,
+    pareto_front,
+    recommend,
+)
+from repro.config import DesignSpace, baseline_node, parse_node
+from repro.core import run_sweep
+from repro.uarch import explain_kernel
+
+
+def main():
+    space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+    print(f"sweeping the 2 GHz / 64-core plane "
+          f"({len(space)} configs x {len(APP_NAMES)} apps)...")
+    results = run_sweep(APP_NAMES, space, progress=True)
+
+    # 1. The headline guidelines (Sec. VII, derived not eyeballed).
+    print()
+    print(recommend(results, cores=64).render())
+
+    # 2. Per-application winners and trade-off curves.
+    print()
+    rows = []
+    for app in APP_NAMES:
+        best = best_configs(results, app)
+        front = pareto_front(results, app)
+        rows.append([
+            app,
+            f"{best['performance']['core']}/"
+            f"{best['performance']['vector']}b/"
+            f"{best['performance']['memory']}",
+            f"{best['energy']['core']}/{best['energy']['vector']}b/"
+            f"{best['energy']['memory']}",
+            len(front),
+        ])
+    print(format_rows(
+        "Per-application winners (2 GHz / 64 cores)",
+        ["app", "fastest (core/vec/mem)", "least energy", "Pareto size"],
+        rows))
+
+    # 3. Why: CPI stacks of each app's dominant kernel at the baseline.
+    print()
+    node = baseline_node(64)
+    for app in APP_NAMES:
+        detailed = get_app(app).detailed_trace()
+        kernel = detailed.names()[0]
+        print(explain_kernel(detailed[kernel], node,
+                             l3_share_cores=32).render())
+        print()
+
+    # 4. The constrained procurement pick: one machine for the whole
+    #    mix, under a 160 W node power envelope.
+    choice = optimize_node(results, objective="time_ns",
+                           constraints=Constraints(power_cap_w=160.0))
+    print(f"Best shared design under 160 W: {choice.label} "
+          f"(geomean time {choice.score / 1e6:.2f} ms, "
+          f"{choice.n_feasible} feasible configs)")
+    print()
+
+    # 5. One concrete balanced suggestion as a node spec string.
+    rec = recommend(results, cores=64)
+    core = rec.by_axis("core")[0].value
+    cache = rec.by_axis("cache")[0].value
+    vector = rec.by_axis("vector")[0].value
+    spec = f"{core}/{cache}/8chDDR4/2GHz/{vector}b/64c"
+    node = parse_node(spec)
+    print(f"Suggested balanced node: {spec}")
+    print(f"  -> {node.label}")
+
+
+if __name__ == "__main__":
+    main()

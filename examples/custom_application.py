@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Bring your own application: model a conjugate-gradient solver and
+run it through the full MUSA pipeline.
+
+This is the workflow a co-design team would use for an application the
+paper didn't study: describe the kernels (instruction mix, reuse
+profile, vectorization structure), describe the runtime structure
+(tasks per phase, imbalance, MPI pattern), then reuse every analysis in
+the library — characterization, axis sensitivities, scaling.
+
+Usage::
+
+    python examples/custom_application.py
+"""
+
+from typing import Dict, Tuple
+
+from repro import AppModel, Musa, baseline_node
+from repro.analysis import format_rows
+from repro.runtime import parallel_for
+from repro.trace import (
+    ComputePhase,
+    InstructionMix,
+    KernelSignature,
+    ReuseProfile,
+)
+
+_REF_NS_PER_INSTR = 0.5
+_SPMV_INSTR = 600_000.0
+_DOT_INSTR = 150_000.0
+
+
+class ConjugateGradient(AppModel):
+    """A sparse CG solver: SpMV-dominated, latency-bound, allreduce-heavy."""
+
+    name = "cg"
+    halo_bytes = 256 * 1024
+    allreduce_per_iter = 2          # two dot products per CG iteration
+    rank_imbalance = 0.15
+    default_iterations = 4
+
+    def kernels(self) -> Dict[str, KernelSignature]:
+        # SpMV: indirect column accesses -> broad reuse spectrum with a
+        # heavy uncacheable tail and low DRAM row locality.
+        spmv_reuse = ReuseProfile.from_components(
+            [(6.0, 0.80), (800.0, 0.11), (30_000.0, 0.05), (2e6, 0.035)],
+            cold_fraction=0.005,
+        )
+        dot_reuse = ReuseProfile.from_components(
+            [(6.0, 0.97), (2e6, 0.028)], cold_fraction=0.002,
+        )
+        return {
+            "spmv": KernelSignature(
+                name="spmv", instr_per_unit=_SPMV_INSTR,
+                mix=InstructionMix(fp=0.25, int_alu=0.20, load=0.33,
+                                   store=0.08, branch=0.10, other=0.04),
+                ilp=2.0, vec_fraction=0.35, trip_count=24, mlp=3.0,
+                reuse=spmv_reuse, row_hit_rate=0.25,
+            ),
+            "dot": KernelSignature(
+                name="dot", instr_per_unit=_DOT_INSTR,
+                mix=InstructionMix(fp=0.40, int_alu=0.10, load=0.35,
+                                   store=0.02, branch=0.10, other=0.03),
+                ilp=3.5, vec_fraction=0.95, trip_count=4096, mlp=10.0,
+                reuse=dot_reuse, row_hit_rate=0.9,
+            ),
+        }
+
+    def iteration_phases(self) -> Tuple[ComputePhase, ...]:
+        rng = self._rng("phases")
+        spmv = parallel_for(
+            phase_id=0, kernel="spmv", n_iterations=256,
+            iter_ns=_SPMV_INSTR * _REF_NS_PER_INSTR, chunk=1,
+            imbalance=0.25, creation_ns=250.0, serial_ns=2_000.0, rng=rng)
+        dot = parallel_for(
+            phase_id=1, kernel="dot", n_iterations=256,
+            iter_ns=_DOT_INSTR * _REF_NS_PER_INSTR, chunk=1,
+            imbalance=0.05, creation_ns=250.0, rng=rng)
+        return (spmv, dot)
+
+
+def main():
+    musa = Musa(ConjugateGradient())
+    base = baseline_node(64)
+
+    r = musa.simulate_node(base)
+    print("CG characterization on the baseline node:")
+    print(f"  runtime {r.time_ns / 1e6:.2f} ms   node power "
+          f"{r.power.total_w:.0f} W   MPKI {r.mpki_l1:.1f}/"
+          f"{r.mpki_l2:.1f}/{r.mpki_l3:.1f}   BW util "
+          f"{r.bw_utilization:.0%}\n")
+
+    # Which of the paper's six axes would help CG?
+    variants = {
+        "512-bit SIMD": base.with_(vector_bits=512),
+        "aggressive OoO": base.with_(core="aggressive"),
+        "96M:1M caches": base.with_(cache="96M:1M"),
+        "8-channel DDR4": base.with_(memory="8chDDR4"),
+        "3.0 GHz clock": base.with_(frequency_ghz=3.0),
+    }
+    rows = []
+    for label, node in variants.items():
+        v = musa.simulate_node(node)
+        rows.append([label, r.time_ns / v.time_ns,
+                     v.energy_j / r.energy_j])
+    print(format_rows("Axis sensitivities (vs baseline)",
+                      ["variant", "speedup", "energy ratio"], rows))
+
+    # SpMV streams a large sparse matrix every iteration: the sweep
+    # discovers a memory-system story (bandwidth first, then caches),
+    # with SIMD and clock speed useless — the LULESH pattern.
+    speeds = {row[0]: row[1] for row in rows}
+    best = max(speeds, key=speeds.get)
+    print(f"\nBest single upgrade for CG: {best} ({speeds[best]:.2f}x) — "
+          "a memory-system story, as expected for sparse solvers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweep a slice of the Table I space and
+derive co-design recommendations, the paper's core workflow.
+
+Sweeps the full 2 GHz / 64-core plane (144 configurations x 5 apps),
+prints the per-axis normalized impacts, and reports the best
+configuration per application under three objectives: performance,
+energy, and energy-delay product.
+
+Usage::
+
+    python examples/design_space_exploration.py [--full]
+
+``--full`` runs all 864 configurations (a few minutes; uses all cores).
+"""
+
+import sys
+
+from repro import APP_NAMES, full_design_space, normalize_axis, run_sweep
+from repro.analysis import format_rows
+from repro.config import DesignSpace
+
+
+def best_configs(results):
+    rows = []
+    for app in APP_NAMES:
+        sub = results.filter(app=app)
+        records = list(sub)
+        by_perf = min(records, key=lambda r: r["time_ns"])
+        with_energy = [r for r in records if r["energy_j"] is not None]
+        by_energy = min(with_energy, key=lambda r: r["energy_j"])
+        by_edp = min(with_energy,
+                     key=lambda r: r["energy_j"] * r["time_ns"])
+
+        def label(r):
+            return (f"{r['core']}/{r['cache']}/{r['memory']}/"
+                    f"{r['vector']}b/{r['frequency']}GHz")
+
+        rows.append([app, label(by_perf), label(by_energy), label(by_edp)])
+    return format_rows("Best configuration per application",
+                       ["app", "fastest", "least energy", "best EDP"], rows)
+
+
+def axis_summary(results, axis, baseline):
+    bars = normalize_axis(results, axis, baseline, "time_ns")
+    rows = []
+    values = [v for v in {b.value for b in bars}]
+    for app in APP_NAMES:
+        app_bars = {b.value: b.mean for b in bars
+                    if b.app == app and b.cores == 64}
+        best_value = max(app_bars, key=app_bars.get)
+        rows.append([app, f"{best_value}", f"{app_bars[best_value]:.2f}x"])
+    return format_rows(f"Axis '{axis}' (vs {baseline}): best value per app",
+                       ["app", "best value", "speedup"], rows)
+
+
+def main():
+    if "--full" in sys.argv:
+        space = full_design_space()
+        print(f"Running the full design space: {len(space)} configurations "
+              f"x {len(APP_NAMES)} applications ...")
+    else:
+        space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+        print(f"Running the 2 GHz / 64-core plane: {len(space)} "
+              f"configurations x {len(APP_NAMES)} applications "
+              "(pass --full for all 864) ...")
+
+    results = run_sweep(APP_NAMES, space, progress=True)
+    print(f"done: {len(results)} simulations\n")
+
+    print(axis_summary(results, "vector", 128), "\n")
+    print(axis_summary(results, "core", "aggressive"), "\n")
+    print(axis_summary(results, "memory", "4chDDR4"), "\n")
+    print(best_configs(results), "\n")
+
+    # The paper's co-design punchline: occupancy drives energy waste.
+    rows = []
+    for app in APP_NAMES:
+        sub = results.filter(app=app)
+        occ = sub.values("occupancy").mean()
+        rows.append([app, f"{occ:.0%}"])
+    print(format_rows("Average core occupancy (leakage-waste exposure)",
+                      ["app", "occupancy"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application on one node configuration.
+
+Runs LULESH (256 MPI ranks, 64 cores per node) on the baseline
+architecture and on an 8-channel variant, printing performance, the
+paper-style power breakdown, and energy-to-solution.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Musa, baseline_node, get_app
+
+
+def describe(label, result):
+    p = result.power
+    print(f"--- {label} ---")
+    print(f"  runtime          : {result.time_ns / 1e6:8.2f} ms")
+    print(f"  Core+L1 power    : {p.core_l1_w:8.1f} W")
+    print(f"  L2+L3 power      : {p.l2_l3_w:8.1f} W")
+    print(f"  Memory power     : {p.memory_w:8.1f} W")
+    print(f"  node power       : {p.total_w:8.1f} W")
+    print(f"  energy/node      : {result.energy_j:8.2f} J")
+    print(f"  L1/L2/L3 MPKI    : {result.mpki_l1:6.2f} /"
+          f" {result.mpki_l2:6.2f} / {result.mpki_l3:6.2f}")
+    print(f"  DRAM requests    : {result.gmem_req_per_s:8.3f} G/s"
+          f"  (bandwidth utilization {result.bw_utilization:.0%})")
+    print(f"  core occupancy   : {result.occupancy:8.0%}")
+    print()
+
+
+def main():
+    # A Musa instance owns one application's traces and caches.
+    musa = Musa(get_app("lulesh"))
+
+    # The Fig. 1 baseline: medium cores, 64M:512K caches, 4-channel
+    # DDR4, 2 GHz, 128-bit SIMD, 64 cores.
+    node = baseline_node(n_cores=64)
+    base = musa.simulate_node(node)
+    describe(f"LULESH on {node.label}", base)
+
+    # LULESH is bandwidth-bound: doubling the memory channels is the
+    # one knob that moves it (the paper's Fig. 8 headline).
+    node8 = node.with_(memory="8chDDR4")
+    more_bw = musa.simulate_node(node8)
+    describe(f"LULESH on {node8.label}", more_bw)
+
+    speedup = base.time_ns / more_bw.time_ns
+    energy = more_bw.energy_j / base.energy_j
+    print(f"8-channel speedup: {speedup:.2f}x   "
+          f"energy-to-solution: {energy:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scaling study: reproduce the paper's Sec. V-A analysis end to end.
+
+For each application: hardware-agnostic compute-region scaling (Fig. 2a),
+full-application scaling with MPI replay (Fig. 2b), a Specfem3D-style
+occupancy timeline (Fig. 3) and a LULESH-style rank timeline (Fig. 4).
+
+Usage::
+
+    python examples/scaling_study.py [ranks]   # default 64 ranks
+"""
+
+import sys
+
+from repro import APP_NAMES, Musa, get_app
+from repro.analysis import (
+    compute_region_scaling,
+    format_rows,
+    full_app_scaling,
+    occupancy_stats,
+    rank_activity_stats,
+    render_core_timeline,
+    render_rank_timeline,
+)
+
+
+def main():
+    n_ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+
+    rows_a, rows_b = [], []
+    musas = {name: Musa(get_app(name)) for name in APP_NAMES}
+    for name, musa in musas.items():
+        a = compute_region_scaling(musa)
+        b = full_app_scaling(musa, n_ranks=n_ranks, n_iterations=2)
+        rows_a.append([name, a.speedups[1], a.speedups[2],
+                       a.efficiency(64)])
+        rows_b.append([name, b.speedups[1], b.speedups[2],
+                       b.efficiency(64)])
+
+    print(format_rows(
+        "Fig. 2a — single compute region (hardware agnostic)",
+        ["app", "speedup@32", "speedup@64", "efficiency@64"], rows_a))
+    print()
+    print(format_rows(
+        f"Fig. 2b — full application, {n_ranks} ranks (incl. MPI)",
+        ["app", "speedup@32", "speedup@64", "efficiency@64"], rows_b))
+
+    # Fig. 3: why Specfem3D stops scaling — task starvation.
+    musa = musas["spec3d"]
+    sched = musa.burst_phase(musa.app.representative_phase(), 64,
+                             collect_spans=True)
+    stats = occupancy_stats(sched)
+    print(f"\nFig. 3 — Specfem3D, 64 cores: occupancy "
+          f"{stats.busy_fraction:.0%}, {stats.active_cores}/64 cores "
+          "ever execute a task")
+    print(render_core_timeline(sched.spans, 64, sched.makespan_ns,
+                               width=70, max_cores=24))
+
+    # Fig. 4: where LULESH's time goes at scale — barrier waits.
+    musa = musas["lulesh"]
+    res = musa.simulate_burst_full(n_cores=64, n_ranks=min(n_ranks, 32),
+                                   n_iterations=2, collect_segments=True)
+    rstats = rank_activity_stats(res)
+    print(f"\nFig. 4 — LULESH, {res.n_ranks} ranks x 64 cores: "
+          f"{rstats.mean_collective_fraction:.0%} of rank-time inside "
+          "collectives (imbalance wait)")
+    print("legend: '#' compute, 'B' collective, '-' p2p, 'w' wait")
+    print(render_rank_timeline(res.segments, res.n_ranks, res.total_ns,
+                               width=70, max_ranks=16))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Developer calibration probe: model vs paper targets for Figs 1/2/5-9.
+
+Run after touching application characteristics or model constants:
+
+    python scripts/calibrate.py
+"""
+from repro import Musa, get_app, baseline_node, APP_NAMES
+from repro.analysis import compute_region_scaling
+
+TARGETS_FIG1 = {
+    'hydro': (5.98, 1.78, 0.19, 0.02), 'spmz': (96.99, 22.26, 13.80, 0.48),
+    'btmz': (24.14, 1.86, 0.57, 0.11), 'spec3d': (43.32, 6.95, 4.81, 0.41),
+    'lulesh': (13.50, 4.61, 5.27, 0.51),
+}
+
+def main():
+    print("=== Fig 1 (32-core baseline): model vs paper ===")
+    for name in APP_NAMES:
+        m = Musa(get_app(name))
+        r = m.simulate_node(baseline_node(32))
+        t = TARGETS_FIG1[name]
+        print(f"{name:8s} L1 {r.mpki_l1:6.2f}/{t[0]:6.2f} L2 {r.mpki_l2:6.2f}/{t[1]:6.2f}"
+              f" L3 {r.mpki_l3:6.2f}/{t[2]:6.2f} GReq {r.gmem_req_per_s:5.3f}/{t[3]:4.2f}"
+              f" bwu {r.bw_utilization:4.2f} occ {r.occupancy:4.2f}")
+
+    print("\n=== Fig 2a scaling (paper: hydro>75%@64; avg ~70%@32, ~50%@64) ===")
+    effs32, effs64 = [], []
+    for name in APP_NAMES:
+        c = compute_region_scaling(Musa(get_app(name)))
+        effs32.append(c.efficiency(32)); effs64.append(c.efficiency(64))
+        print(f"{name:8s} @32 {c.speedups[1]:5.1f} (eff {c.efficiency(32):.2f})"
+              f"  @64 {c.speedups[2]:5.1f} (eff {c.efficiency(64):.2f})")
+    print(f"avg eff: @32 {sum(effs32)/5:.2f}  @64 {sum(effs64)/5:.2f}")
+
+    print("\n=== Figs 5-9 axis probes @64c (targets: v512 h1.2/s1.75/b~1.35/sp~1.35/l1.0;")
+    print("    c96/32 h1.21/b1.09/l1.12/sp~1.0; lo/ag ~0.65 (sp 0.4, l ~0.8);")
+    print("    8ch lulesh ~1.4+ others ~1.0; f2x ~1.8 (hydro plateaus 2.5->3); Pf ~2.5) ===")
+    base = baseline_node(64)
+    for name in APP_NAMES:
+        m = Musa(get_app(name))
+        r0 = m.simulate_node(base)
+        v = m.simulate_node(base.with_(vector_bits=512))
+        c32 = m.simulate_node(base.with_(cache="32M:256K"))
+        c96 = m.simulate_node(base.with_(cache="96M:1M"))
+        lo = m.simulate_node(base.with_(core="lowend"))
+        ag = m.simulate_node(base.with_(core="aggressive"))
+        md = m.simulate_node(base.with_(core="medium"))
+        m8 = m.simulate_node(base.with_(memory="8chDDR4"))
+        f15 = m.simulate_node(base.with_(frequency_ghz=1.5))
+        f25 = m.simulate_node(base.with_(frequency_ghz=2.5))
+        f30 = m.simulate_node(base.with_(frequency_ghz=3.0))
+        print(f"{name:8s} v512 {r0.time_ns/v.time_ns:4.2f} Pv {v.power.core_l1_w/r0.power.core_l1_w:4.2f}"
+              f" | c96/32 {c32.time_ns/c96.time_ns:4.2f}"
+              f" | lo/ag {ag.time_ns/lo.time_ns:4.2f} md/ag {ag.time_ns/md.time_ns:4.2f}"
+              f" Plo/ag {lo.power.core_l1_w/ag.power.core_l1_w:4.2f}"
+              f" | 8ch {r0.time_ns/m8.time_ns:4.2f} bwu {r0.bw_utilization:4.2f}"
+              f" | f1.5-3 {f15.time_ns/f30.time_ns:4.2f} f2.5-3 {f25.time_ns/f30.time_ns:4.2f}"
+              f" Pf {f30.power.total_w/f15.power.total_w:4.2f}"
+              f" | Ptot {r0.power.total_w:5.0f}W L23% {100*r0.power.l2_l3_w/r0.power.total_w:4.1f}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — MUSA reproduction: design-space exploration of next-generation
+HPC machines (Gomez et al., IPDPS 2019).
+
+A pure-Python reimplementation of the paper's entire toolchain:
+
+* :mod:`repro.config`   — the Table I/II architectural design space;
+* :mod:`repro.trace`    — two-level trace substrate (Extrae/DynamoRIO);
+* :mod:`repro.apps`     — the five application models as trace generators;
+* :mod:`repro.runtime`  — OmpSs/OpenMP runtime scheduling simulator;
+* :mod:`repro.uarch`    — detailed core/cache/SIMD models (TaskSim);
+* :mod:`repro.dram`     — DRAM timing and controllers (Ramulator);
+* :mod:`repro.power`    — processor and DRAM power (McPAT/DRAMPower);
+* :mod:`repro.network`  — MPI replay and network model (Dimemas);
+* :mod:`repro.core`     — MUSA orchestration, sweeps and normalization;
+* :mod:`repro.analysis` — PCA, timelines, scaling and figure rendering.
+
+Quickstart::
+
+    from repro import Musa, get_app, baseline_node
+    musa = Musa(get_app("lulesh"))
+    result = musa.simulate_node(baseline_node(n_cores=64))
+    print(result.time_ns, result.power.total_w)
+"""
+
+from .apps import APP_NAMES, AppModel, all_apps, get_app
+from .config import (
+    DesignSpace,
+    NodeConfig,
+    baseline_node,
+    full_design_space,
+    unconventional_configs,
+)
+from .core import Musa, ResultSet, RunResult, normalize_axis, run_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_NAMES",
+    "AppModel",
+    "DesignSpace",
+    "Musa",
+    "NodeConfig",
+    "ResultSet",
+    "RunResult",
+    "all_apps",
+    "baseline_node",
+    "full_design_space",
+    "get_app",
+    "normalize_axis",
+    "run_sweep",
+    "unconventional_configs",
+]

@@ -1,0 +1,66 @@
+"""Analysis layer: PCA, timelines, scaling curves, figure rendering."""
+
+from .htmlreport import build_html_report
+from .optimize import Constraints, OptimalChoice, optimize_node
+from .pareto import ParetoPoint, best_configs, pareto_front
+from .pca import PCA_VARIABLES, PcaResult, app_pca, pca
+from .recommend import Recommendation, RecommendationReport, recommend
+from .report import format_panel, format_rows, format_stacked_power
+from .sensitivity import AxisSwing, render_tornado, tornado
+from .scaling import ScalingCurve, compute_region_scaling, full_app_scaling
+from .svgchart import grouped_bar_chart
+from .tracestats import (
+    MessageStats,
+    TaskGranularity,
+    message_stats,
+    parallelism_profile,
+    task_granularity,
+    trace_summary,
+)
+from .timeline import (
+    OccupancyStats,
+    RankActivityStats,
+    occupancy_stats,
+    rank_activity_stats,
+    render_core_timeline,
+    render_rank_timeline,
+)
+
+__all__ = [
+    "OccupancyStats",
+    "PCA_VARIABLES",
+    "PcaResult",
+    "ParetoPoint",
+    "best_configs",
+    "Constraints",
+    "OptimalChoice",
+    "build_html_report",
+    "optimize_node",
+    "pareto_front",
+    "RankActivityStats",
+    "Recommendation",
+    "RecommendationReport",
+    "ScalingCurve",
+    "app_pca",
+    "compute_region_scaling",
+    "AxisSwing",
+    "format_panel",
+    "format_rows",
+    "format_stacked_power",
+    "MessageStats",
+    "TaskGranularity",
+    "message_stats",
+    "parallelism_profile",
+    "task_granularity",
+    "trace_summary",
+    "render_tornado",
+    "tornado",
+    "full_app_scaling",
+    "grouped_bar_chart",
+    "occupancy_stats",
+    "pca",
+    "rank_activity_stats",
+    "recommend",
+    "render_core_timeline",
+    "render_rank_timeline",
+]

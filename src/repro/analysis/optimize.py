@@ -1,0 +1,133 @@
+"""Constrained design-point selection (the procurement optimizer).
+
+Real system selection is constrained: a node power envelope, a die-area
+budget, sometimes a minimum performance floor.  Given a sweep, this
+module picks the best configuration per application — and for the whole
+workload mix (geometric-mean objective across apps sharing one design,
+since a machine is bought once) — subject to such constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.parse import parse_node
+from ..core.results import CONFIG_KEYS, ResultSet
+from ..power.area import AreaModel
+
+__all__ = ["Constraints", "OptimalChoice", "optimize_node"]
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Selection constraints; ``None`` disables a bound."""
+
+    power_cap_w: Optional[float] = None
+    area_cap_mm2: Optional[float] = None
+    min_frequency_ghz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError("power cap must be positive")
+        if self.area_cap_mm2 is not None and self.area_cap_mm2 <= 0:
+            raise ValueError("area cap must be positive")
+
+
+@dataclass(frozen=True)
+class OptimalChoice:
+    """The selected design point and its per-app outcomes."""
+
+    config: Dict[str, object]
+    objective: str
+    score: float
+    #: per-app objective values at the chosen configuration
+    per_app: Dict[str, float]
+    #: how many candidate configurations survived the constraints
+    n_feasible: int
+
+    @property
+    def label(self) -> str:
+        c = self.config
+        return (f"{c['core']}/{c['cache']}/{c['memory']}/"
+                f"{c['frequency']}GHz/{c['vector']}b/{c['cores']}c")
+
+
+def _node_area(config: Dict[str, object], area_model: AreaModel) -> float:
+    spec = (f"{config['core']}/{config['cache']}/{config['memory']}/"
+            f"{config['frequency']}GHz/{config['vector']}b/"
+            f"{config['cores']}c")
+    return area_model.node_area(parse_node(spec)).total_mm2
+
+
+def optimize_node(
+    results: ResultSet,
+    objective: str = "time_ns",
+    constraints: Optional[Constraints] = None,
+    apps: Optional[Sequence[str]] = None,
+    area_model: Optional[AreaModel] = None,
+) -> OptimalChoice:
+    """Choose the single configuration minimizing the geometric mean of
+    ``objective`` across ``apps`` (default: every app in the sweep),
+    subject to the constraints holding for *every* application.
+
+    ``objective`` may be any positive record metric (``time_ns``,
+    ``energy_j``, ``power_total_w``) or ``"edp"``.
+    """
+    cons = constraints or Constraints()
+    am = area_model or AreaModel()
+    app_list = list(apps) if apps is not None else \
+        sorted(results.unique("app"))
+    if not app_list:
+        raise ValueError("no applications in the result set")
+
+    # Group records by hardware configuration (config keys minus app).
+    hw_keys = [k for k in CONFIG_KEYS if k != "app"]
+    by_config: Dict[Tuple, Dict[str, dict]] = {}
+    for rec in results:
+        if rec["app"] not in app_list:
+            continue
+        key = tuple(rec[k] for k in hw_keys)
+        by_config.setdefault(key, {})[rec["app"]] = rec
+
+    def metric(rec: dict) -> Optional[float]:
+        if objective == "edp":
+            if rec["energy_j"] is None:
+                return None
+            return rec["energy_j"] * rec["time_ns"]
+        value = rec.get(objective)
+        return None if value is None else float(value)
+
+    best: Optional[OptimalChoice] = None
+    n_feasible = 0
+    for key, app_recs in by_config.items():
+        if set(app_recs) != set(app_list):
+            continue  # incomplete configuration
+        config = dict(zip(hw_keys, key))
+        if cons.min_frequency_ghz is not None and \
+                config["frequency"] < cons.min_frequency_ghz:
+            continue
+        if cons.power_cap_w is not None and any(
+                r["power_total_w"] is not None
+                and r["power_total_w"] > cons.power_cap_w
+                for r in app_recs.values()):
+            continue
+        if cons.area_cap_mm2 is not None and \
+                _node_area(config, am) > cons.area_cap_mm2:
+            continue
+        values = {app: metric(r) for app, r in app_recs.items()}
+        if any(v is None or v <= 0 for v in values.values()):
+            continue
+        n_feasible += 1
+        score = float(np.exp(np.mean(np.log(list(values.values())))))
+        if best is None or score < best.score:
+            best = OptimalChoice(config=config, objective=objective,
+                                 score=score, per_app=values,
+                                 n_feasible=0)
+    if best is None:
+        raise ValueError("no feasible configuration under the constraints")
+    return OptimalChoice(config=best.config, objective=best.objective,
+                         score=best.score, per_app=best.per_app,
+                         n_feasible=n_feasible)

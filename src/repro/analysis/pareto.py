@@ -1,0 +1,98 @@
+"""Pareto-front analysis of the design space.
+
+The paper's Table II picks each application's "DSE-Best" configuration
+by execution time; architects usually want the whole performance-power
+trade-off curve instead.  This module extracts per-application Pareto
+fronts over arbitrary (minimize, minimize) metric pairs and locates the
+paper-style best points under several objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.results import CONFIG_KEYS, ResultSet
+
+__all__ = ["ParetoPoint", "pareto_front", "best_configs"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design point."""
+
+    config: Dict[str, object]
+    x: float
+    y: float
+
+    @property
+    def label(self) -> str:
+        c = self.config
+        return (f"{c['core']}/{c['cache']}/{c['memory']}/"
+                f"{c['vector']}b/{c['frequency']}GHz")
+
+
+def pareto_front(
+    results: ResultSet,
+    app: str,
+    x_metric: str = "time_ns",
+    y_metric: str = "power_total_w",
+    cores: Optional[int] = 64,
+) -> List[ParetoPoint]:
+    """Non-dominated (minimize x, minimize y) points for one app.
+
+    Records with missing metrics (HBM energy) are skipped.  The front is
+    returned sorted by ``x`` ascending (so ``y`` descends along it).
+    """
+    sub = results.filter(app=app) if cores is None else \
+        results.filter(app=app, cores=cores)
+    points = []
+    for rec in sub:
+        x, y = rec.get(x_metric), rec.get(y_metric)
+        if x is None or y is None:
+            continue
+        points.append((float(x), float(y), rec))
+    if not points:
+        raise ValueError(f"no records with {x_metric}/{y_metric} for {app}")
+    points.sort(key=lambda p: (p[0], p[1]))
+    front: List[ParetoPoint] = []
+    best_y = float("inf")
+    for x, y, rec in points:
+        if y < best_y - 1e-12:
+            best_y = y
+            front.append(ParetoPoint(
+                config={k: rec[k] for k in CONFIG_KEYS}, x=x, y=y))
+    return front
+
+
+def best_configs(
+    results: ResultSet,
+    app: str,
+    cores: Optional[int] = 64,
+) -> Dict[str, Dict[str, object]]:
+    """Per-objective winners: performance, power, energy, EDP.
+
+    ``performance`` reproduces the paper's DSE-Best selection rule.
+    """
+    sub = results.filter(app=app) if cores is None else \
+        results.filter(app=app, cores=cores)
+    records = list(sub)
+    if not records:
+        raise ValueError(f"no records for app {app!r}")
+
+    def pick(key: Callable) -> Dict[str, object]:
+        candidates = [r for r in records if key(r) is not None]
+        if not candidates:
+            raise ValueError("no records with the required metrics")
+        winner = min(candidates, key=key)
+        return {k: winner[k] for k in CONFIG_KEYS}
+
+    return {
+        "performance": pick(lambda r: r["time_ns"]),
+        "power": pick(lambda r: r["power_total_w"]),
+        "energy": pick(
+            lambda r: r["energy_j"] if r["energy_j"] is not None else None),
+        "edp": pick(
+            lambda r: (r["energy_j"] * r["time_ns"])
+            if r["energy_j"] is not None else None),
+    }

@@ -1,0 +1,109 @@
+"""Principal Component Analysis of sweep results (Sec. V-C / Fig. 10).
+
+The paper runs PCA per application over five variables — OoO capacity,
+memory channels, SIMD width, cache size, and total cycles — on the
+64-core, 2 GHz subset of the sweep, and reads architectural
+sensitivities from the loadings: variables that load onto the same
+component as "Exec. time" but with opposite sign drive performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config.cache import cache_preset
+from ..config.core import core_preset
+from ..config.memory import memory_preset
+from ..core.results import ResultSet
+
+__all__ = ["PcaResult", "pca", "app_pca", "PCA_VARIABLES"]
+
+#: Variable order used in Fig. 10.
+PCA_VARIABLES: Tuple[str, ...] = (
+    "OoO struct.", "Cache size", "FPU", "Mem. BW", "Exec. time",
+)
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """Loadings and explained variance of a PCA decomposition."""
+
+    variables: Tuple[str, ...]
+    components: np.ndarray        # (n_components, n_variables) loadings
+    explained_variance_ratio: np.ndarray
+
+    def loading(self, variable: str, component: int) -> float:
+        try:
+            j = self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"unknown variable {variable!r}; "
+                           f"have {self.variables}") from None
+        return float(self.components[component, j])
+
+    def correlated_with_time(self, component: int = 0,
+                             threshold: float = 0.25) -> List[Tuple[str, float]]:
+        """Variables loading against 'Exec. time' on a component:
+        positive score = increasing the variable reduces execution time."""
+        t = self.loading("Exec. time", component)
+        out = []
+        for v in self.variables:
+            if v == "Exec. time":
+                continue
+            l = self.loading(v, component)
+            score = -l * t  # opposite signs => performance driver
+            if abs(l) >= threshold and abs(t) >= threshold:
+                out.append((v, score))
+        return sorted(out, key=lambda kv: -abs(kv[1]))
+
+
+def pca(matrix: np.ndarray, variables: Sequence[str]) -> PcaResult:
+    """Standardize columns and decompose with SVD.
+
+    ``matrix`` is (n_samples, n_variables); constant columns are left
+    centered (zero variance contributes nothing).
+    """
+    x = np.asarray(matrix, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if x.shape[1] != len(variables):
+        raise ValueError("one name per column required")
+    if x.shape[0] < 2:
+        raise ValueError("need at least two samples")
+    mu = x.mean(axis=0)
+    sd = x.std(axis=0)
+    sd[sd == 0] = 1.0
+    z = (x - mu) / sd
+    _, s, vt = np.linalg.svd(z, full_matrices=False)
+    var = s ** 2
+    return PcaResult(
+        variables=tuple(variables),
+        components=vt,
+        explained_variance_ratio=var / var.sum(),
+    )
+
+
+def _numeric_axes(rec: Dict) -> Tuple[float, float, float, float]:
+    """Map config labels to the numeric scales the paper's PCA uses."""
+    ooo = core_preset(rec["core"]).window_capability
+    cache = cache_preset(rec["cache"]).l3.size_bytes
+    fpu = float(rec["vector"])
+    bw = memory_preset(rec["memory"]).peak_bw_gbs
+    return ooo, cache, fpu, bw
+
+
+def app_pca(results: ResultSet, app: str, cores: int = 64,
+            frequency: float = 2.0) -> PcaResult:
+    """The paper's per-application PCA on the fixed-frequency subset."""
+    sub = results.filter(app=app, cores=cores, frequency=frequency)
+    if len(sub) == 0:
+        raise ValueError(
+            f"no records for app={app}, cores={cores}, freq={frequency}")
+    rows = []
+    for rec in sub:
+        ooo, cache, fpu, bw = _numeric_axes(rec)
+        cycles = rec["time_ns"] * rec["frequency"]
+        rows.append((ooo, cache, fpu, bw, cycles))
+    return pca(np.array(rows), PCA_VARIABLES)

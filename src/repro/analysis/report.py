@@ -1,0 +1,73 @@
+"""Text rendering of paper-style figures and tables.
+
+Every benchmark prints its figure through these helpers so the harness
+output can be compared line-by-line with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["format_panel", "format_stacked_power", "format_rows"]
+
+
+def format_rows(title: str, header: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> str:
+    """Generic fixed-width table."""
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(header)]
+    lines = [title]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "n/a"
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_panel(
+    title: str,
+    table: Dict[str, Dict[object, Tuple[float, float]]],
+    values: Sequence[object],
+    value_label: str,
+) -> str:
+    """One figure panel: rows = apps, columns = axis values, cells =
+    normalized mean (std)."""
+    header = ["app"] + [f"{value_label}={v}" for v in values]
+    rows = []
+    for app, cells in table.items():
+        row = [app]
+        for v in values:
+            mean, std = cells[v]
+            row.append(f"{mean:.3f}±{std:.2f}")
+        rows.append(row)
+    return format_rows(title, header, rows)
+
+
+def format_stacked_power(
+    title: str,
+    components: Dict[str, Dict[object, Dict[str, Optional[float]]]],
+    values: Sequence[object],
+) -> str:
+    """Stacked power panel: per app and axis value, the Core+L1 /
+    L2+L3Cache / Memory watt split (the paper's Figs. 5b-9b)."""
+    header = ["app", "value", "Core+L1", "L2+L3", "Memory", "total"]
+    rows = []
+    for app, per_value in components.items():
+        for v in values:
+            cell = per_value[v]
+            total = (
+                None
+                if cell.get("memory") is None
+                else cell["core_l1"] + cell["l2_l3"] + cell["memory"]
+            )
+            rows.append([app, v, cell["core_l1"], cell["l2_l3"],
+                         cell.get("memory"), total])
+    return format_rows(title, header, rows)

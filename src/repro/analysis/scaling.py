@@ -1,0 +1,69 @@
+"""Scaling-study helpers (Fig. 2 of the paper).
+
+Fig. 2a: hardware-agnostic speedup of a single representative compute
+region on 1/32/64 cores.  Fig. 2b: the same for the whole parallel
+region including MPI overheads, at 256 ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.musa import Musa
+
+__all__ = ["ScalingCurve", "compute_region_scaling", "full_app_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Speedups over the 1-core point for a set of core counts."""
+
+    app: str
+    core_counts: Tuple[int, ...]
+    speedups: Tuple[float, ...]
+
+    def efficiency(self, n_cores: int) -> float:
+        """Parallel efficiency at a given core count."""
+        try:
+            i = self.core_counts.index(n_cores)
+        except ValueError:
+            raise KeyError(f"{n_cores} not in {self.core_counts}") from None
+        return self.speedups[i] / n_cores
+
+
+def compute_region_scaling(musa: Musa,
+                           core_counts: Sequence[int] = (1, 32, 64),
+                           ) -> ScalingCurve:
+    """Fig. 2a: single-region, hardware-agnostic scaling."""
+    if 1 not in core_counts:
+        raise ValueError("core_counts must include the 1-core baseline")
+    base = musa.compute_region_makespan(1)
+    speeds = tuple(base / musa.compute_region_makespan(n)
+                   for n in core_counts)
+    return ScalingCurve(app=musa.app.name, core_counts=tuple(core_counts),
+                        speedups=speeds)
+
+
+def full_app_scaling(musa: Musa,
+                     core_counts: Sequence[int] = (1, 32, 64),
+                     n_ranks: int = 256,
+                     n_iterations: Optional[int] = None) -> ScalingCurve:
+    """Fig. 2b: whole parallel region including MPI overheads.
+
+    The 1-core baseline uses the same rank count: the paper scales
+    cores per node, not nodes.
+    """
+    if 1 not in core_counts:
+        raise ValueError("core_counts must include the 1-core baseline")
+    times = {
+        n: musa.simulate_burst_full(n_cores=n, n_ranks=n_ranks,
+                                    n_iterations=n_iterations).total_ns
+        for n in core_counts
+    }
+    base = times[1]
+    return ScalingCurve(
+        app=musa.app.name,
+        core_counts=tuple(core_counts),
+        speedups=tuple(base / times[n] for n in core_counts),
+    )

@@ -1,0 +1,36 @@
+"""Application registry: name -> model instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import AppModel
+from .btmz import BtMz
+from .hydro import Hydro
+from .lulesh import Lulesh
+from .specfem3d import Specfem3D
+from .spmz import SpMz
+
+__all__ = ["APP_CLASSES", "APP_NAMES", "get_app", "all_apps"]
+
+APP_CLASSES: Dict[str, Type[AppModel]] = {
+    cls.name: cls for cls in (Hydro, SpMz, BtMz, Specfem3D, Lulesh)
+}
+
+#: Paper ordering (figure x-axes).
+APP_NAMES = ("hydro", "spmz", "btmz", "spec3d", "lulesh")
+
+
+def get_app(name: str) -> AppModel:
+    """Instantiate an application model by its paper name."""
+    try:
+        return APP_CLASSES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {APP_NAMES}"
+        ) from None
+
+
+def all_apps() -> List[AppModel]:
+    """All five paper applications, in figure order."""
+    return [get_app(name) for name in APP_NAMES]

@@ -1,0 +1,132 @@
+"""Declarative synthetic applications.
+
+The five paper applications are hand-written subclasses; downstream
+co-design studies usually start from a *characteristics sheet* (mix,
+working sets, task structure) rather than code.
+:func:`make_app` builds a full :class:`~repro.apps.base.AppModel` from
+such a sheet, so a new workload joins every analysis — sweeps, scaling,
+timelines, recommendations — with zero subclassing.
+
+Example::
+
+    app = make_app(
+        name="fft",
+        kernels={
+            "transpose": dict(instr_per_task=400_000, fp=0.15, load=0.4,
+                              store=0.3, ilp=2.2, vec_fraction=0.6,
+                              trip_count=64, mlp=8, row_hit_rate=0.3,
+                              reuse=[(8, 0.7), (50_000, 0.3)]),
+        },
+        phases=[dict(kernel="transpose", n_tasks=128, imbalance=0.1)],
+        halo_bytes=512 * 1024,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..runtime.openmp import task_phase
+from ..trace.events import ComputePhase
+from ..trace.kernel import InstructionMix, KernelSignature, ReuseProfile
+from .base import AppModel
+
+__all__ = ["SyntheticApp", "make_app"]
+
+_REF_NS_PER_INSTR = 0.5
+
+
+def _kernel_from_spec(name: str, spec: Dict) -> KernelSignature:
+    spec = dict(spec)
+    instr = float(spec.pop("instr_per_task"))
+    fp = spec.pop("fp", 0.3)
+    load = spec.pop("load", 0.25)
+    store = spec.pop("store", 0.1)
+    branch = spec.pop("branch", 0.1)
+    int_alu = spec.pop("int_alu", None)
+    other = spec.pop("other", 0.0)
+    if int_alu is None:
+        int_alu = 1.0 - fp - load - store - branch - other
+    reuse_spec = spec.pop("reuse")
+    cold = spec.pop("cold_fraction", 0.002)
+    sig = KernelSignature(
+        name=name,
+        instr_per_unit=instr,
+        mix=InstructionMix(fp=fp, int_alu=int_alu, load=load, store=store,
+                           branch=branch, other=other),
+        ilp=spec.pop("ilp", 3.0),
+        vec_fraction=spec.pop("vec_fraction", 0.5),
+        trip_count=spec.pop("trip_count", 128),
+        mlp=spec.pop("mlp", 4.0),
+        reuse=ReuseProfile.from_components(reuse_spec, cold_fraction=cold),
+        row_hit_rate=spec.pop("row_hit_rate", 0.6),
+    )
+    if spec:
+        raise TypeError(f"kernel {name!r}: unknown fields {sorted(spec)}")
+    return sig
+
+
+class SyntheticApp(AppModel):
+    """An application assembled from a characteristics sheet."""
+
+    def __init__(self, name: str, kernel_specs: Dict[str, Dict],
+                 phase_specs: Sequence[Dict], **overrides) -> None:
+        if not name:
+            raise ValueError("synthetic app needs a name")
+        if not kernel_specs:
+            raise ValueError("need at least one kernel")
+        if not phase_specs:
+            raise ValueError("need at least one phase")
+        super().__init__(**overrides)
+        self.name = name
+        self._kernels = {k: _kernel_from_spec(k, s)
+                         for k, s in kernel_specs.items()}
+        allowed = {"kernel", "n_tasks", "imbalance", "creation_ns",
+                   "serial_task_ns", "serial_ns"}
+        for i, ph in enumerate(phase_specs):
+            if ph.get("kernel") not in self._kernels:
+                raise ValueError(
+                    f"phase {i} references unknown kernel "
+                    f"{ph.get('kernel')!r}")
+            extra = set(ph) - allowed
+            if extra:
+                raise TypeError(f"phase {i}: unknown fields {sorted(extra)}")
+        self._phase_specs = [dict(p) for p in phase_specs]
+
+    def kernels(self) -> Dict[str, KernelSignature]:
+        return dict(self._kernels)
+
+    def iteration_phases(self) -> Tuple[ComputePhase, ...]:
+        rng = self._rng("phases")
+        phases: List[ComputePhase] = []
+        for i, spec in enumerate(self._phase_specs):
+            spec = dict(spec)
+            kernel = spec.pop("kernel")
+            sig = self._kernels[kernel]
+            phases.append(task_phase(
+                phase_id=i,
+                kernel=kernel,
+                n_tasks=spec.pop("n_tasks", 64),
+                task_ns=sig.instr_per_unit * _REF_NS_PER_INSTR,
+                imbalance=spec.pop("imbalance", 0.1),
+                creation_ns=spec.pop("creation_ns", 250.0),
+                serial_task_ns=spec.pop("serial_task_ns", 0.0),
+                serial_ns=spec.pop("serial_ns", 0.0),
+                rng=rng,
+            ))
+            if spec:
+                raise TypeError(f"phase {i}: unknown fields {sorted(spec)}")
+        return tuple(phases)
+
+
+def make_app(name: str, kernels: Dict[str, Dict], phases: Sequence[Dict],
+             **characteristics) -> SyntheticApp:
+    """Build a synthetic application from a characteristics sheet.
+
+    ``kernels`` maps kernel names to field dicts (see module docstring);
+    ``phases`` lists per-phase dicts (``kernel`` required; ``n_tasks``,
+    ``imbalance``, ``serial_task_ns``... optional).  Extra keyword
+    arguments override app-level characteristics (``halo_bytes``,
+    ``rank_imbalance``, ``allreduce_per_iter``, ...).
+    """
+    return SyntheticApp(name, kernels, phases, **characteristics)

@@ -1,0 +1,424 @@
+"""``repro`` command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``repro characterize <app>`` — Fig. 1-style runtime statistics;
+* ``repro simulate <app> [--core ... --cache ...]`` — one design point;
+* ``repro sweep [--apps ...] [--out results.json]`` — the campaign;
+* ``repro figure <axis> --results results.json`` — a paper figure
+  (text, optionally ``--svg out.svg``);
+* ``repro scaling <app>`` — Fig. 2-style scaling study;
+* ``repro timeline <app>`` — Fig. 3/4-style ASCII timelines.
+
+Every subcommand prints to stdout; sweeps persist a JSON
+:class:`~repro.core.results.ResultSet` consumable by ``figure``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis import (
+    compute_region_scaling,
+    format_rows,
+    full_app_scaling,
+    occupancy_stats,
+    rank_activity_stats,
+    render_core_timeline,
+    render_rank_timeline,
+)
+from ..apps import APP_NAMES, get_app
+from ..config import (
+    CACHE_LABELS,
+    CORE_LABELS,
+    DesignSpace,
+    MEMORY_LABELS,
+    baseline_node,
+    full_design_space,
+)
+from ..core import Musa, ResultSet, run_sweep
+
+#: Axis name -> (baseline value, value list) for the `figure` command.
+FIGURE_AXES = {
+    "vector": (128, (128, 256, 512)),
+    "cache": ("32M:256K", CACHE_LABELS),
+    "core": ("aggressive", ("aggressive", "lowend", "high", "medium")),
+    "memory": ("4chDDR4", MEMORY_LABELS),
+    "frequency": (1.5, (1.5, 2.0, 2.5, 3.0)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="MUSA reproduction: design-space exploration of "
+                    "next-generation HPC machines (IPDPS 2019)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("characterize", help="Fig. 1 runtime statistics")
+    c.add_argument("app", choices=APP_NAMES)
+    c.add_argument("--cores", type=int, default=32)
+
+    s = sub.add_parser("simulate", help="simulate one design point")
+    s.add_argument("app", choices=APP_NAMES)
+    _add_node_args(s)
+
+    w = sub.add_parser("sweep", help="run a design-space sweep")
+    w.add_argument("--apps", nargs="+", default=list(APP_NAMES),
+                   choices=APP_NAMES)
+    w.add_argument("--out", default="results.json")
+    w.add_argument("--processes", type=int, default=None)
+    w.add_argument("--plane", action="store_true",
+                   help="only the 2 GHz / {32,64}-core plane (faster)")
+
+    f = sub.add_parser("figure", help="render a paper figure from a sweep")
+    f.add_argument("axis", choices=sorted(FIGURE_AXES))
+    f.add_argument("--results", default="results.json")
+    f.add_argument("--metric", default="time_ns",
+                   choices=("time_ns", "power_total_w", "power_core_l1_w",
+                            "energy_j"))
+    f.add_argument("--cores", type=int, default=64)
+    f.add_argument("--svg", default=None,
+                   help="also write an SVG bar chart to this path")
+
+    g = sub.add_parser("scaling", help="Fig. 2 scaling study")
+    g.add_argument("app", choices=APP_NAMES)
+    g.add_argument("--ranks", type=int, default=64)
+
+    t = sub.add_parser("timeline", help="Fig. 3/4 ASCII timelines")
+    t.add_argument("app", choices=APP_NAMES)
+    t.add_argument("--cores", type=int, default=64)
+    t.add_argument("--ranks", type=int, default=16)
+    t.add_argument("--width", type=int, default=72)
+
+    r = sub.add_parser("recommend",
+                       help="derive co-design guidelines from a sweep")
+    r.add_argument("--results", default="results.json")
+    r.add_argument("--cores", type=int, default=64)
+
+    v = sub.add_parser("validate",
+                       help="cross-check the analytic models against the "
+                            "event-level substrates")
+    v.add_argument("--apps", nargs="+", default=list(APP_NAMES),
+                   choices=APP_NAMES)
+    v.add_argument("--accesses", type=int, default=40_000)
+
+    e = sub.add_parser("explain",
+                       help="CPI-stack breakdown of one kernel on one node")
+    e.add_argument("app", choices=APP_NAMES)
+    e.add_argument("kernel", nargs="?", default=None,
+                   help="kernel name (default: the app's first kernel)")
+    _add_node_args(e)
+    e.add_argument("--share", type=int, default=32,
+                   help="cores sharing the L3 (default 32)")
+
+    cp = sub.add_parser(
+        "compare",
+        help="A/B-compare two node specs across all applications")
+    cp.add_argument("node_a", help='e.g. "medium/64M:512K/4chDDR4/2GHz"')
+    cp.add_argument("node_b", help='e.g. "high/96M:1M/8chDDR4/512b"')
+    cp.add_argument("--apps", nargs="+", default=list(APP_NAMES),
+                    choices=APP_NAMES)
+
+    rf = sub.add_parser("roofline",
+                        help="roofline placement of an app's kernels")
+    rf.add_argument("app", choices=APP_NAMES)
+    _add_node_args(rf)
+
+    tn = sub.add_parser("tornado",
+                        help="one-factor axis sensitivity around a baseline")
+    tn.add_argument("app", choices=APP_NAMES)
+    tn.add_argument("--metric", default="time_ns",
+                    choices=("time_ns", "power_total_w", "energy_j"))
+    tn.add_argument("--cores", type=int, default=64)
+
+    rp = sub.add_parser("report",
+                        help="self-contained HTML report from a sweep")
+    rp.add_argument("--results", default="results.json")
+    rp.add_argument("--out", default="report.html")
+    rp.add_argument("--cores", type=int, default=64)
+    return p
+
+
+def _add_node_args(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--core", default="medium", choices=CORE_LABELS)
+    sp.add_argument("--cache", default="64M:512K", choices=CACHE_LABELS)
+    sp.add_argument("--memory", default="4chDDR4",
+                    choices=("4chDDR4", "8chDDR4", "16chDDR4", "16chHBM"))
+    sp.add_argument("--frequency", type=float, default=2.0)
+    sp.add_argument("--vector", type=int, default=128)
+    sp.add_argument("--cores", type=int, default=64)
+
+
+def _node_from_args(args) -> "NodeConfig":
+    return baseline_node(args.cores).with_(
+        core=args.core, cache=args.cache, memory=args.memory,
+        frequency_ghz=args.frequency, vector_bits=args.vector,
+    )
+
+
+def cmd_characterize(args) -> int:
+    r = Musa(get_app(args.app)).simulate_node(baseline_node(args.cores))
+    print(format_rows(
+        f"{args.app} @ {args.cores} cores (baseline node)",
+        ["metric", "value"],
+        [
+            ["runtime [ms]", r.time_ns / 1e6],
+            ["L1 MPKI", r.mpki_l1],
+            ["L2 MPKI", r.mpki_l2],
+            ["L3 MPKI", r.mpki_l3],
+            ["DRAM requests [G/s]", r.gmem_req_per_s],
+            ["bandwidth utilization", r.bw_utilization],
+            ["core occupancy", r.occupancy],
+            ["node power [W]", r.power.total_w],
+            ["energy/node [J]", r.energy_j],
+        ]))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    node = _node_from_args(args)
+    r = Musa(get_app(args.app)).simulate_node(node)
+    p = r.power
+    print(format_rows(
+        f"{args.app} on {node.label}",
+        ["metric", "value"],
+        [
+            ["runtime [ms]", r.time_ns / 1e6],
+            ["Core+L1 power [W]", p.core_l1_w],
+            ["L2+L3 power [W]", p.l2_l3_w],
+            ["Memory power [W]", p.memory_w],
+            ["node power [W]", p.total_w],
+            ["energy/node [J]", r.energy_j],
+            ["bandwidth utilization", r.bw_utilization],
+        ]))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    space = (DesignSpace(frequencies=(2.0,), core_counts=(32, 64))
+             if args.plane else full_design_space())
+    total = len(space) * len(args.apps)
+    print(f"sweeping {len(space)} configurations x {len(args.apps)} apps "
+          f"({total} simulations)...", flush=True)
+    results = run_sweep(args.apps, space, processes=args.processes,
+                        progress=True)
+    results.save(args.out)
+    print(f"wrote {len(results)} records to {args.out}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from ..core import normalize_axis
+
+    try:
+        results = ResultSet.load(args.results)
+    except FileNotFoundError:
+        print(f"error: no sweep results at {args.results!r} — run "
+              "`repro sweep` first", file=sys.stderr)
+        return 1
+    baseline, values = FIGURE_AXES[args.axis]
+    bars = normalize_axis(results, args.axis, baseline, args.metric)
+    rows = []
+    table = {}
+    for b in bars:
+        if b.cores != args.cores:
+            continue
+        rows.append([b.app, b.value, b.mean, b.std, b.n_samples])
+        table.setdefault(b.app, {})[b.value] = b.mean
+    if not rows:
+        print(f"error: no records for --cores {args.cores}",
+              file=sys.stderr)
+        return 1
+    print(format_rows(
+        f"{args.metric} vs {args.axis} (normalized to {baseline}), "
+        f"{args.cores} cores",
+        ["app", args.axis, "mean", "std", "n"], rows))
+    if args.svg:
+        from ..analysis.svgchart import grouped_bar_chart
+
+        svg = grouped_bar_chart(
+            table, groups=list(table), values=list(values),
+            title=f"{args.metric} vs {args.axis} ({args.cores} cores)",
+        )
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    musa = Musa(get_app(args.app))
+    region = compute_region_scaling(musa)
+    full = full_app_scaling(musa, n_ranks=args.ranks, n_iterations=2)
+    rows = []
+    for n in region.core_counts:
+        i = region.core_counts.index(n)
+        rows.append([n, region.speedups[i], region.efficiency(n),
+                     full.speedups[i], full.efficiency(n)])
+    print(format_rows(
+        f"{args.app} scaling ({args.ranks} ranks for the full app)",
+        ["cores", "region speedup", "region eff", "full speedup",
+         "full eff"], rows))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    musa = Musa(get_app(args.app))
+    sched = musa.burst_phase(musa.app.representative_phase(), args.cores,
+                             collect_spans=True)
+    stats = occupancy_stats(sched)
+    print(f"{args.app}: representative phase on {args.cores} cores — "
+          f"occupancy {stats.busy_fraction:.0%}, "
+          f"{stats.active_cores}/{args.cores} cores active")
+    print(render_core_timeline(sched.spans, args.cores, sched.makespan_ns,
+                               width=args.width, max_cores=24))
+    res = musa.simulate_burst_full(n_cores=args.cores, n_ranks=args.ranks,
+                                   n_iterations=2, collect_segments=True)
+    rstats = rank_activity_stats(res)
+    print(f"\nfull-app replay, {args.ranks} ranks — "
+          f"{rstats.mean_collective_fraction:.0%} of rank-time in "
+          "collectives ('#' compute, 'B' collective, '-' p2p, 'w' wait)")
+    print(render_rank_timeline(res.segments, args.ranks, res.total_ns,
+                               width=args.width, max_ranks=16))
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    from ..analysis import recommend
+
+    try:
+        results = ResultSet.load(args.results)
+    except FileNotFoundError:
+        print(f"error: no sweep results at {args.results!r} — run "
+              "`repro sweep` first", file=sys.stderr)
+        return 1
+    print(recommend(results, cores=args.cores).render())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from ..config import cache_preset
+    from ..uarch import validate_kernel
+
+    rows = []
+    all_passed = True
+    for app in args.apps:
+        detailed = get_app(app).detailed_trace()
+        for kernel in detailed.names():
+            v = validate_kernel(detailed[kernel], cache_preset("64M:512K"),
+                                l3_share_cores=32,
+                                n_accesses=args.accesses)
+            ok = v.passed()
+            all_passed &= ok
+            eff = ("n/a" if v.efficiency_error is None
+                   else f"{v.efficiency_error:.3f}")
+            rows.append([app, kernel, v.max_miss_error, eff,
+                         "PASS" if ok else "FAIL"])
+    print(format_rows(
+        "Analytic models vs event-level substrates (64M:512K, 32-way L3 share)",
+        ["app", "kernel", "max miss-ratio err", "DRAM eff err", "verdict"],
+        rows))
+    return 0 if all_passed else 1
+
+
+def cmd_explain(args) -> int:
+    from ..uarch import explain_kernel
+
+    detailed = get_app(args.app).detailed_trace()
+    kernel = args.kernel or detailed.names()[0]
+    if kernel not in detailed:
+        print(f"error: {args.app} has no kernel {kernel!r}; "
+              f"choose from {detailed.names()}", file=sys.stderr)
+        return 1
+    node = _node_from_args(args)
+    print(explain_kernel(detailed[kernel], node,
+                         l3_share_cores=args.share).render())
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from ..uarch import render_roofline, roofline_point
+
+    node = _node_from_args(args)
+    detailed = get_app(args.app).detailed_trace()
+    points = [roofline_point(detailed[k], node) for k in detailed.names()]
+    print(render_roofline(points))
+    return 0
+
+
+def cmd_tornado(args) -> int:
+    from ..analysis import render_tornado, tornado
+
+    musa = Musa(get_app(args.app))
+    swings = tornado(musa, baseline_node(args.cores), metric=args.metric)
+    print(render_tornado(swings, args.metric))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from ..analysis import build_html_report
+
+    try:
+        results = ResultSet.load(args.results)
+    except FileNotFoundError:
+        print(f"error: no sweep results at {args.results!r} — run "
+              "`repro sweep` first", file=sys.stderr)
+        return 1
+    try:
+        html_text = build_html_report(results, cores=args.cores)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html_text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from ..config import parse_node
+    from ..core import compare_nodes
+
+    try:
+        node_a = parse_node(args.node_a)
+        node_b = parse_node(args.node_b)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    apps = [get_app(a) for a in args.apps]
+    try:
+        print(compare_nodes(node_a, node_b, apps=apps).render())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "characterize": cmd_characterize,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "figure": cmd_figure,
+    "scaling": cmd_scaling,
+    "timeline": cmd_timeline,
+    "recommend": cmd_recommend,
+    "validate": cmd_validate,
+    "explain": cmd_explain,
+    "compare": cmd_compare,
+    "roofline": cmd_roofline,
+    "tornado": cmd_tornado,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

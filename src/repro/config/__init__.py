@@ -1,0 +1,60 @@
+"""Architectural configuration layer (Table I / Table II of the paper)."""
+
+from .cache import (
+    CACHE_LABELS,
+    CACHE_PRESETS,
+    KIB,
+    LINE_BYTES,
+    MIB,
+    CacheHierarchy,
+    CacheLevelConfig,
+    cache_preset,
+)
+from .core import CORE_LABELS, CORE_PRESETS, CoreConfig, core_preset
+from .memory import (
+    GB,
+    MEMORY_LABELS,
+    MEMORY_PRESETS,
+    MemoryConfig,
+    memory_preset,
+)
+from .parse import format_node, parse_node
+from .node import (
+    CORE_COUNTS,
+    FREQUENCIES_GHZ,
+    VECTOR_WIDTHS_BITS,
+    NodeConfig,
+    baseline_node,
+)
+from .space import AXES, DesignSpace, full_design_space, unconventional_configs
+
+__all__ = [
+    "AXES",
+    "CACHE_LABELS",
+    "CACHE_PRESETS",
+    "CORE_COUNTS",
+    "CORE_LABELS",
+    "CORE_PRESETS",
+    "FREQUENCIES_GHZ",
+    "GB",
+    "KIB",
+    "LINE_BYTES",
+    "MEMORY_LABELS",
+    "MEMORY_PRESETS",
+    "MIB",
+    "VECTOR_WIDTHS_BITS",
+    "CacheHierarchy",
+    "CacheLevelConfig",
+    "CoreConfig",
+    "DesignSpace",
+    "MemoryConfig",
+    "NodeConfig",
+    "baseline_node",
+    "format_node",
+    "cache_preset",
+    "core_preset",
+    "full_design_space",
+    "memory_preset",
+    "parse_node",
+    "unconventional_configs",
+]

@@ -1,0 +1,169 @@
+"""The 864-point design space (Sec. IV-A) and Table II specials.
+
+The full cartesian product of Table I values:
+
+    4 core classes x 3 cache hierarchies x 2 memory configs
+    x 4 frequencies x 3 vector widths x 3 core counts  =  864
+
+Each application is simulated once per point.  The paper's per-axis bar
+charts (Figs. 5-9) average *paired* normalizations over this space; the
+pairing logic lives in :mod:`repro.core.normalize` and relies on the
+stable ordering produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .cache import CACHE_LABELS, cache_preset
+from .core import CORE_LABELS, core_preset
+from .memory import MEMORY_LABELS, memory_preset
+from .node import CORE_COUNTS, FREQUENCIES_GHZ, VECTOR_WIDTHS_BITS, NodeConfig
+
+__all__ = ["DesignSpace", "full_design_space", "unconventional_configs"]
+
+#: Axis names in canonical iteration order (outermost first).
+AXES: Tuple[str, ...] = ("core", "cache", "memory", "frequency", "vector", "cores")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A cartesian design space over the six Table I axes.
+
+    Immutable; iteration order is deterministic (row-major over the axis
+    value tuples), which downstream result containers depend on.
+    """
+
+    core_labels: Tuple[str, ...] = CORE_LABELS
+    cache_labels: Tuple[str, ...] = CACHE_LABELS
+    memory_labels: Tuple[str, ...] = MEMORY_LABELS
+    frequencies: Tuple[float, ...] = FREQUENCIES_GHZ
+    vector_widths: Tuple[int, ...] = VECTOR_WIDTHS_BITS
+    core_counts: Tuple[int, ...] = CORE_COUNTS
+
+    def __post_init__(self) -> None:
+        for name in AXES:
+            if len(self._axis(name)) == 0:
+                raise ValueError(f"axis {name!r} must have at least one value")
+            if len(set(self._axis(name))) != len(self._axis(name)):
+                raise ValueError(f"axis {name!r} has duplicate values")
+
+    def _axis(self, name: str) -> Sequence:
+        return {
+            "core": self.core_labels,
+            "cache": self.cache_labels,
+            "memory": self.memory_labels,
+            "frequency": self.frequencies,
+            "vector": self.vector_widths,
+            "cores": self.core_counts,
+        }[name]
+
+    def axis_values(self, name: str) -> Tuple:
+        """Values explored along one named axis."""
+        return tuple(self._axis(name))
+
+    def __len__(self) -> int:
+        n = 1
+        for name in AXES:
+            n *= len(self._axis(name))
+        return n
+
+    def __iter__(self) -> Iterator[NodeConfig]:
+        for core, cache, mem, freq, vec, ncores in product(
+            self.core_labels, self.cache_labels, self.memory_labels,
+            self.frequencies, self.vector_widths, self.core_counts,
+        ):
+            yield NodeConfig(
+                core=core_preset(core),
+                cache=cache_preset(cache),
+                memory=memory_preset(mem),
+                frequency_ghz=freq,
+                vector_bits=vec,
+                n_cores=ncores,
+            )
+
+    def configs(self) -> List[NodeConfig]:
+        """Materialize the whole space in canonical order."""
+        return list(self)
+
+    def restrict(self, **fixed) -> "DesignSpace":
+        """Return a sub-space with some axes pinned to single values.
+
+        Example: ``space.restrict(frequency=2.0, cores=64)`` gives the
+        subset used for the PCA study (Sec. V-C).
+        """
+        kwargs: Dict[str, Tuple] = {}
+        mapping = {
+            "core": "core_labels", "cache": "cache_labels",
+            "memory": "memory_labels", "frequency": "frequencies",
+            "vector": "vector_widths", "cores": "core_counts",
+        }
+        for axis, value in fixed.items():
+            if axis not in mapping:
+                raise KeyError(f"unknown axis {axis!r}; valid axes: {AXES}")
+            values = value if isinstance(value, (tuple, list)) else (value,)
+            for v in values:
+                if v not in self._axis(axis):
+                    raise ValueError(
+                        f"value {v!r} not in axis {axis!r} ({self._axis(axis)})"
+                    )
+            kwargs[mapping[axis]] = tuple(values)
+        current = {
+            "core_labels": self.core_labels,
+            "cache_labels": self.cache_labels,
+            "memory_labels": self.memory_labels,
+            "frequencies": self.frequencies,
+            "vector_widths": self.vector_widths,
+            "core_counts": self.core_counts,
+        }
+        current.update(kwargs)
+        return DesignSpace(**current)
+
+    def samples_per_bar(self, axis: str, panel_cores: Optional[int] = None) -> int:
+        """Number of paired samples averaged into one figure bar.
+
+        With the full space, one vector-width bar in a 32-core panel
+        averages 864 / 3 (vector values) / 3 (core counts) = 96 samples,
+        matching the paper's statement in Sec. V-B.
+        """
+        n = len(self) // len(self._axis(axis))
+        if panel_cores is not None:
+            if panel_cores not in self.core_counts:
+                raise ValueError(f"{panel_cores} not in cores axis")
+            if axis != "cores":
+                n //= len(self.core_counts)
+        return n
+
+
+def full_design_space() -> DesignSpace:
+    """The paper's 864-point space (Table I)."""
+    return DesignSpace()
+
+
+def unconventional_configs() -> Dict[str, Dict[str, NodeConfig]]:
+    """Table II: application-specific configurations, all 64-core / 2 GHz.
+
+    Returns ``{app: {label: NodeConfig}}`` including each app's paper
+    ``DSE-Best`` baseline.
+    """
+    def node(core, vec, cachecfg, mem):
+        return NodeConfig(
+            core=core_preset(core), cache=cache_preset(cachecfg),
+            memory=memory_preset(mem), frequency_ghz=2.0,
+            vector_bits=vec, n_cores=64,
+        )
+
+    return {
+        "spmz": {
+            "Best-DSE": node("aggressive", 512, "96M:1M", "8chDDR4"),
+            "Vector+": node("high", 1024, "64M:512K", "4chDDR4"),
+            "Vector++": node("high", 2048, "64M:512K", "4chDDR4"),
+        },
+        "lulesh": {
+            "Best-DSE": node("high", 512, "96M:1M", "8chDDR4"),
+            "MEM+": node("medium", 64, "64M:512K", "16chDDR4"),
+            "MEM++": node("medium", 64, "64M:512K", "16chHBM"),
+        },
+    }

@@ -1,0 +1,42 @@
+"""MUSA core: multi-scale orchestration, sweeps, metrics, normalization."""
+
+from .checkpoint import load_checkpoint, run_sweep_checkpointed
+from .compare import AppDelta, NodeComparison, compare_nodes
+from .metrics import (
+    energy_delay_product,
+    energy_delay_squared,
+    geo_mean,
+    normalized_energy,
+    parallel_efficiency,
+    speedup,
+)
+from .musa import Musa, RunResult
+from .normalize import AxisBar, axis_table, normalize_axis
+from .phase_sim import PhaseDetail, simulate_phase_detailed
+from .results import CONFIG_KEYS, ResultSet
+from .sweep import run_sweep, sweep_configs
+
+__all__ = [
+    "AppDelta",
+    "AxisBar",
+    "CONFIG_KEYS",
+    "Musa",
+    "NodeComparison",
+    "PhaseDetail",
+    "ResultSet",
+    "RunResult",
+    "axis_table",
+    "compare_nodes",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "geo_mean",
+    "load_checkpoint",
+    "normalize_axis",
+    "normalized_energy",
+    "parallel_efficiency",
+    "run_sweep",
+    "run_sweep_checkpointed",
+    "simulate_phase_detailed",
+    "speedup",
+    "sweep_configs",
+]

@@ -1,0 +1,107 @@
+"""Checkpointed (resumable) design-space sweeps.
+
+A full campaign is 4,320 simulations; interrupting one (timeout,
+preemption, crash) should not discard completed work.  The checkpointed
+driver appends each record to a JSONL file as it completes and, on
+restart, skips every (app, configuration) pair already present — the
+same amortization discipline MUSA applies to its traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Sequence, Set, Tuple, Union
+
+from ..config.space import DesignSpace
+from .results import CONFIG_KEYS, ResultSet
+from .sweep import _musa_for
+
+__all__ = ["run_sweep_checkpointed", "load_checkpoint"]
+
+
+def _record_key(record: dict) -> Tuple:
+    return tuple(record[k] for k in CONFIG_KEYS)
+
+
+def load_checkpoint(path: Union[str, Path]) -> ResultSet:
+    """Load a (possibly partial) JSONL checkpoint into a ResultSet.
+
+    Tolerates a truncated final line (the crash case); duplicate
+    records (from concurrent writers) keep their first occurrence.
+    """
+    results = ResultSet()
+    p = Path(path)
+    if not p.exists():
+        return results
+    seen: Set[Tuple] = set()
+    with p.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated tail from an interrupted run
+            key = _record_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.add(record)
+    return results
+
+
+def run_sweep_checkpointed(
+    app_names: Sequence[str],
+    space: Optional[DesignSpace] = None,
+    checkpoint_path: Union[str, Path] = "sweep.ckpt.jsonl",
+    n_ranks: int = 256,
+    flush_every: int = 1,
+    progress: bool = False,
+) -> ResultSet:
+    """Run (or resume) a sweep with per-record checkpointing.
+
+    Single-process by design: the bottleneck a checkpoint protects
+    against is wall-clock interruption, and an appending writer must be
+    unique.  For a fresh parallel campaign use
+    :func:`~repro.core.sweep.run_sweep` and ``ResultSet.save``.
+    """
+    if flush_every <= 0:
+        raise ValueError("flush_every must be positive")
+    space = space or DesignSpace()
+    path = Path(checkpoint_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    results = load_checkpoint(path)
+    done = {_record_key(r) for r in results}
+    tasks = [(app, node) for app in app_names for node in space]
+    pending = []
+    for app, node in tasks:
+        ax = node.axis_values()
+        key = (app, ax["core"], ax["cache"], ax["memory"], ax["frequency"],
+               ax["vector"], ax["cores"])
+        if key not in done:
+            pending.append((app, node))
+
+    if progress and results:
+        print(f"  resuming: {len(results)} done, {len(pending)} pending",
+              flush=True)
+
+    with path.open("a", encoding="utf-8") as fh:
+        since_flush = 0
+        for i, (app, node) in enumerate(pending):
+            record = _musa_for(app).simulate_node(node, n_ranks=n_ranks
+                                                  ).record()
+            results.add(record)
+            fh.write(json.dumps(record) + "\n")
+            since_flush += 1
+            if since_flush >= flush_every:
+                fh.flush()
+                os.fsync(fh.fileno())
+                since_flush = 0
+            if progress and (i + 1) % 200 == 0:
+                print(f"  checkpointed sweep: {i + 1}/{len(pending)}",
+                      flush=True)
+    return results

@@ -1,0 +1,68 @@
+"""Evaluation metrics: speedup, parallel efficiency, energy-to-solution."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "normalized_energy",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "geo_mean",
+]
+
+
+def speedup(baseline_time: float, time: float) -> float:
+    """Classic speedup: baseline runtime over candidate runtime."""
+    if baseline_time <= 0 or time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / time
+
+
+def parallel_efficiency(baseline_time: float, time: float,
+                        n_units: int) -> float:
+    """Speedup divided by the resource ratio (cores, ranks...)."""
+    if n_units <= 0:
+        raise ValueError("n_units must be positive")
+    return speedup(baseline_time, time) / n_units
+
+
+def normalized_energy(baseline_energy: Optional[float],
+                      energy: Optional[float]) -> Optional[float]:
+    """Energy-to-solution ratio; ``None`` propagates (HBM configs)."""
+    if baseline_energy is None or energy is None:
+        return None
+    if baseline_energy <= 0 or energy <= 0:
+        raise ValueError("energies must be positive")
+    return energy / baseline_energy
+
+
+def energy_delay_product(energy_j: Optional[float],
+                         time_s: float) -> Optional[float]:
+    """EDP (J*s): the balanced efficiency objective; None propagates."""
+    if energy_j is None:
+        return None
+    if energy_j <= 0 or time_s <= 0:
+        raise ValueError("energy and time must be positive")
+    return energy_j * time_s
+
+
+def energy_delay_squared(energy_j: Optional[float],
+                         time_s: float) -> Optional[float]:
+    """ED^2P (J*s^2): the performance-leaning efficiency objective."""
+    edp = energy_delay_product(energy_j, time_s)
+    return None if edp is None else edp * time_s
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("geo_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geo_mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

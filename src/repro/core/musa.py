@@ -1,0 +1,326 @@
+"""The MUSA facade: multi-scale simulation of one application.
+
+One :class:`Musa` instance owns an application model and exposes the
+paper's three simulation modes:
+
+* **burst mode** (hardware-agnostic, Sec. V-A): runtime scheduling of
+  the traced tasks on N cores, no microarchitecture — Fig. 2a/2b/3/4;
+* **detailed mode** (Sec. V-B): per-phase interval-analysis timing with
+  cache/bandwidth/power models for one :class:`NodeConfig`;
+* **integrated runs**: detailed compute timings spliced into the
+  rank-level communication model, either analytically (``fast``, used
+  by the 864-point sweep — communication is configuration-invariant,
+  exactly as in MUSA where Dimemas parameters are fixed) or through the
+  full Dimemas-style replay (``replay``).
+
+Phase-level results are memoized per (phase, node) so the 864-point
+sweep re-simulates only what changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..apps.base import AppModel, grid_neighbors, rank_grid_dims
+from ..config.node import NodeConfig
+from ..network.collectives import collective_cost_ns
+from ..network.model import NetworkConfig, marenostrum4_network
+from ..network.replay import ReplayResult, replay
+from ..power.breakdown import PowerBreakdown
+from ..power.drampower import DramPowerModel
+from ..power.mcpat import McPatModel
+from ..runtime.scheduler import PhaseResult, simulate_phase
+from ..trace.burst import BurstTrace
+from ..trace.events import ComputePhase
+from .phase_sim import PhaseDetail, simulate_phase_detailed
+
+__all__ = ["Musa", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Integrated detailed-mode outcome for one (app, node) point."""
+
+    app: str
+    node: NodeConfig
+    n_ranks: int
+    time_ns: float
+    power: PowerBreakdown
+    energy_j: Optional[float]          # None for HBM (no energy data)
+    mpki_l1: float
+    mpki_l2: float
+    mpki_l3: float
+    gmem_req_per_s: float              # billions of DRAM requests / s / node
+    bw_utilization: float              # peak over phases
+    occupancy: float                   # busy core-time / total core-time
+    compute_ns: float                  # per-iteration critical-path compute
+    comm_ns: float                     # per-iteration communication
+
+    def record(self) -> Dict:
+        """Flat dict for :class:`~repro.core.results.ResultSet`."""
+        ax = self.node.axis_values()
+        return {
+            "app": self.app,
+            "core": ax["core"],
+            "cache": ax["cache"],
+            "memory": ax["memory"],
+            "frequency": ax["frequency"],
+            "vector": ax["vector"],
+            "cores": ax["cores"],
+            "time_ns": self.time_ns,
+            "power_core_l1_w": self.power.core_l1_w,
+            "power_l2_l3_w": self.power.l2_l3_w,
+            "power_memory_w": self.power.memory_w,
+            "power_total_w": self.power.total_w,
+            "energy_j": self.energy_j,
+            "mpki_l1": self.mpki_l1,
+            "mpki_l2": self.mpki_l2,
+            "mpki_l3": self.mpki_l3,
+            "gmem_req_per_s": self.gmem_req_per_s,
+            "bw_utilization": self.bw_utilization,
+            "occupancy": self.occupancy,
+        }
+
+
+class Musa:
+    """Multi-scale simulator for one application."""
+
+    def __init__(
+        self,
+        app: AppModel,
+        network: Optional[NetworkConfig] = None,
+        mcpat: Optional[McPatModel] = None,
+        drampower: Optional[DramPowerModel] = None,
+    ) -> None:
+        self.app = app
+        self.network = network or marenostrum4_network()
+        self.mcpat = mcpat or McPatModel()
+        self.drampower = drampower or DramPowerModel()
+        self.detailed = app.detailed_trace()
+        #: one canonical iteration's phases, shared across ranks/iterations
+        self.phases: Tuple[ComputePhase, ...] = app.canonical_phases()
+        self._burst_cache: Dict[Tuple, PhaseResult] = {}
+        self._detail_cache: Dict[Tuple, PhaseDetail] = {}
+        self._trace_cache: Dict[Tuple, BurstTrace] = {}
+
+    # ------------------------------------------------------------------ burst
+
+    def burst_phase(self, phase: ComputePhase, n_cores: int,
+                    collect_spans: bool = False) -> PhaseResult:
+        """Hardware-agnostic schedule of one phase (memoized)."""
+        key = (id(phase), n_cores)
+        if collect_spans:
+            return simulate_phase(phase, n_cores, collect_spans=True)
+        if key not in self._burst_cache:
+            self._burst_cache[key] = simulate_phase(phase, n_cores)
+        return self._burst_cache[key]
+
+    def compute_region_makespan(self, n_cores: int) -> float:
+        """Makespan of the representative compute region (Fig. 2a)."""
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        region = max(self.phases, key=lambda p: p.total_task_ns)
+        return self.burst_phase(region, n_cores).makespan_ns
+
+    def compute_region_speedup(self, n_cores: int) -> float:
+        """Fig. 2a metric: single-region speedup vs one core."""
+        return (self.compute_region_makespan(1)
+                / self.compute_region_makespan(n_cores))
+
+    def _burst_trace(self, n_ranks: int,
+                     n_iterations: Optional[int]) -> BurstTrace:
+        key = (n_ranks, n_iterations)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = self.app.burst_trace(n_ranks, n_iterations)
+        return self._trace_cache[key]
+
+    def simulate_burst_full(
+        self,
+        n_cores: int,
+        n_ranks: int = 256,
+        n_iterations: Optional[int] = None,
+        collect_segments: bool = False,
+    ) -> ReplayResult:
+        """Full-application burst-mode run: scheduling + MPI replay
+        (Fig. 2b / Fig. 4)."""
+        trace = self._burst_trace(n_ranks, n_iterations)
+        scales = self.app.rank_scales(n_ranks)
+
+        def duration(rank: int, phase: ComputePhase) -> float:
+            return self.burst_phase(phase, n_cores).makespan_ns * scales[rank]
+
+        return replay(trace, self.network, duration,
+                      collect_segments=collect_segments)
+
+    # --------------------------------------------------------------- detailed
+
+    def phase_detail(self, phase: ComputePhase, node: NodeConfig,
+                     collect_spans: bool = False) -> PhaseDetail:
+        """Detailed-mode simulation of one phase (memoized per node)."""
+        if collect_spans:
+            return simulate_phase_detailed(phase, self.detailed, node,
+                                           collect_spans=True)
+        key = (id(phase), node.label)
+        if key not in self._detail_cache:
+            self._detail_cache[key] = simulate_phase_detailed(
+                phase, self.detailed, node)
+        return self._detail_cache[key]
+
+    def comm_iteration_ns(self, n_ranks: int) -> float:
+        """Analytic per-iteration communication cost.
+
+        Halo injection (sequential isend/irecv posting, pipelined
+        transfers sharing the NIC) plus the iteration's collectives.
+        Configuration-invariant: the network is fixed across the design
+        space, as in the paper.
+        """
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if n_ranks == 1:
+            return 0.0
+        net = self.network
+        n_nb = len(grid_neighbors(0, rank_grid_dims(n_ranks)))
+        halo_once = (
+            2 * n_nb * net.overhead_ns
+            + n_nb * self.app.halo_bytes / net.bandwidth_gbs
+            + net.latency_us * 1e3
+        )
+        halo = halo_once * len(self.phases)  # one exchange per phase
+        coll = self.app.allreduce_per_iter * collective_cost_ns(
+            "allreduce", n_ranks, 8, net)
+        return halo + coll
+
+    def simulate_node(
+        self,
+        node: NodeConfig,
+        n_ranks: int = 256,
+        n_iterations: Optional[int] = None,
+        mode: str = "fast",
+        include_comm: bool = False,
+    ) -> RunResult:
+        """Integrated detailed run of the application's traced region.
+
+        ``mode='fast'`` combines per-phase detailed makespans with the
+        rank-imbalance critical path; with ``include_comm`` it adds the
+        analytic communication model.  ``mode='replay'`` splices the
+        same detailed timings into the full Dimemas-style replay
+        (communication always included).  The design-space figures
+        (Figs. 5-9) evaluate the detailed *compute region* per node —
+        communication is configuration-invariant and enters only the
+        scaling study (Fig. 2b) — so the sweep default excludes it.
+        """
+        if mode not in ("fast", "replay"):
+            raise ValueError("mode must be 'fast' or 'replay'")
+        n_iter = n_iterations or self.app.default_iterations
+        details = [self.phase_detail(p, node) for p in self.phases]
+        scales = self.app.rank_scales(n_ranks)
+        max_scale = float(scales.max())
+        compute_iter = sum(d.makespan_ns for d in details)
+        comm_iter = self.comm_iteration_ns(n_ranks) if include_comm else 0.0
+
+        if mode == "fast":
+            total_ns = n_iter * (compute_iter * max_scale + comm_iter)
+        else:
+            trace = self._burst_trace(n_ranks, n_iterations)
+            by_id = {id(p): d for p, d in zip(self.phases, details)}
+
+            def duration(rank: int, phase: ComputePhase) -> float:
+                return by_id[id(phase)].makespan_ns * scales[rank]
+
+            total_ns = replay(trace, self.network, duration).total_ns
+
+        return self._assemble_result(node, n_ranks, n_iter, details,
+                                     total_ns, compute_iter, comm_iter)
+
+    # ----------------------------------------------------------------- power
+
+    def _assemble_result(
+        self,
+        node: NodeConfig,
+        n_ranks: int,
+        n_iter: int,
+        details,
+        total_ns: float,
+        compute_iter: float,
+        comm_iter: float,
+    ) -> RunResult:
+        total_s = total_ns * 1e-9
+        if total_s <= 0:
+            raise ValueError("run has non-positive duration")
+
+        # Event totals for the whole run (one node, mean-scale rank).
+        agg = {k: 0.0 for k in ("instr", "flops", "l1", "l2", "l3", "dram",
+                                "bytes")}
+        core_dyn_j = 0.0
+        l2l3_dyn_j = 0.0
+        row_hit_num = 0.0
+        store_num = 0.0
+        busy_core_ns = 0.0
+        for d in details:
+            lanes_eff = (d.timings[0].vectorization.effective_lanes
+                         if d.timings else 1.0)
+            cj, lj = self.mcpat.dynamic_energy_j(
+                node,
+                instructions=d.instructions,
+                scalar_flops=d.scalar_flops,
+                l1_accesses=d.l1_accesses,
+                l2_accesses=d.l2_accesses,
+                l3_accesses=d.l3_accesses,
+                effective_lanes=lanes_eff,
+            )
+            core_dyn_j += cj * n_iter
+            l2l3_dyn_j += lj * n_iter
+            for key, field in (("instr", "instructions"),
+                               ("flops", "scalar_flops"),
+                               ("l1", "l1_accesses"), ("l2", "l2_accesses"),
+                               ("l3", "l3_accesses"), ("dram", "dram_accesses"),
+                               ("bytes", "dram_bytes")):
+                agg[key] += getattr(d, field) * n_iter
+            row_hit_num += d.row_hit_rate * d.dram_bytes * n_iter
+            store_num += d.store_fraction * d.dram_accesses * n_iter
+            busy_core_ns += d.busy_core_ns * n_iter
+
+        row_hit = row_hit_num / agg["bytes"] if agg["bytes"] else 0.0
+        store_frac = store_num / agg["dram"] if agg["dram"] else 0.0
+
+        # Core + L1: dynamic while busy, spin power while idle (OpenMP
+        # workers busy-wait), leakage always, on all cores.
+        leak_core = self.mcpat.core_l1_leakage_w(node) * node.n_cores
+        busy_frac = min(1.0, busy_core_ns / (total_ns * node.n_cores))
+        idle_cores = node.n_cores * (1.0 - busy_frac)
+        core_l1_w = (core_dyn_j / total_s + leak_core
+                     + idle_cores * self.mcpat.idle_spin_w(node))
+        # L2 + L3: dynamic + SRAM leakage.
+        l2_l3_w = l2l3_dyn_j / total_s + self.mcpat.l2_l3_leakage_w(node)
+        # DRAM: command rates over the whole run.  Rates use the
+        # line-granular traffic (64 B per column command), which is
+        # conserved under SIMD fusion.
+        lines_per_s = agg["bytes"] / 64.0 / total_s
+        writes_per_s = lines_per_s * store_frac
+        reads_per_s = lines_per_s * (1.0 - store_frac)
+        dram = self.drampower.from_rates(node.memory, reads_per_s,
+                                         writes_per_s, row_hit)
+        power = PowerBreakdown(
+            core_l1_w=core_l1_w,
+            l2_l3_w=l2_l3_w,
+            memory_w=None if dram is None else dram.total_w,
+        )
+
+        return RunResult(
+            app=self.app.name,
+            node=node,
+            n_ranks=n_ranks,
+            time_ns=total_ns,
+            power=power,
+            energy_j=power.energy_j(total_s),
+            mpki_l1=1000.0 * agg["l2"] / agg["instr"] if agg["instr"] else 0.0,
+            mpki_l2=1000.0 * agg["l3"] / agg["instr"] if agg["instr"] else 0.0,
+            mpki_l3=1000.0 * agg["dram"] / agg["instr"] if agg["instr"] else 0.0,
+            gmem_req_per_s=agg["bytes"] / 64.0 / total_ns,
+            bw_utilization=max((d.bw_utilization for d in details),
+                               default=0.0),
+            occupancy=busy_core_ns / (total_ns * node.n_cores),
+            compute_ns=compute_iter,
+            comm_ns=comm_iter,
+        )

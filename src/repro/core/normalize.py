@@ -1,0 +1,109 @@
+"""Paired normalization of sweep results (Sec. V-B methodology).
+
+To quantify one architectural axis, the paper normalizes every
+simulation against the simulation that shares *all other* parameters
+but uses the axis' baseline value, then averages — e.g. each
+{x,y,z,s,t,256bit} point is divided by its {x,y,z,s,t,128bit} partner,
+giving 96 paired samples per bar in a 32- or 64-core panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .results import CONFIG_KEYS, ResultSet
+
+__all__ = ["AxisBar", "normalize_axis", "axis_table"]
+
+#: Metrics where a *smaller* value is better and the ratio is inverted
+#: so bars read as "speedup" (baseline_time / time).
+_INVERTED_METRICS = {"time_ns"}
+
+
+@dataclass(frozen=True)
+class AxisBar:
+    """One figure bar: an (app, cores-panel, axis-value) average."""
+
+    app: str
+    cores: int
+    axis: str
+    value: object
+    mean: float
+    std: float
+    n_samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"{self.app:8s} {self.cores:3d}c {self.axis}={self.value!s:>10} "
+                f"{self.mean:6.3f} +- {self.std:5.3f} (n={self.n_samples})")
+
+
+def normalize_axis(
+    results: ResultSet,
+    axis: str,
+    baseline_value,
+    metric: str,
+    invert: Optional[bool] = None,
+) -> List[AxisBar]:
+    """Compute the paper's paired-normalized bars for one axis.
+
+    Parameters
+    ----------
+    axis:
+        One of the config keys except 'app' (e.g. ``"vector"``).
+    baseline_value:
+        The axis value every sample is normalized against (e.g. 128).
+    metric:
+        Record field to normalize (``time_ns``, ``power_total_w``,
+        ``energy_j``, ...).  ``time_ns`` ratios are inverted so the
+        result reads as speedup, matching the figures.
+    """
+    if axis not in CONFIG_KEYS or axis == "app":
+        raise ValueError(f"axis must be one of {CONFIG_KEYS[1:]}")
+    if invert is None:
+        invert = metric in _INVERTED_METRICS
+
+    samples: Dict[Tuple[str, int, object], List[float]] = {}
+    for rec in results:
+        base = results.partner(rec, **{axis: baseline_value})
+        v, v0 = rec.get(metric), base.get(metric)
+        if v is None or v0 is None:
+            continue  # e.g. HBM energy
+        if v <= 0 or v0 <= 0:
+            raise ValueError(
+                f"metric {metric} must be positive for normalization")
+        ratio = (v0 / v) if invert else (v / v0)
+        key = (rec["app"], rec["cores"], rec[axis])
+        samples.setdefault(key, []).append(ratio)
+
+    bars = []
+    for (app, cores, value), vals in sorted(samples.items(),
+                                            key=lambda kv: str(kv[0])):
+        arr = np.asarray(vals)
+        bars.append(AxisBar(app=app, cores=cores, axis=axis, value=value,
+                            mean=float(arr.mean()), std=float(arr.std()),
+                            n_samples=len(arr)))
+    return bars
+
+
+def axis_table(
+    bars: Sequence[AxisBar],
+    apps: Sequence[str],
+    values: Sequence,
+    cores: int,
+) -> Dict[str, Dict[object, Tuple[float, float]]]:
+    """Re-shape bars into ``{app: {axis_value: (mean, std)}}`` for one
+    cores panel — the layout of each paper figure."""
+    table: Dict[str, Dict[object, Tuple[float, float]]] = {a: {} for a in apps}
+    for b in bars:
+        if b.cores != cores or b.app not in table:
+            continue
+        table[b.app][b.value] = (b.mean, b.std)
+    for app in apps:
+        missing = [v for v in values if v not in table[app]]
+        if missing:
+            raise ValueError(
+                f"panel incomplete: app {app} missing values {missing}")
+    return table

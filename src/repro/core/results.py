@@ -1,0 +1,129 @@
+"""Result container for design-space sweeps.
+
+A :class:`ResultSet` holds one flat record per (application, node
+configuration) simulation, with JSON round-trip, filtering and grouping
+helpers used by the normalization layer and the benchmark reports.
+Records are plain dicts so worker processes can ship them cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ResultSet", "CONFIG_KEYS"]
+
+#: Fields that identify one design point (with 'app').
+CONFIG_KEYS: Tuple[str, ...] = (
+    "app", "core", "cache", "memory", "frequency", "vector", "cores",
+)
+
+
+class ResultSet:
+    """An append-only collection of sweep records."""
+
+    def __init__(self, records: Optional[Sequence[Dict[str, Any]]] = None):
+        self._records: List[Dict[str, Any]] = []
+        self._index: Dict[Tuple, int] = {}
+        for r in records or ():
+            self.add(r)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, record: Dict[str, Any]) -> None:
+        missing = [k for k in CONFIG_KEYS if k not in record]
+        if missing:
+            raise ValueError(f"record missing config keys: {missing}")
+        key = self._key(record)
+        if key in self._index:
+            raise ValueError(f"duplicate record for config {key}")
+        self._index[key] = len(self._records)
+        self._records.append(dict(record))
+
+    @staticmethod
+    def _key(record: Dict[str, Any]) -> Tuple:
+        return tuple(record[k] for k in CONFIG_KEYS)
+
+    def extend(self, records: Sequence[Dict[str, Any]]) -> None:
+        for r in records:
+            self.add(r)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records)
+
+    def lookup(self, **config) -> Dict[str, Any]:
+        """Exact-match lookup by full config key."""
+        missing = [k for k in CONFIG_KEYS if k not in config]
+        if missing:
+            raise ValueError(f"lookup needs all config keys; missing {missing}")
+        key = tuple(config[k] for k in CONFIG_KEYS)
+        try:
+            return self._records[self._index[key]]
+        except KeyError:
+            raise KeyError(f"no record for config {key}") from None
+
+    def partner(self, record: Dict[str, Any], **overrides) -> Dict[str, Any]:
+        """The record sharing every config key except the overridden ones.
+
+        This implements the paper's pairing: a 256-bit sample's partner
+        is the 128-bit configuration with all other parameters equal.
+        """
+        cfg = {k: record[k] for k in CONFIG_KEYS}
+        cfg.update(overrides)
+        return self.lookup(**cfg)
+
+    def filter(self, predicate: Optional[Callable[[Dict], bool]] = None,
+               **equals) -> "ResultSet":
+        """Sub-set by field equality and/or a predicate."""
+        out = ResultSet()
+        for r in self._records:
+            if any(r.get(k) != v for k, v in equals.items()):
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.add(r)
+        return out
+
+    def values(self, field: str) -> np.ndarray:
+        """Field values as an array (None -> nan)."""
+        vals = [r.get(field) for r in self._records]
+        return np.array([np.nan if v is None else v for v in vals],
+                        dtype=np.float64)
+
+    def unique(self, field: str) -> List:
+        seen: List = []
+        for r in self._records:
+            v = r.get(field)
+            if v not in seen:
+                seen.append(v)
+        return seen
+
+    def group_mean(self, by: Sequence[str], field: str) -> Dict[Tuple, float]:
+        """Mean of ``field`` grouped by the ``by`` fields (nan-aware)."""
+        groups: Dict[Tuple, List[float]] = {}
+        for r in self._records:
+            v = r.get(field)
+            if v is None:
+                continue
+            groups.setdefault(tuple(r[k] for k in by), []).append(float(v))
+        return {k: float(np.mean(v)) for k, v in groups.items()}
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps({"records": self._records}), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultSet":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(data["records"])

@@ -1,0 +1,69 @@
+"""DRAM bank state machine.
+
+Each bank tracks its open row and the earliest times the next command
+of each kind may issue, honouring tRCD/tRP/tRAS/tRC.  The controller
+composes banks with the shared data bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .timing import DramTiming
+
+__all__ = ["Bank"]
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: open-row state plus command-issue constraints.
+
+    All times are in device cycles (floats to allow fractional bus
+    alignment).
+    """
+
+    timing: DramTiming
+    open_row: Optional[int] = None
+    #: earliest cycle an ACTIVATE may issue (tRC from previous ACT,
+    #: tRP from the closing precharge)
+    next_act: float = 0.0
+    #: earliest cycle a column command (RD/WR) may issue (tRCD after ACT)
+    next_col: float = 0.0
+    #: earliest cycle a PRECHARGE may issue (tRAS after ACT)
+    next_pre: float = 0.0
+    #: statistics
+    n_acts: int = 0
+    n_pres: int = 0
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def prepare(self, row: int, now: float) -> float:
+        """Make ``row`` the open row; returns the cycle at which a column
+        command to it may issue.  Issues PRE/ACT as needed and updates
+        command statistics."""
+        if row < 0:
+            raise ValueError("row must be non-negative")
+        t = self.timing
+        if self.open_row == row:
+            return max(now, self.next_col)
+        if self.open_row is not None:
+            # Close the current row first.
+            pre_at = max(now, self.next_pre)
+            self.n_pres += 1
+            act_ready = max(pre_at + t.trp, self.next_act)
+        else:
+            act_ready = max(now, self.next_act)
+        act_at = act_ready
+        self.n_acts += 1
+        self.open_row = row
+        self.next_act = act_at + t.trc
+        self.next_col = act_at + t.trcd
+        self.next_pre = act_at + t.tras
+        return self.next_col
+
+    def column_issued(self, at: float) -> None:
+        """Record a column command issuing at cycle ``at`` (back-to-back
+        column commands to the same open row are spaced by the burst)."""
+        self.next_col = max(self.next_col, at + self.timing.burst_cycles)

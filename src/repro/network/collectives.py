@@ -1,0 +1,54 @@
+"""Cost models for MPI collective operations.
+
+Dimemas models collectives as synchronizing phases with a cost that
+depends on the communicator size and payload; we use the standard
+logarithmic algorithms (binomial trees / recursive doubling), which
+match the validated Dimemas collective model shapes [Girona et al.,
+EuroPVM/MPI 2000].
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import NetworkConfig
+
+__all__ = ["collective_cost_ns"]
+
+
+def _log2_ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def collective_cost_ns(kind: str, n_ranks: int, size_bytes: int,
+                       net: NetworkConfig) -> float:
+    """Wall-clock cost of one collective, entered synchronously.
+
+    The cost is added after all ranks reach the call (the replay engine
+    handles the synchronization itself, which is where imbalance hurts).
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    if n_ranks == 1:
+        return net.overhead_ns
+
+    steps = _log2_ceil(n_ranks)
+    msg = net.transfer_ns(size_bytes) + net.overhead_ns
+
+    if kind == "barrier":
+        # Dissemination barrier: log2(P) zero-payload rounds.
+        return steps * (net.transfer_ns(0) + net.overhead_ns)
+    if kind in ("allreduce", "allgather"):
+        # Recursive doubling: log2(P) rounds carrying the payload.
+        return steps * msg
+    if kind in ("reduce", "bcast"):
+        # Binomial tree.
+        return steps * msg
+    if kind == "alltoall":
+        # Pairwise exchange: P-1 rounds of per-pair payload.
+        return (n_ranks - 1) * (
+            net.transfer_ns(max(1, size_bytes // n_ranks)) + net.overhead_ns
+        )
+    raise ValueError(f"unknown collective kind {kind!r}")

@@ -1,0 +1,86 @@
+"""Dimemas-style configuration files.
+
+Dimemas reads machine descriptions from ``.cfg`` files; supporting the
+same shape of file makes the network model configurable without code
+and documents the mapping between our parameters and Dimemas's.  The
+format here is the minimal key/value subset covering what the replay
+engine models:
+
+.. code-block:: ini
+
+    # MareNostrum IV-like machine
+    latency_us = 1.0
+    bandwidth_gbs = 12.5
+    cpu_overhead_us = 0.4
+    n_buses = 0
+    eager_threshold_bytes = 32768
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from .model import NetworkConfig
+
+__all__ = ["load_network_cfg", "save_network_cfg"]
+
+_FIELDS = {
+    "latency_us": float,
+    "bandwidth_gbs": float,
+    "cpu_overhead_us": float,
+    "n_buses": int,
+    "eager_threshold_bytes": int,
+}
+
+
+def load_network_cfg(path: Union[str, Path]) -> NetworkConfig:
+    """Parse a Dimemas-style cfg file into a :class:`NetworkConfig`.
+
+    Unknown keys raise (typos should not silently produce a default
+    machine); missing keys take the :class:`NetworkConfig` defaults
+    where they exist and raise otherwise.
+    """
+    values: Dict[str, object] = {}
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ValueError(f"{path}:{lineno}: expected 'key = value', "
+                             f"got {raw!r}")
+        key, _, value = line.partition("=")
+        key = key.strip()
+        if key not in _FIELDS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown key {key!r} "
+                f"(known: {sorted(_FIELDS)})")
+        if key in values:
+            raise ValueError(f"{path}:{lineno}: duplicate key {key!r}")
+        try:
+            values[key] = _FIELDS[key](value.strip())
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: bad value for {key}: "
+                             f"{value.strip()!r}") from exc
+    required = {"latency_us", "bandwidth_gbs", "cpu_overhead_us"}
+    missing = required - values.keys()
+    if missing:
+        raise ValueError(f"{path}: missing required keys {sorted(missing)}")
+    return NetworkConfig(**values)  # type: ignore[arg-type]
+
+
+def save_network_cfg(net: NetworkConfig, path: Union[str, Path],
+                     comment: str = "") -> None:
+    """Write a :class:`NetworkConfig` as a Dimemas-style cfg file."""
+    lines = []
+    if comment:
+        lines.append(f"# {comment}")
+    lines += [
+        f"latency_us = {net.latency_us}",
+        f"bandwidth_gbs = {net.bandwidth_gbs}",
+        f"cpu_overhead_us = {net.cpu_overhead_us}",
+        f"n_buses = {net.n_buses}",
+        f"eager_threshold_bytes = {net.eager_threshold_bytes}",
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

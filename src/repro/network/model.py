@@ -1,0 +1,65 @@
+"""Dimemas-style network model.
+
+Dimemas abstracts the interconnect as: per-message latency, link
+bandwidth, a per-call CPU overhead, and a finite number of "buses"
+(simultaneous transfers) — no topology or routing.  The paper simulates
+a network with bandwidth and latency similar to MareNostrum IV
+(100 Gb/s Omni-Path, ~1 us MPI latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkConfig", "marenostrum4_network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Abstract machine network (Dimemas CFG equivalent)."""
+
+    latency_us: float            # end-to-end message latency
+    bandwidth_gbs: float         # per-transfer link bandwidth
+    cpu_overhead_us: float       # sender/receiver software overhead
+    n_buses: int = 0             # simultaneous transfers; 0 = unlimited
+    eager_threshold_bytes: int = 32 * 1024
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.cpu_overhead_us < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.n_buses < 0:
+            raise ValueError("n_buses must be non-negative")
+        if self.eager_threshold_bytes < 0:
+            raise ValueError("eager threshold must be non-negative")
+
+    def transfer_ns(self, size_bytes: int) -> float:
+        """Wire time of one message: latency + size / bandwidth."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        return self.latency_us * 1e3 + size_bytes / self.bandwidth_gbs
+
+    @property
+    def overhead_ns(self) -> float:
+        return self.cpu_overhead_us * 1e3
+
+    def is_eager(self, size_bytes: int) -> bool:
+        """Small messages are sent eagerly (sender does not block on the
+        receiver); large ones use the rendezvous protocol."""
+        return size_bytes <= self.eager_threshold_bytes
+
+
+def marenostrum4_network() -> NetworkConfig:
+    """Network with MareNostrum IV-like parameters (Sec. V-A).
+
+    100 Gb/s Intel Omni-Path (~12.5 GB/s per link), ~1 us MPI p2p
+    latency, sub-microsecond software overhead.
+    """
+    return NetworkConfig(
+        latency_us=1.0,
+        bandwidth_gbs=12.5,
+        cpu_overhead_us=0.4,
+        n_buses=0,
+        eager_threshold_bytes=32 * 1024,
+    )

@@ -1,0 +1,372 @@
+"""Event-driven replay of MPI communication traces (Dimemas substitute).
+
+The replay walks every rank's event stream, matching point-to-point
+messages (eager vs rendezvous), synchronizing collectives, and charging
+compute-phase durations supplied by a callback — burst-mode scheduling
+results or detailed-simulation timings, exactly how MUSA splices the
+two levels together (Sec. II).
+
+The engine is a fixed-point sweep: ranks advance as far as their local
+state allows; blocked ranks (waiting on an unmatched message or an
+incomplete collective) are retried once their peers progress.  A full
+pass with no progress means a genuine communication deadlock in the
+trace and raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..trace.burst import BurstTrace
+from ..trace.events import ComputePhase, MpiCall
+from .collectives import collective_cost_ns
+from .model import NetworkConfig
+
+__all__ = ["ReplayResult", "TimelineSegment", "replay"]
+
+#: Maps (rank, phase) to its simulated duration in ns.
+PhaseDurationFn = Callable[[int, ComputePhase], float]
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One activity interval of one rank (Fig. 4-style timelines)."""
+
+    rank: int
+    kind: str        # 'compute' | 'p2p' | 'collective' | 'wait'
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a full application trace."""
+
+    total_ns: float
+    compute_ns: np.ndarray        # per-rank time inside compute phases
+    p2p_ns: np.ndarray            # per-rank time in point-to-point calls
+    collective_ns: np.ndarray     # per-rank time in collectives (incl. wait)
+    n_messages: int
+    bytes_sent: int
+    segments: Optional[Tuple[TimelineSegment, ...]] = None
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.compute_ns)
+
+    @property
+    def mpi_ns(self) -> np.ndarray:
+        return self.p2p_ns + self.collective_ns
+
+    @property
+    def mpi_fraction(self) -> float:
+        """Aggregate share of rank-time spent in MPI."""
+        total = self.n_ranks * self.total_ns
+        return float(self.mpi_ns.sum() / total) if total > 0 else 0.0
+
+
+class _BusPool:
+    """Dimemas's finite-bus model: at most ``n_buses`` simultaneous
+    transfers network-wide; a transfer may start once a bus frees up."""
+
+    def __init__(self, n_buses: int) -> None:
+        self.n_buses = n_buses
+        self._free: List[float] = [0.0] * n_buses if n_buses > 0 else []
+
+    def acquire(self, ready_ns: float, duration_ns: float) -> float:
+        """Returns the transfer start time (>= ready_ns) and occupies a
+        bus for ``duration_ns`` from then.  Unlimited pools are free."""
+        if self.n_buses <= 0:
+            return ready_ns
+        earliest = heapq.heappop(self._free)
+        start = max(ready_ns, earliest)
+        heapq.heappush(self._free, start + duration_ns)
+        return start
+
+
+class _Matcher:
+    """Point-to-point message matching (FIFO per (src, dst, tag))."""
+
+    def __init__(self) -> None:
+        # (src, dst, tag) -> deque of buffered send records (ready_ns, size)
+        self.sends: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+        # (src, dst, tag) -> deque of posted recv records (post_ns, resolver)
+        self.recvs: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+        # (src, dst, tag) -> deque of rendezvous sends awaiting their
+        # receiver: (ready_ns, size, sender_release_slot)
+        self.rdv_sends: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+
+
+@dataclass
+class _RankState:
+    clock: float = 0.0
+    cursor: int = 0
+    compute_ns: float = 0.0
+    p2p_ns: float = 0.0
+    collective_ns: float = 0.0
+    #: request id -> completion time (ns) for posted isend/irecv
+    requests: Dict[int, Optional[float]] = field(default_factory=dict)
+    #: release slot of an in-progress blocking rendezvous send/recv
+    pending_slot: Optional[List[Optional[float]]] = None
+    #: time the rank's outgoing link is busy until (injection serializes)
+    link_free: float = 0.0
+    done: bool = False
+
+
+def replay(
+    trace: BurstTrace,
+    net: NetworkConfig,
+    phase_duration: PhaseDurationFn,
+    collect_segments: bool = False,
+) -> ReplayResult:
+    """Replay ``trace`` through the network model.
+
+    ``phase_duration(rank, phase)`` supplies each compute phase's
+    duration; pass a burst-mode scheduler hook for hardware-agnostic
+    runs or detailed timings for integrated runs.
+    """
+    n = trace.n_ranks
+    states = [_RankState() for _ in range(n)]
+    matcher = _Matcher()
+    buses = _BusPool(net.n_buses)
+    segments: List[TimelineSegment] = []
+
+    # Collectives: per-kind sequence counters per rank; an occurrence
+    # completes when all ranks have entered it.
+    coll_seq = [defaultdict(int) for _ in range(n)]
+    coll_enter: Dict[Tuple[str, int], Dict[int, float]] = defaultdict(dict)
+    coll_done: Dict[Tuple[str, int], float] = {}
+
+    n_messages = 0
+    bytes_sent = 0
+
+    def try_advance(rank: int) -> bool:
+        """Advance one event of ``rank`` if possible; True on progress."""
+        nonlocal n_messages, bytes_sent
+        st = states[rank]
+        events = trace.ranks[rank].events
+        if st.cursor >= len(events):
+            st.done = True
+            return False
+        ev = events[st.cursor]
+
+        if isinstance(ev, ComputePhase):
+            dur = phase_duration(rank, ev)
+            if dur < 0:
+                raise ValueError("phase duration must be non-negative")
+            if collect_segments and dur > 0:
+                segments.append(TimelineSegment(rank, "compute", st.clock,
+                                                st.clock + dur))
+            st.clock += dur
+            st.compute_ns += dur
+            st.cursor += 1
+            return True
+
+        call: MpiCall = ev
+        if call.is_collective:
+            key = (call.kind, coll_seq[rank][call.kind])
+            enters = coll_enter[key]
+            if rank not in enters:
+                enters[rank] = st.clock
+            if key not in coll_done:
+                if len(enters) < n:
+                    return False  # blocked until everyone arrives
+                cost = collective_cost_ns(call.kind, n, call.size_bytes, net)
+                coll_done[key] = max(enters.values()) + cost
+            t_done = coll_done[key]
+            if collect_segments:
+                segments.append(TimelineSegment(rank, "collective",
+                                                enters[rank], t_done))
+            st.collective_ns += t_done - enters[rank]
+            st.clock = t_done
+            coll_seq[rank][call.kind] += 1
+            st.cursor += 1
+            return True
+
+        if call.kind in ("send", "isend"):
+            key = (rank, call.peer, call.tag)
+            eager = net.is_eager(call.size_bytes)
+            transfer = net.transfer_ns(call.size_bytes)
+            if eager or call.kind == "isend":
+                # Buffered: the sender proceeds immediately, but its
+                # outgoing link serializes transfers (Dimemas node link)
+                # and the global bus pool may delay the wire time.
+                start = buses.acquire(
+                    max(st.clock + net.overhead_ns, st.link_free), transfer)
+                st.link_free = start + transfer
+                arrival = start + transfer
+                rq = matcher.recvs[key]
+                if rq:
+                    post_ns, resolver = rq.popleft()
+                    resolver(max(arrival, post_ns + transfer))
+                else:
+                    matcher.sends[key].append(
+                        (st.clock + net.overhead_ns, call.size_bytes))
+                t0 = st.clock
+                st.clock += net.overhead_ns
+                st.p2p_ns += net.overhead_ns
+                if call.kind == "isend":
+                    st.requests[call.request] = arrival
+                if collect_segments:
+                    segments.append(TimelineSegment(rank, "p2p", t0, st.clock))
+                n_messages += 1
+                bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            # Rendezvous blocking send: released once the transfer starts.
+            if st.pending_slot is not None:
+                if st.pending_slot[0] is None:
+                    return False  # receiver has not matched yet
+                release = max(st.pending_slot[0], st.clock)
+                if collect_segments and release > st.clock:
+                    segments.append(
+                        TimelineSegment(rank, "p2p", st.clock, release))
+                st.p2p_ns += release - st.clock
+                st.clock = release
+                st.pending_slot = None
+                n_messages += 1
+                bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            rq = matcher.recvs[key]
+            if rq:
+                post_ns, resolver = rq.popleft()
+                start = buses.acquire(
+                    max(st.clock + net.overhead_ns, post_ns, st.link_free),
+                    transfer)
+                st.link_free = start + transfer
+                resolver(start + transfer)
+                if collect_segments and start > st.clock:
+                    segments.append(TimelineSegment(rank, "p2p", st.clock, start))
+                st.p2p_ns += start - st.clock
+                st.clock = start
+                n_messages += 1
+                bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            # No receiver yet: advertise the rendezvous send and block.
+            slot: List[Optional[float]] = [None]
+            matcher.rdv_sends[key].append(
+                (st.clock + net.overhead_ns, call.size_bytes, slot))
+            st.pending_slot = slot
+            return False
+
+        if call.kind in ("recv", "irecv"):
+            key = (call.peer, rank, call.tag)
+
+            def match_source() -> Optional[float]:
+                """Try to match a buffered or rendezvous send; returns the
+                receive completion time or None."""
+                sq = matcher.sends[key]
+                if sq:
+                    ready_ns, size = sq.popleft()
+                    return max(ready_ns, st.clock) + net.transfer_ns(size)
+                dq = matcher.rdv_sends[key]
+                if dq:
+                    ready_ns, size, sender_slot = dq.popleft()
+                    start = max(ready_ns, st.clock)
+                    sender_slot[0] = start
+                    return start + net.transfer_ns(size)
+                return None
+
+            if call.kind == "irecv":
+                done = match_source()
+                if done is not None:
+                    st.requests[call.request] = done
+                else:
+                    completion: List[Optional[float]] = [None]
+
+                    def resolve(t: float, slot=completion) -> None:
+                        slot[0] = t
+
+                    matcher.recvs[key].append((st.clock, resolve))
+                    st.requests[call.request] = completion  # type: ignore
+                st.clock += net.overhead_ns
+                st.p2p_ns += net.overhead_ns
+                st.cursor += 1
+                return True
+            # Blocking recv.
+            if st.pending_slot is not None:
+                if st.pending_slot[0] is None:
+                    return False
+                done = max(st.pending_slot[0], st.clock)
+                st.pending_slot = None
+            else:
+                maybe = match_source()
+                if maybe is None:
+                    completion = [None]
+
+                    def resolve(t: float, slot=completion) -> None:
+                        slot[0] = t
+
+                    matcher.recvs[key].append((st.clock, resolve))
+                    st.pending_slot = completion
+                    return False
+                done = maybe
+            if collect_segments:
+                segments.append(TimelineSegment(rank, "p2p", st.clock, done))
+            st.p2p_ns += done - st.clock
+            st.clock = done
+            st.cursor += 1
+            return True
+
+        if call.kind == "wait":
+            entry = st.requests.get(call.request)
+            if entry is None:
+                raise ValueError(
+                    f"rank {rank}: wait on unknown request {call.request}")
+            if isinstance(entry, list):  # unresolved irecv slot
+                if entry[0] is None:
+                    return False  # matching send not processed yet
+                done = max(entry[0], st.clock)
+            else:
+                done = max(entry, st.clock)
+            if collect_segments and done > st.clock:
+                segments.append(TimelineSegment(rank, "wait", st.clock, done))
+            st.p2p_ns += done - st.clock
+            st.clock = done
+            del st.requests[call.request]
+            st.cursor += 1
+            return True
+
+        raise ValueError(f"unhandled MPI call kind {call.kind!r}")
+
+    # Fixed-point sweep.
+    remaining = set(range(n))
+    while remaining:
+        progressed = False
+        finished = []
+        for rank in list(remaining):
+            while try_advance(rank):
+                progressed = True
+            if states[rank].cursor >= len(trace.ranks[rank].events):
+                finished.append(rank)
+        for rank in finished:
+            remaining.discard(rank)
+        if remaining and not progressed:
+            stuck = sorted(remaining)[:8]
+            details = [
+                f"rank {r}@event{states[r].cursor}:"
+                f"{type(trace.ranks[r].events[states[r].cursor]).__name__}"
+                for r in stuck
+            ]
+            raise RuntimeError(f"replay deadlock; stuck: {details}")
+
+    return ReplayResult(
+        total_ns=max(st.clock for st in states),
+        compute_ns=np.array([st.compute_ns for st in states]),
+        p2p_ns=np.array([st.p2p_ns for st in states]),
+        collective_ns=np.array([st.collective_ns for st in states]),
+        n_messages=n_messages,
+        bytes_sent=bytes_sent,
+        segments=tuple(segments) if collect_segments else None,
+    )

@@ -1,0 +1,34 @@
+"""Power models (McPAT + DRAMPower substitutes, 22nm technology)."""
+
+from .area import AreaModel, NodeArea
+from .breakdown import PowerBreakdown
+from .drampower import DramPowerModel, DramPowerResult
+from .dvfs import DvfsPoint, DvfsSelection, select_frequency
+from .mcpat import CorePower, McPatModel
+from .technology import (
+    FREF_GHZ,
+    VREF,
+    dynamic_scale,
+    energy_scale,
+    leakage_scale,
+    voltage_for_frequency,
+)
+
+__all__ = [
+    "AreaModel",
+    "CorePower",
+    "DramPowerModel",
+    "DramPowerResult",
+    "DvfsPoint",
+    "DvfsSelection",
+    "FREF_GHZ",
+    "McPatModel",
+    "NodeArea",
+    "PowerBreakdown",
+    "VREF",
+    "dynamic_scale",
+    "energy_scale",
+    "leakage_scale",
+    "select_frequency",
+    "voltage_for_frequency",
+]

@@ -1,0 +1,104 @@
+"""DRAM power model (DRAMPower substitute).
+
+DRAMPower integrates per-command energies over a Ramulator command
+trace; we do the same from command *rates* (the sweep) or from a
+:class:`~repro.dram.controller.CommandCounts` record (the event-level
+path).  Energy coefficients follow Micron single-rank DDR4-2400 RDIMM
+datasheets, as the paper configures (Sec. IV-C); per-DIMM background
+power makes populated channel count matter (~2x DRAM power from 4 to 8
+channels, Fig. 8b).
+
+HBM has no public energy data; as in the paper, energy queries for HBM
+configurations return ``None`` (MEM++ rows of Fig. 11 report no energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config.memory import MemoryConfig
+from ..dram.controller import CommandCounts
+
+__all__ = ["DramPowerModel", "DramPowerResult"]
+
+
+@dataclass(frozen=True)
+class DramPowerResult:
+    """Average DRAM power split into components (watts)."""
+
+    background_w: float
+    activate_w: float
+    rdwr_w: float
+    refresh_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (self.background_w + self.activate_w + self.rdwr_w
+                + self.refresh_w)
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Energy coefficients for DDR4-2400 single-rank 8 GB RDIMMs."""
+
+    #: average background power per DIMM (precharge/active standby mix,
+    #: CKE mostly high in servers)
+    background_w_per_dimm: float = 0.75
+    #: ACT+PRE pair energy (IDD0-derived)
+    e_act_nj: float = 22.0
+    #: energy per 64-byte read burst (core + I/O + termination)
+    e_rd_nj: float = 13.0
+    #: energy per 64-byte write burst
+    e_wr_nj: float = 14.0
+    #: refresh adder as a fraction of background
+    refresh_fraction: float = 0.06
+
+    def from_rates(
+        self,
+        memory: MemoryConfig,
+        reads_per_s: float,
+        writes_per_s: float,
+        row_hit_rate: float,
+    ) -> Optional[DramPowerResult]:
+        """Average DRAM power for steady command rates.
+
+        Returns ``None`` when the memory technology has no energy data
+        (HBM), mirroring the paper's MEM++ treatment.
+        """
+        if not memory.energy_data_available:
+            return None
+        if reads_per_s < 0 or writes_per_s < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0.0 <= row_hit_rate <= 1.0:
+            raise ValueError("row_hit_rate must be in [0, 1]")
+        n_col = reads_per_s + writes_per_s
+        acts_per_s = n_col * (1.0 - row_hit_rate)
+        background = memory.total_dimms * self.background_w_per_dimm
+        return DramPowerResult(
+            background_w=background,
+            activate_w=acts_per_s * self.e_act_nj * 1e-9,
+            rdwr_w=(reads_per_s * self.e_rd_nj + writes_per_s * self.e_wr_nj)
+            * 1e-9,
+            refresh_w=background * self.refresh_fraction,
+        )
+
+    def from_counts(
+        self,
+        memory: MemoryConfig,
+        counts: CommandCounts,
+        elapsed_s: float,
+    ) -> Optional[DramPowerResult]:
+        """Average DRAM power from an event-level command trace."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed_s must be positive")
+        if not memory.energy_data_available:
+            return None
+        background = memory.total_dimms * self.background_w_per_dimm
+        return DramPowerResult(
+            background_w=background,
+            activate_w=counts.n_act * self.e_act_nj * 1e-9 / elapsed_s,
+            rdwr_w=(counts.n_rd * self.e_rd_nj + counts.n_wr * self.e_wr_nj)
+            * 1e-9 / elapsed_s,
+            refresh_w=background * self.refresh_fraction,
+        )

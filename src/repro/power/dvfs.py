@@ -1,0 +1,98 @@
+"""Power-capped frequency selection (DVFS co-design).
+
+Sec. V-B5 closes with "frequency is a key aspect to consider and
+balance" — operators run sockets under power caps and want the fastest
+frequency that fits.  Given an application, a node template and a cap,
+this module sweeps the frequency axis and returns the best feasible
+point under a chosen objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..config.node import FREQUENCIES_GHZ, NodeConfig
+
+__all__ = ["DvfsPoint", "DvfsSelection", "select_frequency"]
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One frequency's outcome for the workload."""
+
+    frequency_ghz: float
+    time_ns: float
+    power_w: float
+    energy_j: Optional[float]
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class DvfsSelection:
+    """The frequency sweep plus the selected operating point."""
+
+    points: Tuple[DvfsPoint, ...]
+    power_cap_w: Optional[float]
+    objective: str
+    selected: Optional[DvfsPoint]
+
+    def point(self, frequency_ghz: float) -> DvfsPoint:
+        for p in self.points:
+            if p.frequency_ghz == frequency_ghz:
+                return p
+        raise KeyError(f"no point at {frequency_ghz} GHz")
+
+
+def select_frequency(
+    musa,
+    node: NodeConfig,
+    power_cap_w: Optional[float] = None,
+    objective: str = "performance",
+    frequencies: Sequence[float] = FREQUENCIES_GHZ,
+) -> DvfsSelection:
+    """Pick the best frequency for ``musa``'s application on ``node``.
+
+    Parameters
+    ----------
+    power_cap_w:
+        Node power budget; ``None`` means unconstrained.
+    objective:
+        ``"performance"`` (min time), ``"energy"`` (min energy), or
+        ``"edp"`` (min energy-delay product).  Energy objectives skip
+        points without energy data.
+    """
+    if objective not in ("performance", "energy", "edp"):
+        raise ValueError("objective must be performance, energy, or edp")
+    if not frequencies:
+        raise ValueError("need at least one frequency")
+    if power_cap_w is not None and power_cap_w <= 0:
+        raise ValueError("power cap must be positive")
+
+    points = []
+    for f in sorted(frequencies):
+        r = musa.simulate_node(node.with_(frequency_ghz=f))
+        power = r.power.known_total_w
+        feasible = power_cap_w is None or power <= power_cap_w
+        points.append(DvfsPoint(
+            frequency_ghz=f,
+            time_ns=r.time_ns,
+            power_w=power,
+            energy_j=r.energy_j,
+            feasible=feasible,
+        ))
+
+    candidates = [p for p in points if p.feasible]
+    if objective in ("energy", "edp"):
+        candidates = [p for p in candidates if p.energy_j is not None]
+    selected: Optional[DvfsPoint] = None
+    if candidates:
+        if objective == "performance":
+            selected = min(candidates, key=lambda p: p.time_ns)
+        elif objective == "energy":
+            selected = min(candidates, key=lambda p: p.energy_j)
+        else:
+            selected = min(candidates,
+                           key=lambda p: p.energy_j * p.time_ns)
+    return DvfsSelection(points=tuple(points), power_cap_w=power_cap_w,
+                         objective=objective, selected=selected)

@@ -1,0 +1,63 @@
+"""Process-technology scaling (22nm, as in the paper's McPAT setup).
+
+The paper feeds McPAT voltage values matched to each frequency step for
+a 22nm process (Sec. V-B5).  We model a linear V/f operating curve and
+the standard scaling laws: dynamic power ~ f * V^2, leakage ~ V (weakly
+super-linear DIBL effects folded into the exponent).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VREF",
+    "FREF_GHZ",
+    "voltage_for_frequency",
+    "dynamic_scale",
+    "leakage_scale",
+]
+
+#: Reference operating point: 2.0 GHz at 0.90 V (all per-event energies
+#: and leakage powers in the McPAT substitute are calibrated here).
+VREF = 0.90
+FREF_GHZ = 2.0
+
+_V_BASE = 0.70
+_V_SLOPE = 0.10  # V per GHz
+
+
+def voltage_for_frequency(f_ghz: float) -> float:
+    """Supply voltage required for frequency ``f_ghz`` on the 22nm curve.
+
+    1.5 GHz -> 0.85 V, 2.0 -> 0.90 V, 2.5 -> 0.95 V, 3.0 -> 1.00 V.
+    Together with the f*V^2 dynamic law this yields the paper's ~2.5x
+    power increase for the 1.5 -> 3.0 GHz doubling (Sec. V-B5).
+    """
+    if f_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    return _V_BASE + _V_SLOPE * f_ghz
+
+
+def dynamic_scale(f_ghz: float) -> float:
+    """Dynamic-power multiplier vs the reference point (f * V^2 law).
+
+    Note this scales *power for a fixed activity rate per cycle*; the
+    per-event energy multiplier is just (V/VREF)^2.
+    """
+    v = voltage_for_frequency(f_ghz)
+    return (f_ghz / FREF_GHZ) * (v / VREF) ** 2
+
+
+def energy_scale(f_ghz: float) -> float:
+    """Per-event dynamic energy multiplier vs the reference voltage."""
+    v = voltage_for_frequency(f_ghz)
+    return (v / VREF) ** 2
+
+
+def leakage_scale(f_ghz: float) -> float:
+    """Leakage-power multiplier vs the reference point.
+
+    Sub-threshold leakage grows a bit faster than linearly with V;
+    exponent 1.8 matches the McPAT 22nm corner reasonably.
+    """
+    v = voltage_for_frequency(f_ghz)
+    return (v / VREF) ** 1.8

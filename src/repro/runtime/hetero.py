@@ -1,0 +1,181 @@
+"""Heterogeneous (big.LITTLE) node scheduling.
+
+Sec. II-B motivates "leaner core designs" as a first-class trend; the
+natural follow-up question the paper leaves open is *mixing* core
+classes in one socket: do a few big cores for the serial/imbalanced
+tail plus many small cores beat a homogeneous die of the same area?
+
+This module extends the runtime scheduler with per-core speed factors
+(a task on core ``c`` runs for ``duration / speed[c]``) and provides
+the area-normalized study helper: build mixed sockets that spend the
+same silicon as a homogeneous one, schedule every application phase on
+both, and compare.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.core import CoreConfig, core_preset
+from ..config.node import NodeConfig
+from ..power.area import AreaModel
+from ..trace.events import ComputePhase
+from .scheduler import PhaseResult, TaskSpan
+
+__all__ = ["simulate_phase_hetero", "HeteroMix", "area_matched_mix"]
+
+
+def simulate_phase_hetero(
+    phase: ComputePhase,
+    core_speeds: Sequence[float],
+    duration_scale: float = 1.0,
+    overhead_scale: float = 1.0,
+    task_durations_ns: Optional[Sequence[float]] = None,
+    collect_spans: bool = False,
+) -> PhaseResult:
+    """Greedy list scheduling on cores with per-core speed factors.
+
+    ``core_speeds[c]`` multiplies core ``c``'s execution rate (1.0 = the
+    reference core the durations were timed for).  The scheduler is
+    speed-aware: an idle fast core is preferred over an idle slow one
+    (what a heterogeneity-aware runtime would do).  The master thread —
+    creation overheads — runs on core 0, so put a big core first.
+    """
+    speeds = np.asarray(list(core_speeds), dtype=np.float64)
+    if len(speeds) == 0 or np.any(speeds <= 0):
+        raise ValueError("core_speeds must be non-empty and positive")
+    if duration_scale <= 0 or overhead_scale <= 0:
+        raise ValueError("scales must be positive")
+    n_cores = len(speeds)
+
+    tasks = phase.tasks
+    n = len(tasks)
+    serial = phase.serial_ns * overhead_scale
+    creation = phase.creation_ns * overhead_scale
+    critical_total = phase.critical_ns * overhead_scale
+
+    if task_durations_ns is not None:
+        if len(task_durations_ns) != n:
+            raise ValueError(f"expected {n} durations")
+        durations = [d * duration_scale for d in task_durations_ns]
+    else:
+        durations = [t.duration_ns * duration_scale for t in tasks]
+
+    busy = np.zeros(n_cores, dtype=np.float64)
+    if n == 0:
+        return PhaseResult(serial + critical_total, busy, 0, serial, 0.0,
+                           spans=() if collect_spans else None)
+
+    create_time = [serial + (i + 1) * creation for i in range(n)]
+    master_done = create_time[-1]
+    n_deps = [len(t.deps) for t in tasks]
+    children: List[List[int]] = [[] for _ in range(n)]
+    for i, t in enumerate(tasks):
+        for d in t.deps:
+            children[d].append(i)
+    dep_finish = [0.0] * n
+
+    ready: List[Tuple[float, int]] = []
+    for i in range(n):
+        if n_deps[i] == 0:
+            heapq.heappush(ready, (create_time[i], i))
+
+    # Core heap keyed by (free_time, -speed): ties go to the fastest.
+    cores: List[Tuple[float, float, int]] = [
+        (0.0, -speeds[c], c) for c in range(n_cores)]
+    cores[0] = (master_done, -speeds[0], 0)
+    heapq.heapify(cores)
+    busy[0] += master_done
+
+    spans: List[TaskSpan] = []
+    n_done = 0
+    makespan = master_done
+    while n_done < n:
+        if not ready:
+            raise RuntimeError("hetero scheduler deadlock")
+        ready_time, i = heapq.heappop(ready)
+        free_time, neg_speed, core = heapq.heappop(cores)
+        start = max(ready_time, free_time)
+        dur = durations[i] / (-neg_speed)
+        end = start + dur
+        busy[core] += dur
+        heapq.heappush(cores, (end, neg_speed, core))
+        if collect_spans:
+            spans.append(TaskSpan(i, core, start, end))
+        makespan = max(makespan, end)
+        n_done += 1
+        for child in children[i]:
+            n_deps[child] -= 1
+            dep_finish[child] = max(dep_finish[child], end)
+            if n_deps[child] == 0:
+                heapq.heappush(
+                    ready, (max(create_time[child], dep_finish[child]),
+                            child))
+    makespan = max(makespan, serial + critical_total)
+    return PhaseResult(
+        makespan_ns=makespan, busy_ns=busy, n_tasks=n, serial_ns=serial,
+        creation_ns_total=n * creation,
+        spans=tuple(spans) if collect_spans else None,
+    )
+
+
+@dataclass(frozen=True)
+class HeteroMix:
+    """A mixed-core socket: big cores first, then little cores."""
+
+    n_big: int
+    n_little: int
+    big: CoreConfig
+    little: CoreConfig
+    #: little-core relative speed (vs the big core) for the workload
+    little_speed: float
+
+    def __post_init__(self) -> None:
+        if self.n_big < 0 or self.n_little < 0 or \
+                self.n_big + self.n_little == 0:
+            raise ValueError("mix needs at least one core")
+        if not 0 < self.little_speed <= 1.0:
+            raise ValueError("little_speed must be in (0, 1]")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_big + self.n_little
+
+    def speeds(self) -> np.ndarray:
+        return np.concatenate([
+            np.ones(self.n_big),
+            np.full(self.n_little, self.little_speed),
+        ])
+
+
+def area_matched_mix(
+    node: NodeConfig,
+    n_big: int,
+    little_speed: float,
+    big: str = "aggressive",
+    little: str = "lowend",
+    area_model: Optional[AreaModel] = None,
+) -> HeteroMix:
+    """Build a mixed socket spending the same core area as ``node``.
+
+    Keeps ``n_big`` big cores and fills the remaining silicon of the
+    homogeneous socket with little cores.
+    """
+    am = area_model or AreaModel()
+    big_cfg = core_preset(big)
+    little_cfg = core_preset(little)
+    total_area = am.core_mm2(node) * node.n_cores
+    big_area = am.core_mm2(node.with_(core=big_cfg)) * n_big
+    if big_area > total_area:
+        raise ValueError(
+            f"{n_big} {big} cores already exceed the area budget")
+    little_each = am.core_mm2(node.with_(core=little_cfg))
+    n_little = int((total_area - big_area) // little_each)
+    if n_little == 0 and n_big == 0:
+        raise ValueError("area budget fits no cores at all")
+    return HeteroMix(n_big=n_big, n_little=n_little, big=big_cfg,
+                     little=little_cfg, little_speed=little_speed)

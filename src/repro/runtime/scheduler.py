@@ -1,0 +1,196 @@
+"""Discrete-event simulation of the node-level runtime system.
+
+MUSA re-simulates the OmpSs/OpenMP runtime for an arbitrary core count
+by replaying the runtime events recorded in the burst trace: task
+creations, dependencies, barriers and critical sections.  This module
+implements that replay as greedy list scheduling:
+
+* the master thread runs the phase's serial section, then creates tasks
+  one by one paying a per-task creation overhead (wall-clock ns — these
+  timings come from the native trace and do not scale with simulated
+  frequency, see Sec. V-B5 of the paper);
+* a task becomes ready once created and with all dependencies finished;
+* idle cores greedily pick the ready task with the earliest ready time
+  (FIFO, like Nanos++);
+* ``omp critical`` time is serialized across the whole phase;
+* if the phase ends in a barrier, every core waits for the makespan.
+
+The returned :class:`PhaseResult` carries the makespan, per-core busy
+times and (optionally) the full task timeline used for the Fig. 3
+occupancy analysis.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trace.events import ComputePhase
+
+__all__ = ["PhaseResult", "simulate_phase"]
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """Execution record of one task: which core ran it and when."""
+
+    task_index: int
+    core: int
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of simulating one compute phase on ``n_cores`` cores."""
+
+    makespan_ns: float
+    busy_ns: np.ndarray          # per-core busy time (len == n_cores)
+    n_tasks: int
+    serial_ns: float
+    creation_ns_total: float
+    spans: Optional[Tuple[TaskSpan, ...]] = None
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.busy_ns)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of core-time spent executing tasks (Fig. 3 metric)."""
+        if self.makespan_ns <= 0:
+            return 1.0
+        return float(self.busy_ns.sum() / (self.n_cores * self.makespan_ns))
+
+    @property
+    def idle_ns(self) -> float:
+        """Aggregate idle core-time inside the phase (leakage waste)."""
+        return float(self.n_cores * self.makespan_ns - self.busy_ns.sum())
+
+
+def simulate_phase(
+    phase: ComputePhase,
+    n_cores: int,
+    duration_scale: float = 1.0,
+    overhead_scale: float = 1.0,
+    task_durations_ns: Optional[Sequence[float]] = None,
+    collect_spans: bool = False,
+) -> PhaseResult:
+    """Simulate one compute phase on ``n_cores`` cores.
+
+    Parameters
+    ----------
+    duration_scale:
+        Multiplier applied to every task duration (used by the detailed
+        integration to re-time tasks for a target architecture, and by
+        rank-level imbalance).
+    overhead_scale:
+        Multiplier for runtime overheads (serial, creation, critical).
+        Kept separate because runtime timings are wall-clock and do not
+        follow core frequency.
+    task_durations_ns:
+        Optional explicit per-task durations overriding the trace
+        reference values (after which ``duration_scale`` still applies).
+    collect_spans:
+        If True, record per-task (core, start, end) for timeline
+        analysis; costs memory, off by default for the sweep.
+    """
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    if duration_scale <= 0 or overhead_scale <= 0:
+        raise ValueError("scales must be positive")
+
+    tasks = phase.tasks
+    n = len(tasks)
+    serial = phase.serial_ns * overhead_scale
+    creation = phase.creation_ns * overhead_scale
+    critical_total = phase.critical_ns * overhead_scale
+
+    if task_durations_ns is not None:
+        if len(task_durations_ns) != n:
+            raise ValueError(
+                f"expected {n} durations, got {len(task_durations_ns)}"
+            )
+        durations = [d * duration_scale for d in task_durations_ns]
+    else:
+        durations = [t.duration_ns * duration_scale for t in tasks]
+
+    busy = np.zeros(n_cores, dtype=np.float64)
+    if n == 0:
+        makespan = serial + critical_total
+        return PhaseResult(makespan, busy, 0, serial, 0.0,
+                           spans=() if collect_spans else None)
+
+    # Task i is created at serial + (i+1)*creation by the master thread.
+    create_time = [serial + (i + 1) * creation for i in range(n)]
+    master_done = create_time[-1]
+
+    # Dependency bookkeeping: children lists and remaining-dep counters.
+    n_deps = [len(t.deps) for t in tasks]
+    children: List[List[int]] = [[] for _ in range(n)]
+    for i, t in enumerate(tasks):
+        for d in t.deps:
+            children[d].append(i)
+
+    dep_finish = [0.0] * n         # latest finish among resolved deps
+    finish_time = [0.0] * n
+
+    # Ready heap: (ready_time, task index).  Cores heap: (free_time, core).
+    ready: List[Tuple[float, int]] = []
+    for i in range(n):
+        if n_deps[i] == 0:
+            heapq.heappush(ready, (create_time[i], i))
+
+    cores: List[Tuple[float, int]] = [(0.0, c) for c in range(n_cores)]
+    # The master (core 0) is busy until it finishes creating tasks.
+    cores[0] = (master_done, 0)
+    heapq.heapify(cores)
+    busy[0] += master_done  # serial + creation work occupies the master
+
+    spans: List[TaskSpan] = []
+    n_done = 0
+    makespan = master_done
+    while n_done < n:
+        if not ready:
+            raise RuntimeError(
+                "scheduler deadlock: no ready tasks but work remains "
+                "(dependency cycle in trace?)"
+            )
+        ready_time, i = heapq.heappop(ready)
+        free_time, core = heapq.heappop(cores)
+        start = max(ready_time, free_time)
+        end = start + durations[i]
+        finish_time[i] = end
+        busy[core] += durations[i]
+        heapq.heappush(cores, (end, core))
+        if collect_spans:
+            spans.append(TaskSpan(i, core, start, end))
+        makespan = max(makespan, end)
+        n_done += 1
+        for child in children[i]:
+            n_deps[child] -= 1
+            dep_finish[child] = max(dep_finish[child], end)
+            if n_deps[child] == 0:
+                heapq.heappush(
+                    ready, (max(create_time[child], dep_finish[child]), child)
+                )
+
+    # Critical sections serialize: the phase cannot finish before the
+    # sum of all critical time has elapsed after the serial section.
+    makespan = max(makespan, serial + critical_total)
+
+    return PhaseResult(
+        makespan_ns=makespan,
+        busy_ns=busy,
+        n_tasks=n,
+        serial_ns=serial,
+        creation_ns_total=n * creation,
+        spans=tuple(spans) if collect_spans else None,
+    )

@@ -1,0 +1,171 @@
+"""Work-stealing scheduler variant.
+
+The paper's runtime (Nanos++) uses central ready queues; modern tasking
+runtimes steal from per-worker deques instead.  This variant lets the
+co-design study ask a *system software* question the paper raises but
+does not explore: how much of the observed starvation is scheduling
+policy rather than trace-level parallelism?
+
+Semantics: task creation pushes to the creating worker's deque
+(round-robin for the master's initial burst); idle workers pop their
+own deque LIFO and steal FIFO from victims chosen deterministically.
+Steals cost ``steal_ns`` of the thief's time.  The simulation remains
+a discrete-event replay with the same inputs/outputs as
+:func:`~repro.runtime.scheduler.simulate_phase`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trace.events import ComputePhase
+from .scheduler import PhaseResult, TaskSpan
+
+__all__ = ["simulate_phase_stealing"]
+
+
+def simulate_phase_stealing(
+    phase: ComputePhase,
+    n_cores: int,
+    duration_scale: float = 1.0,
+    overhead_scale: float = 1.0,
+    task_durations_ns: Optional[Sequence[float]] = None,
+    steal_ns: float = 120.0,
+    collect_spans: bool = False,
+) -> PhaseResult:
+    """Simulate one phase under work stealing.
+
+    Compatible signature with :func:`simulate_phase`; an extra
+    ``steal_ns`` parameter charges each successful steal.
+    """
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    if duration_scale <= 0 or overhead_scale <= 0:
+        raise ValueError("scales must be positive")
+    if steal_ns < 0:
+        raise ValueError("steal_ns must be non-negative")
+
+    tasks = phase.tasks
+    n = len(tasks)
+    serial = phase.serial_ns * overhead_scale
+    creation = phase.creation_ns * overhead_scale
+    critical_total = phase.critical_ns * overhead_scale
+
+    if task_durations_ns is not None:
+        if len(task_durations_ns) != n:
+            raise ValueError(f"expected {n} durations")
+        durations = [d * duration_scale for d in task_durations_ns]
+    else:
+        durations = [t.duration_ns * duration_scale for t in tasks]
+
+    busy = np.zeros(n_cores, dtype=np.float64)
+    if n == 0:
+        return PhaseResult(serial + critical_total, busy, 0, serial, 0.0,
+                           spans=() if collect_spans else None)
+
+    create_time = [serial + (i + 1) * creation for i in range(n)]
+    n_deps = [len(t.deps) for t in tasks]
+    children: List[List[int]] = [[] for _ in range(n)]
+    for i, t in enumerate(tasks):
+        for d in t.deps:
+            children[d].append(i)
+
+    # Per-worker deques; creation round-robins the master's burst the way
+    # an eager-binding runtime distributes initial chunks.
+    deques: List[Deque[int]] = [deque() for _ in range(n_cores)]
+    release_time = [0.0] * n       # when the task became ready
+    finish_time = [0.0] * n
+
+    # Event queue of (time, kind, payload): kind 0 = task created,
+    # kind 1 = core free.  Created tasks with unmet deps wait for their
+    # parents; dependency release re-enqueues them.
+    events: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for i in range(n):
+        if n_deps[i] == 0:
+            heapq.heappush(events, (create_time[i], 0, seq, i))
+            seq += 1
+    for c in range(n_cores):
+        start = create_time[-1] if c == 0 else 0.0
+        heapq.heappush(events, (start, 1, seq, c))
+        seq += 1
+    busy[0] += create_time[-1]
+
+    spans: List[TaskSpan] = []
+    n_done = 0
+    makespan = create_time[-1]
+    idle_since = [None] * n_cores  # cores parked waiting for work
+    rr = 0
+
+    def dispatch(core: int, task: int, now: float, stole: bool) -> None:
+        nonlocal n_done, makespan, seq
+        start = now + (steal_ns if stole else 0.0)
+        end = start + durations[task]
+        busy[core] += end - start
+        finish_time[task] = end
+        if collect_spans:
+            spans.append(TaskSpan(task, core, start, end))
+        makespan = max(makespan, end)
+        n_done += 1
+        for child in children[task]:
+            n_deps[child] -= 1
+            release_time[child] = max(release_time[child], end,
+                                      create_time[child])
+            if n_deps[child] == 0:
+                heapq.heappush(events, (release_time[child], 0, seq, child))
+                seq += 1
+        heapq.heappush(events, (end, 1, seq, core))
+        seq += 1
+
+    def try_find_work(core: int) -> Optional[Tuple[int, bool]]:
+        if deques[core]:
+            return deques[core].pop(), False      # own deque: LIFO
+        for step in range(1, n_cores):
+            victim = (core + step) % n_cores
+            if deques[victim]:
+                return deques[victim].popleft(), True  # steal: FIFO
+        return None
+
+    while events and n_done < n:
+        now, kind, _, payload = heapq.heappop(events)
+        if kind == 0:
+            # Task becomes available: push to a deque; wake a parked core.
+            task = payload
+            target = rr % n_cores
+            rr += 1
+            woke = False
+            for c in range(n_cores):
+                core = (target + c) % n_cores
+                if idle_since[core] is not None:
+                    idle_since[core] = None
+                    dispatch(core, task, now, stole=False)
+                    woke = True
+                    break
+            if not woke:
+                deques[target].append(task)
+        else:
+            core = payload
+            found = try_find_work(core)
+            if found is None:
+                idle_since[core] = now
+            else:
+                task, stole = found
+                dispatch(core, task, max(now, release_time[task],
+                                         create_time[task]), stole)
+
+    if n_done < n:
+        raise RuntimeError("work-stealing scheduler deadlock "
+                           "(dependency cycle in trace?)")
+    makespan = max(makespan, serial + critical_total)
+    return PhaseResult(
+        makespan_ns=makespan,
+        busy_ns=busy,
+        n_tasks=n,
+        serial_ns=serial,
+        creation_ns_total=n * creation,
+        spans=tuple(spans) if collect_spans else None,
+    )

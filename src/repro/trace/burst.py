@@ -1,0 +1,119 @@
+"""Burst (coarse-grain) trace containers.
+
+A :class:`BurstTrace` is the whole-application, per-rank event stream
+MUSA obtains with Extrae: compute phases carrying runtime-system events,
+interleaved with MPI calls.  It is the input to both burst-mode
+(hardware-agnostic) simulation and the communication replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .events import ComputePhase, MpiCall, RankEvent
+
+__all__ = ["RankTrace", "BurstTrace"]
+
+
+@dataclass(frozen=True)
+class RankTrace:
+    """Event stream of one MPI rank."""
+
+    rank: int
+    events: Tuple[RankEvent, ...]
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be non-negative")
+        for ev in self.events:
+            if not isinstance(ev, (ComputePhase, MpiCall)):
+                raise TypeError(f"unexpected event type {type(ev).__name__}")
+        seen_requests = set()
+        pending = set()
+        for ev in self.events:
+            if isinstance(ev, MpiCall):
+                if ev.kind in {"isend", "irecv"}:
+                    if ev.request in pending:
+                        raise ValueError(
+                            f"rank {self.rank}: request {ev.request} reused "
+                            "before being waited on"
+                        )
+                    pending.add(ev.request)
+                    seen_requests.add(ev.request)
+                elif ev.kind == "wait":
+                    if ev.request not in pending:
+                        raise ValueError(
+                            f"rank {self.rank}: wait on unknown request "
+                            f"{ev.request}"
+                        )
+                    pending.discard(ev.request)
+        if pending:
+            raise ValueError(
+                f"rank {self.rank}: unwaited requests {sorted(pending)}"
+            )
+
+    def compute_phases(self) -> List[ComputePhase]:
+        return [e for e in self.events if isinstance(e, ComputePhase)]
+
+    def mpi_calls(self) -> List[MpiCall]:
+        return [e for e in self.events if isinstance(e, MpiCall)]
+
+    @property
+    def total_compute_ns(self) -> float:
+        """Reference (native-trace) compute time, perfectly parallel."""
+        return sum(p.total_task_ns + p.serial_ns for p in self.compute_phases())
+
+    @property
+    def total_mpi_bytes(self) -> int:
+        return sum(c.size_bytes for c in self.mpi_calls()
+                   if c.kind in {"send", "isend"})
+
+
+@dataclass(frozen=True)
+class BurstTrace:
+    """Whole-application coarse trace: one :class:`RankTrace` per rank."""
+
+    app: str
+    ranks: Tuple[RankTrace, ...]
+    #: iterations the traced region covers (for per-iteration metrics)
+    n_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ValueError("trace needs at least one rank")
+        if self.n_iterations <= 0:
+            raise ValueError("n_iterations must be positive")
+        got = [r.rank for r in self.ranks]
+        if got != list(range(len(self.ranks))):
+            raise ValueError(f"ranks must be dense 0..N-1, got {got[:8]}...")
+        n = len(self.ranks)
+        for rt in self.ranks:
+            for ev in rt.mpi_calls():
+                if ev.peer is not None and not 0 <= ev.peer < n:
+                    raise ValueError(
+                        f"rank {rt.rank}: peer {ev.peer} out of range 0..{n-1}"
+                    )
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.ranks)
+
+    def __iter__(self) -> Iterator[RankTrace]:
+        return iter(self.ranks)
+
+    def kernel_names(self) -> List[str]:
+        """All kernel names referenced by any task, sorted."""
+        names = {
+            t.kernel
+            for rt in self.ranks
+            for ph in rt.compute_phases()
+            for t in ph.tasks
+        }
+        return sorted(names)
+
+    def phase_counts(self) -> Tuple[int, int]:
+        """(total compute phases, total MPI calls) across ranks."""
+        n_phase = sum(len(rt.compute_phases()) for rt in self.ranks)
+        n_mpi = sum(len(rt.mpi_calls()) for rt in self.ranks)
+        return n_phase, n_mpi

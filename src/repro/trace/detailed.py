@@ -1,0 +1,79 @@
+"""Detailed (instruction-level) trace container.
+
+MUSA traces one representative iteration of one rank in detailed mode
+and reuses it for every architectural configuration.  Our substitute
+stores one :class:`~repro.trace.kernel.KernelSignature` per kernel
+(task type) plus the sampling metadata, which is all the detailed
+timing model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Tuple
+
+from .kernel import KernelSignature
+
+__all__ = ["DetailedTrace"]
+
+
+@dataclass(frozen=True)
+class DetailedTrace:
+    """Per-kernel detailed signatures for one application.
+
+    Attributes
+    ----------
+    app:
+        Application name.
+    kernels:
+        Mapping from kernel name to its signature.
+    sampled_rank:
+        Which rank the detailed sample was taken from (MUSA typically
+        traces rank 0).
+    sampled_iteration:
+        Which iteration was sampled (usually the second, past warm-up).
+    """
+
+    app: str
+    kernels: Mapping[str, KernelSignature]
+    sampled_rank: int = 0
+    sampled_iteration: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("detailed trace needs at least one kernel")
+        if self.sampled_rank < 0 or self.sampled_iteration < 0:
+            raise ValueError("sample metadata must be non-negative")
+        for name, sig in self.kernels.items():
+            if not isinstance(sig, KernelSignature):
+                raise TypeError(f"kernel {name!r} is not a KernelSignature")
+            if sig.name != name:
+                raise ValueError(
+                    f"kernel key {name!r} does not match signature name "
+                    f"{sig.name!r}"
+                )
+        # Freeze the mapping so the trace is safely shareable across the
+        # sweep's worker processes.
+        object.__setattr__(self, "kernels", dict(self.kernels))
+
+    def __getitem__(self, kernel: str) -> KernelSignature:
+        try:
+            return self.kernels[kernel]
+        except KeyError:
+            raise KeyError(
+                f"app {self.app!r} has no kernel {kernel!r}; "
+                f"known: {sorted(self.kernels)}"
+            ) from None
+
+    def __contains__(self, kernel: str) -> bool:
+        return kernel in self.kernels
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.kernels)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.kernels))
+
+    def covers(self, kernel_names) -> bool:
+        """True if every name in ``kernel_names`` has a signature."""
+        return all(name in self.kernels for name in kernel_names)

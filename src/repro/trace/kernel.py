@@ -1,0 +1,312 @@
+"""Detailed-trace kernel signatures.
+
+MUSA's detailed traces record instruction-level information for each
+compute kernel (opcode, PC, registers, memory addresses).  Replaying
+hundreds of millions of instructions per design point is what makes the
+native toolchain expensive; our substitute condenses a kernel's detailed
+trace into a :class:`KernelSignature`:
+
+* a dynamic **instruction mix** (fp / int / load / store / branch),
+* an intrinsic **ILP** bound (dependency-limited IPC),
+* **vectorization structure** (fusable fraction and loop trip counts),
+* a **reuse-distance profile** of its memory accesses, and
+* an inherent **memory-level parallelism** bound.
+
+These are exactly the statistics the interval-analysis timing model and
+the stack-distance cache model consume, so nothing is lost for the
+sweep; the raw-stream path (:mod:`repro.trace.streams` +
+:mod:`repro.trace.reuse`) can regenerate a profile from synthetic
+address streams for validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["InstructionMix", "ReuseProfile", "KernelSignature"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of dynamic instructions per class; must sum to 1."""
+
+    fp: float
+    int_alu: float
+    load: float
+    store: float
+    branch: float
+    other: float = 0.0
+
+    def __post_init__(self) -> None:
+        vals = (self.fp, self.int_alu, self.load, self.store, self.branch,
+                self.other)
+        if any(v < 0 for v in vals):
+            raise ValueError("mix fractions must be non-negative")
+        total = sum(vals)
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise ValueError(f"mix fractions must sum to 1, got {total}")
+
+    @property
+    def mem(self) -> float:
+        """Fraction of instructions that access memory."""
+        return self.load + self.store
+
+
+class ReuseProfile:
+    """LRU stack-distance histogram of a kernel's memory accesses.
+
+    Distances are measured in *distinct cache lines* touched between two
+    accesses to the same line (Mattson stack distance).  The profile is
+    stored as logarithmic buckets plus a ``cold_fraction`` of compulsory
+    (first-touch) accesses with infinite distance.
+
+    Miss ratios follow from the profile: a fully-associative LRU cache of
+    ``C`` lines misses exactly the accesses with distance >= C; for a
+    set-associative cache the Hill/Smith binomial approximation is used
+    (an access at distance ``d`` hits iff fewer than ``assoc`` of the
+    ``d`` intervening lines fall in its set).
+    """
+
+    __slots__ = ("_edges", "_weights", "cold_fraction")
+
+    def __init__(self, edges: Sequence[float], weights: Sequence[float],
+                 cold_fraction: float = 0.0) -> None:
+        edges_arr = np.asarray(edges, dtype=np.float64)
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        if edges_arr.ndim != 1 or weights_arr.ndim != 1:
+            raise ValueError("edges and weights must be 1-D")
+        if len(edges_arr) != len(weights_arr) + 1:
+            raise ValueError("need len(edges) == len(weights) + 1")
+        if np.any(np.diff(edges_arr) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if edges_arr[0] < 0:
+            raise ValueError("distances are non-negative")
+        if np.any(weights_arr < 0):
+            raise ValueError("weights must be non-negative")
+        if not 0.0 <= cold_fraction <= 1.0:
+            raise ValueError("cold_fraction must be in [0, 1]")
+        total = weights_arr.sum() + cold_fraction
+        if total <= 0:
+            raise ValueError("profile is empty")
+        # Normalize so that bucket weights + cold_fraction == 1.
+        scale = (1.0 - cold_fraction) / weights_arr.sum() if weights_arr.sum() else 0.0
+        self._edges = edges_arr
+        self._weights = weights_arr * scale
+        self.cold_fraction = float(cold_fraction)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_distances(cls, distances: np.ndarray, n_cold: int = 0,
+                       n_buckets: int = 48) -> "ReuseProfile":
+        """Build a profile from raw stack distances (see trace.reuse)."""
+        distances = np.asarray(distances, dtype=np.float64)
+        n_total = len(distances) + n_cold
+        if n_total == 0:
+            raise ValueError("no accesses")
+        if len(distances) == 0:
+            return cls([0.0, 1.0], [0.0], cold_fraction=1.0)
+        dmax = max(distances.max(), 1.0)
+        edges = np.concatenate(
+            [[0.0], np.logspace(0, np.log2(dmax) + 1e-9, n_buckets, base=2.0)]
+        )
+        hist, _ = np.histogram(distances, bins=edges)
+        return cls(edges, hist / n_total, cold_fraction=n_cold / n_total)
+
+    @classmethod
+    def from_components(cls, components: Sequence[Tuple[float, float]],
+                        cold_fraction: float = 0.0) -> "ReuseProfile":
+        """Build from ``(distance, weight)`` pairs.
+
+        This is the analytic constructor the application models use: each
+        component states "``weight`` of accesses reuse a line last touched
+        ``distance`` distinct lines ago".  Weights need not be normalized.
+        """
+        if not components:
+            raise ValueError("need at least one component")
+        dists = np.array([max(0.0, d) for d, _ in components])
+        ws = np.array([w for _, w in components], dtype=np.float64)
+        if np.any(ws < 0):
+            raise ValueError("weights must be non-negative")
+        if ws.sum() <= 0 and cold_fraction <= 0:
+            raise ValueError("profile is empty")
+        order = np.argsort(dists)
+        dists, ws = dists[order], ws[order]
+        # Spread each point over a narrow log bucket so miss curves are
+        # smooth rather than step functions across the design space.
+        edges_list = [0.0]
+        weights_list = []
+        for d, w in zip(dists, ws):
+            lo = max(edges_list[-1], d * 0.75)
+            hi = max(lo * 1.5, lo + 1.0)
+            if lo > edges_list[-1]:
+                edges_list.append(lo)
+                weights_list.append(0.0)
+            edges_list.append(hi)
+            weights_list.append(w)
+        total = ws.sum()
+        weights_arr = np.array(weights_list) / total * (1.0 - cold_fraction) \
+            if total else np.array(weights_list)
+        return cls(np.array(edges_list), weights_arr, cold_fraction)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges.copy()
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def mean_distance(self) -> float:
+        """Weighted mean stack distance of the finite-distance accesses."""
+        mids = np.sqrt(np.maximum(self._edges[:-1], 0.5) * self._edges[1:])
+        w = self._weights.sum()
+        if w == 0:
+            return math.inf
+        return float((mids * self._weights).sum() / w)
+
+    def miss_ratio(self, capacity_lines: float, associativity: int = 0,
+                   n_sets: int = 0) -> float:
+        """Miss ratio of an LRU cache with the given geometry.
+
+        With ``associativity == 0`` the cache is treated as fully
+        associative (miss iff distance >= capacity).  Otherwise the
+        Hill/Smith set-associative correction is applied using
+        ``n_sets`` (defaults to capacity/assoc).
+        """
+        if capacity_lines <= 0:
+            return 1.0
+        mids = np.sqrt(np.maximum(self._edges[:-1], 0.25) * self._edges[1:])
+        if associativity <= 0:
+            p_miss = (mids >= capacity_lines).astype(np.float64)
+            # log-linear interpolation inside the straddling bucket
+            lo, hi = self._edges[:-1], self._edges[1:]
+            straddle = (lo < capacity_lines) & (hi >= capacity_lines)
+            if straddle.any():
+                lo_s = np.maximum(lo[straddle], 0.5)
+                frac = (np.log(capacity_lines) - np.log(lo_s)) / (
+                    np.log(hi[straddle]) - np.log(lo_s)
+                )
+                p_miss[straddle] = 1.0 - np.clip(frac, 0.0, 1.0)
+        else:
+            sets = n_sets if n_sets > 0 else max(1, int(capacity_lines) // associativity)
+            p_miss = _setassoc_miss_prob(mids, associativity, sets)
+        return float(np.clip((p_miss * self._weights).sum() + self.cold_fraction,
+                             0.0, 1.0))
+
+    def scaled(self, factor: float) -> "ReuseProfile":
+        """Profile with all distances multiplied by ``factor``.
+
+        Models working sets growing/shrinking (e.g. larger inputs or
+        cache-line-level false sharing) without rebuilding components.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ReuseProfile(self._edges * factor, self._weights,
+                            self.cold_fraction)
+
+
+def _setassoc_miss_prob(distances: np.ndarray, assoc: int,
+                        n_sets: int) -> np.ndarray:
+    """P(miss | stack distance d) for an A-way cache with S sets.
+
+    An access hits iff fewer than A of the d distinct intervening lines
+    map to its set; intervening lines are assumed uniformly spread
+    (Hill & Smith, 1989).  A normal approximation is used for large d to
+    keep the sweep fast; the exact binomial tail is used when d is small.
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    p = 1.0 / n_sets
+    mean = d * p
+    out = np.empty_like(d)
+    small = d <= 256
+    if small.any():
+        from scipy.stats import binom
+
+        out[small] = binom.sf(assoc - 1, np.maximum(d[small], 0).astype(int), p)
+    big = ~small
+    if big.any():
+        from scipy.stats import norm
+
+        sd = np.sqrt(np.maximum(d[big] * p * (1 - p), 1e-12))
+        # continuity-corrected P(X >= assoc)
+        out[big] = norm.sf((assoc - 0.5 - mean[big]) / sd)
+    return np.clip(out, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """Condensed detailed trace of one compute kernel (task type).
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier, matching :class:`~repro.trace.events.TaskRecord`
+        ``kernel`` fields.
+    instr_per_unit:
+        Dynamic *scalar-equivalent* instructions per work unit (the trace
+        is scalarized exactly as MUSA's decoder does, so SIMD fusion can
+        re-vectorize it at any width).
+    mix:
+        Dynamic instruction mix.
+    ilp:
+        Dependency-limited IPC ceiling of the kernel's dataflow (what an
+        infinitely wide machine with perfect caches would sustain).
+    vec_fraction:
+        Fraction of instructions inside vectorizable innermost loops
+        (candidates for SIMD fusion).
+    trip_count:
+        Typical innermost-loop trip count; fusion to ``L`` lanes requires
+        the same static instruction to repeat ``L`` times consecutively,
+        so the trip count caps the effective width (Sec. III).
+    mlp:
+        Inherent memory-level parallelism: independent in-flight misses
+        the dataflow allows (ROB size may further limit it).
+    reuse:
+        Stack-distance profile of memory accesses.
+    bytes_per_access:
+        Payload bytes per scalar memory instruction (8 for double).
+    row_hit_rate:
+        DRAM row-buffer hit probability of the kernel's miss stream
+        (high for streaming kernels, low for irregular/gather access);
+        consumed by the DRAM power model to estimate ACT/PRE counts.
+    """
+
+    name: str
+    instr_per_unit: float
+    mix: InstructionMix
+    ilp: float
+    vec_fraction: float
+    trip_count: float
+    mlp: float
+    reuse: ReuseProfile
+    bytes_per_access: float = 8.0
+    row_hit_rate: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.instr_per_unit <= 0:
+            raise ValueError("instr_per_unit must be positive")
+        if self.ilp <= 0:
+            raise ValueError("ilp must be positive")
+        if not 0.0 <= self.vec_fraction <= 1.0:
+            raise ValueError("vec_fraction must be in [0, 1]")
+        if self.trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+        if self.mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        if self.bytes_per_access <= 0:
+            raise ValueError("bytes_per_access must be positive")
+        if not 0.0 <= self.row_hit_rate <= 1.0:
+            raise ValueError("row_hit_rate must be in [0, 1]")
+
+    def instructions(self, work_units: float) -> float:
+        """Dynamic scalar instruction count for ``work_units`` of work."""
+        if work_units <= 0:
+            raise ValueError("work_units must be positive")
+        return self.instr_per_unit * work_units

@@ -1,0 +1,127 @@
+"""Exact LRU stack-distance (reuse-distance) profiling.
+
+Implements Mattson's stack-distance analysis with the standard
+Bennett/Kruskal algorithm: keep the last access time of every line and a
+Fenwick (binary indexed) tree over trace positions marking lines whose
+most recent access is at that position.  The stack distance of an access
+is the number of marked positions after the line's previous access —
+i.e. the number of *distinct* lines touched in between.
+
+Complexity is O(N log N); streams are profiled once per application
+model and the resulting :class:`~repro.trace.kernel.ReuseProfile` is
+reused across all 864 design points, mirroring how MUSA amortizes one
+detailed trace over the whole sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .kernel import ReuseProfile
+
+__all__ = ["FenwickTree", "stack_distances", "profile_stream"]
+
+
+class FenwickTree:
+    """Binary indexed tree over ``n`` positions supporting point update
+    and prefix-sum query in O(log n)."""
+
+    __slots__ = ("_tree", "_n")
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("size must be positive")
+        self._n = n
+        self._tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` at position ``i`` (0-based)."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"position {i} out of range [0, {self._n})")
+        i += 1
+        tree = self._tree
+        while i <= self._n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum of positions [0, i] (0-based, inclusive)."""
+        if i < 0:
+            return 0
+        i = min(i, self._n - 1) + 1
+        s = 0
+        tree = self._tree
+        while i > 0:
+            s += int(tree[i])
+            i -= i & (-i)
+        return s
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of positions [lo, hi] inclusive."""
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+    def total(self) -> int:
+        return self.prefix_sum(self._n - 1)
+
+
+def stack_distances(addresses: np.ndarray,
+                    line_bytes: int = 64) -> Tuple[np.ndarray, int]:
+    """Exact LRU stack distances of a byte-address stream.
+
+    Returns ``(distances, n_cold)`` where ``distances`` holds one entry
+    per *reuse* access (distance = distinct lines touched since the
+    previous access to the same line, 0 for back-to-back reuse) and
+    ``n_cold`` counts compulsory first-touch accesses.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.ndim != 1:
+        raise ValueError("address stream must be 1-D")
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+    n = len(addresses)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+
+    lines = addresses // line_bytes
+    tree = FenwickTree(n)
+    last_pos: dict = {}
+    distances = np.empty(n, dtype=np.int64)
+    n_dist = 0
+    n_cold = 0
+    for t in range(n):
+        line = int(lines[t])
+        prev = last_pos.get(line)
+        if prev is None:
+            n_cold += 1
+        else:
+            # Distinct lines touched strictly between prev and t ==
+            # marked positions in (prev, t).
+            distances[n_dist] = tree.range_sum(prev + 1, t - 1)
+            n_dist += 1
+            tree.add(prev, -1)
+        tree.add(t, 1)
+        last_pos[line] = t
+    return distances[:n_dist].copy(), n_cold
+
+
+def profile_stream(addresses: np.ndarray, line_bytes: int = 64,
+                   n_buckets: int = 48,
+                   max_samples: int = 200_000,
+                   seed: int = 0) -> ReuseProfile:
+    """Profile a byte-address stream into a :class:`ReuseProfile`.
+
+    Streams longer than ``max_samples`` are profiled on a contiguous
+    random window — stack-distance profiles of stationary streams are
+    insensitive to the window position, and windowing keeps the O(N log N)
+    pass bounded.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if len(addresses) > max_samples:
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, len(addresses) - max_samples + 1))
+        addresses = addresses[start:start + max_samples]
+    distances, n_cold = stack_distances(addresses, line_bytes=line_bytes)
+    return ReuseProfile.from_distances(distances, n_cold=n_cold,
+                                       n_buckets=n_buckets)

@@ -1,0 +1,33 @@
+"""Detailed microarchitecture models (TaskSim substitute)."""
+
+from .cache import CacheHierarchySim, CacheStats, SetAssociativeCache
+from .core_model import KernelTiming, time_kernel
+from .cpu import ContentionResult, dram_efficiency, resolve_contention
+from .explain import CpiStack, explain_kernel
+from .hierarchy import MissProfile, hierarchy_miss_profile
+from .roofline import RooflinePoint, render_roofline, roofline_point
+from .validation import KernelValidation, validate_kernel
+from .vector import VectorizationResult, fusion_factor, vectorize
+
+__all__ = [
+    "CacheHierarchySim",
+    "CacheStats",
+    "ContentionResult",
+    "CpiStack",
+    "KernelTiming",
+    "KernelValidation",
+    "MissProfile",
+    "RooflinePoint",
+    "SetAssociativeCache",
+    "VectorizationResult",
+    "dram_efficiency",
+    "explain_kernel",
+    "fusion_factor",
+    "hierarchy_miss_profile",
+    "render_roofline",
+    "resolve_contention",
+    "roofline_point",
+    "time_kernel",
+    "validate_kernel",
+    "vectorize",
+]

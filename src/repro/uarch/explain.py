@@ -1,0 +1,93 @@
+"""CPI-stack explanation of kernel timings.
+
+Architects read interval-analysis results as a "CPI stack": how many
+cycles per instruction go to issue limits, dependency stalls, and each
+memory level.  This module decomposes a
+:class:`~repro.uarch.core_model.KernelTiming` into that stack, names
+the binding bottleneck, and renders it for humans — the reproduction's
+equivalent of staring at TaskSim statistics dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config.node import NodeConfig
+from ..trace.kernel import KernelSignature
+from .core_model import KernelTiming, time_kernel
+from .vector import vectorize
+
+__all__ = ["CpiStack", "explain_kernel"]
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Cycles-per-instruction decomposition of one kernel on one node."""
+
+    kernel: str
+    node_label: str
+    ipc: float
+    #: (component name, cycles per fused instruction) in stack order
+    components: Tuple[Tuple[str, float], ...]
+    bottleneck: str
+    base_bound: str        # which throughput bound binds the base term
+
+    @property
+    def cpi(self) -> float:
+        return sum(c for _, c in self.components)
+
+    def render(self) -> str:
+        width = 44
+        total = self.cpi
+        lines = [
+            f"CPI stack — {self.kernel} on {self.node_label}",
+            f"  IPC {self.ipc:.2f}   CPI {total:.3f}   "
+            f"bottleneck: {self.bottleneck} (base bound: {self.base_bound})",
+        ]
+        for name, cycles in self.components:
+            share = cycles / total if total > 0 else 0.0
+            bar = "#" * max(0, int(round(share * width)))
+            lines.append(f"  {name:<10s} {cycles:7.3f}  {share:6.1%} |{bar}")
+        return "\n".join(lines)
+
+
+def explain_kernel(sig: KernelSignature, node: NodeConfig,
+                   l3_share_cores: int = 1) -> CpiStack:
+    """Time a kernel and decompose its cycles into a CPI stack."""
+    timing = time_kernel(sig, node, l3_share_cores=l3_share_cores)
+    n = timing.instructions
+    if n <= 0:
+        raise ValueError("kernel executes no instructions")
+
+    components = (
+        ("base", timing.base_cycles / n),
+        ("L2 stall", timing.l2_stall_cycles / n),
+        ("L3 stall", timing.l3_stall_cycles / n),
+        ("DRAM stall", timing.mem_stall_cycles / n),
+    )
+    bottleneck = max(components, key=lambda c: c[1])[0]
+
+    # Recompute which throughput bound binds the base term.
+    core = node.core
+    vec = vectorize(sig, node.vector_bits)
+    n0 = sig.instr_per_unit
+    m = sig.mix
+    n_instr = n0 * vec.instr_scale
+    bounds = {
+        "issue width": n_instr / core.issue_width,
+        "dependencies (ILP)": n_instr / sig.ilp,
+        "FPU throughput": n0 * m.fp * vec.fp_scale / core.n_fpu,
+        "L1 ports": n0 * m.mem * vec.mem_scale / core.l1_ports,
+        "ALU throughput": n0 * (m.int_alu + m.other + m.branch) / core.n_alu,
+    }
+    base_bound = max(bounds, key=bounds.get)
+
+    return CpiStack(
+        kernel=sig.name,
+        node_label=node.label,
+        ipc=timing.ipc,
+        components=components,
+        bottleneck=bottleneck,
+        base_bound=base_bound,
+    )

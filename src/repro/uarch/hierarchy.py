@@ -1,0 +1,98 @@
+"""Analytic cache-hierarchy model from reuse-distance profiles.
+
+The fast path of the sweep: per-level global miss ratios are computed
+directly from a kernel's :class:`~repro.trace.kernel.ReuseProfile`
+(Mattson stack distances + Hill/Smith set-associative correction)
+instead of replaying addresses.  The shared L3 is fair-shared among the
+cores concurrently running tasks, which is how the paper's per-core L3
+capacity argument ("1MB of LLC per core", Sec. V-B2) enters the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.cache import CacheHierarchy
+from ..trace.kernel import KernelSignature
+
+__all__ = ["MissProfile", "hierarchy_miss_profile"]
+
+
+@dataclass(frozen=True)
+class MissProfile:
+    """Global (per memory access) miss ratios of the three levels.
+
+    ``miss_lX`` is the probability that an access misses level X (and
+    therefore accesses level X+1); the hierarchy is inclusive so the
+    ratios are monotonically non-increasing.
+    """
+
+    miss_l1: float
+    miss_l2: float
+    miss_l3: float
+
+    def __post_init__(self) -> None:
+        for name, v in (("miss_l1", self.miss_l1), ("miss_l2", self.miss_l2),
+                        ("miss_l3", self.miss_l3)):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        if not self.miss_l1 >= self.miss_l2 >= self.miss_l3:
+            raise ValueError("miss ratios must be non-increasing across levels")
+
+    def mpki(self, mem_per_instr: float) -> tuple:
+        """(L1, L2, L3) misses-per-kilo-instruction for a given memory
+        instruction density (after any SIMD fusion)."""
+        if mem_per_instr < 0:
+            raise ValueError("mem_per_instr must be non-negative")
+        return (
+            1000.0 * mem_per_instr * self.miss_l1,
+            1000.0 * mem_per_instr * self.miss_l2,
+            1000.0 * mem_per_instr * self.miss_l3,
+        )
+
+
+def hierarchy_miss_profile(
+    sig: KernelSignature,
+    hierarchy: CacheHierarchy,
+    l3_share_cores: int = 1,
+    access_granularity_scale: float = 1.0,
+) -> MissProfile:
+    """Per-level miss ratios of ``sig``'s access stream on ``hierarchy``.
+
+    Parameters
+    ----------
+    l3_share_cores:
+        Number of cores concurrently competing for the shared L3; the
+        profile sees ``L3 / l3_share_cores`` of the capacity.  Use the
+        *occupied* core count — idle cores don't pollute the LLC
+        (Sec. V-A's underused-shared-resources observation).
+    access_granularity_scale:
+        SIMD fusion widens each access; a fused access touches adjacent
+        lines it would have touched anyway, so line-level reuse distances
+        are unchanged — this parameter exists for sensitivity studies
+        (ablation: set >1 to model fused accesses spanning lines).
+    """
+    if l3_share_cores <= 0:
+        raise ValueError("l3_share_cores must be positive")
+    if access_granularity_scale <= 0:
+        raise ValueError("access_granularity_scale must be positive")
+
+    reuse = sig.reuse
+    if access_granularity_scale != 1.0:
+        reuse = reuse.scaled(access_granularity_scale)
+
+    l1, l2, l3 = hierarchy.l1, hierarchy.l2, hierarchy.l3
+    m1 = reuse.miss_ratio(l1.n_lines, associativity=l1.associativity,
+                          n_sets=l1.n_sets)
+    m2 = reuse.miss_ratio(l2.n_lines, associativity=l2.associativity,
+                          n_sets=l2.n_sets)
+    l3_lines = max(1.0, l3.n_lines / l3_share_cores)
+    l3_sets = max(1, int(l3.n_sets // l3_share_cores))
+    m3 = reuse.miss_ratio(l3_lines, associativity=l3.associativity,
+                          n_sets=l3_sets)
+
+    # Enforce inclusion monotonicity (the binomial approximation can
+    # produce tiny inversions when a lower level is smaller per-set).
+    m2 = min(m2, m1)
+    m3 = min(m3, m2)
+    return MissProfile(miss_l1=m1, miss_l2=m2, miss_l3=m3)

@@ -1,0 +1,156 @@
+"""Roofline analysis of kernels on node configurations.
+
+The roofline model is the standard first-order lens on HPC kernels:
+attainable GFLOP/s = min(peak compute, operational intensity x peak
+bandwidth).  It complements the interval-analysis CPI stack with the
+architect's favourite picture, computed from the same kernel
+signatures and node configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config.node import NodeConfig
+from ..trace.kernel import KernelSignature
+from .core_model import time_kernel
+from .cpu import dram_efficiency, resolve_contention
+from .vector import vectorize
+
+__all__ = ["RooflinePoint", "roofline_point", "render_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position under a node's rooflines (per core)."""
+
+    kernel: str
+    node_label: str
+    #: flops per DRAM byte (line-granular traffic)
+    operational_intensity: float
+    #: peak double-precision GFLOP/s of one core (fused width included)
+    peak_gflops: float
+    #: this core's fair share of sustainable DRAM bandwidth (GB/s)
+    bandwidth_gbs: float
+    #: model-predicted achieved GFLOP/s (from interval analysis)
+    achieved_gflops: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the compute and memory roofs meet."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    @property
+    def roof_gflops(self) -> float:
+        """The roofline bound at this kernel's intensity."""
+        return min(self.peak_gflops,
+                   self.operational_intensity * self.bandwidth_gbs)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.operational_intensity < self.ridge_intensity
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the roofline bound."""
+        roof = self.roof_gflops
+        return self.achieved_gflops / roof if roof > 0 else 0.0
+
+
+def roofline_point(sig: KernelSignature, node: NodeConfig,
+                   l3_share_cores: Optional[int] = None) -> RooflinePoint:
+    """Place one kernel under one node's per-core rooflines.
+
+    ``l3_share_cores`` defaults to the node's core count (a fully
+    occupied socket — the roofline's usual assumption).
+    """
+    share = l3_share_cores if l3_share_cores is not None else node.n_cores
+    # The roofline assumes a fully occupied socket: time the kernel with
+    # `share` concurrent cores contending for the channels, so achieved
+    # performance respects the bandwidth roof.
+    timing = resolve_contention(
+        time_kernel(sig, node, l3_share_cores=share), share,
+        node.memory).timing
+
+    flops = timing.scalar_flops
+    bytes_ = max(timing.dram_bytes, 1e-12)
+    intensity = flops / bytes_
+
+    # Peak compute: FPUs x effective lanes x frequency (FMA not modeled,
+    # matching the timing model's one-flop-per-op accounting).
+    vec = vectorize(sig, node.vector_bits)
+    peak = node.core.n_fpu * vec.effective_lanes * node.frequency_ghz
+
+    bw_share = (node.memory.peak_bw_gbs * dram_efficiency(sig.row_hit_rate)
+                / share)
+
+    achieved = flops / timing.duration_ns  # flop/ns == GFLOP/s
+    return RooflinePoint(
+        kernel=sig.name,
+        node_label=node.label,
+        operational_intensity=intensity,
+        peak_gflops=peak,
+        bandwidth_gbs=bw_share,
+        achieved_gflops=achieved,
+    )
+
+
+def render_roofline(points: Sequence[RooflinePoint], width: int = 64,
+                    height: int = 16) -> str:
+    """ASCII log-log roofline with the kernels placed on it.
+
+    All points must share a node (one roof); kernels are labelled by
+    their first letter.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    labels = {p.node_label for p in points}
+    if len(labels) != 1:
+        raise ValueError("all points must share one node configuration")
+    p0 = points[0]
+
+    xs = [p.operational_intensity for p in points] + [p0.ridge_intensity]
+    x_min = min(xs) / 4
+    x_max = max(xs) * 4
+    y_max = p0.peak_gflops * 2
+    y_min = min(min(p.achieved_gflops for p in points),
+                x_min * p0.bandwidth_gbs) / 2
+
+    def col(x: float) -> int:
+        return int((math.log10(x) - math.log10(x_min))
+                   / (math.log10(x_max) - math.log10(x_min))
+                   * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - int(
+            (math.log10(max(y, y_min)) - math.log10(y_min))
+            / (math.log10(y_max) - math.log10(y_min)) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Roof: memory slope then compute flat.
+    for c in range(width):
+        x = 10 ** (math.log10(x_min)
+                   + c / (width - 1) * (math.log10(x_max)
+                                        - math.log10(x_min)))
+        y = min(p0.peak_gflops, x * p0.bandwidth_gbs)
+        r = min(max(row(y), 0), height - 1)
+        grid[r][c] = "-" if y >= p0.peak_gflops else "/"
+    for p in points:
+        r = min(max(row(p.achieved_gflops), 0), height - 1)
+        c = min(max(col(p.operational_intensity), 0), width - 1)
+        grid[r][c] = p.kernel[0].upper()
+
+    lines = [f"Roofline — {p0.node_label} "
+             f"(peak {p0.peak_gflops:.1f} GF/s, "
+             f"BW share {p0.bandwidth_gbs:.1f} GB/s)"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width + "-> operational intensity (flop/byte)")
+    for p in points:
+        kind = "memory-bound" if p.memory_bound else "compute-bound"
+        lines.append(
+            f"  {p.kernel[0].upper()} = {p.kernel}: OI "
+            f"{p.operational_intensity:.2f}, {p.achieved_gflops:.2f} GF/s "
+            f"({p.roof_fraction:.0%} of roof, {kind})")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Tests for the single-file HTML report."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import build_html_report
+from repro.apps import APP_NAMES
+from repro.config import DesignSpace
+from repro.core import ResultSet, run_sweep
+
+
+@pytest.fixture(scope="module")
+def plane():
+    space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+    return run_sweep(APP_NAMES, space, processes=2)
+
+
+class TestBuildHtmlReport:
+    def test_structure(self, plane):
+        doc = build_html_report(plane)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.count("<svg") >= 4          # vector/cache/core/memory figs
+        assert "recommendations" in doc.lower()
+        for app in APP_NAMES:
+            assert app in doc
+
+    def test_frequency_figure_skipped_without_baseline(self, plane):
+        # The 2 GHz plane has no 1.5 GHz baseline: Fig. 9 must be absent.
+        doc = build_html_report(plane)
+        assert "Fig. 9" not in doc
+        assert "Fig. 5" in doc
+
+    def test_svgs_well_formed(self, plane):
+        doc = build_html_report(plane)
+        start = 0
+        count = 0
+        while True:
+            i = doc.find("<svg", start)
+            if i < 0:
+                break
+            j = doc.find("</svg>", i) + len("</svg>")
+            ET.fromstring(doc[i:j])
+            start = j
+            count += 1
+        assert count >= 4
+
+    def test_escapes_title(self, plane):
+        doc = build_html_report(plane, title="<script>alert(1)</script>")
+        assert "<script>" not in doc
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            build_html_report(ResultSet())
+
+    def test_wrong_cores_rejected(self, plane):
+        with pytest.raises(ValueError, match="no records"):
+            build_html_report(plane, cores=32)

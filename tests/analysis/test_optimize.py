@@ -1,0 +1,71 @@
+"""Tests for the constrained design-point optimizer."""
+
+import pytest
+
+from repro.analysis import Constraints, optimize_node
+from repro.apps import APP_NAMES
+from repro.config import DesignSpace
+from repro.core import ResultSet, run_sweep
+
+
+@pytest.fixture(scope="module")
+def plane():
+    space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+    return run_sweep(APP_NAMES, space, processes=2)
+
+
+class TestOptimizeNode:
+    def test_unconstrained_performance(self, plane):
+        choice = optimize_node(plane, objective="time_ns")
+        # Fastest shared design: big everything.
+        assert choice.config["memory"] == "8chDDR4"
+        assert choice.config["vector"] == 512
+        assert choice.n_feasible == 72
+        assert set(choice.per_app) == set(APP_NAMES)
+
+    def test_power_cap_changes_choice(self, plane):
+        free = optimize_node(plane, objective="time_ns")
+        capped = optimize_node(
+            plane, objective="time_ns",
+            constraints=Constraints(power_cap_w=150.0))
+        assert capped.n_feasible < free.n_feasible
+        # The capped choice must actually respect the cap everywhere.
+        for app in APP_NAMES:
+            rec = plane.lookup(app=app, **capped.config)
+            assert rec["power_total_w"] <= 150.0
+
+    def test_area_cap_limits_cache(self, plane):
+        small = optimize_node(
+            plane, objective="time_ns",
+            constraints=Constraints(area_cap_mm2=420.0))
+        assert small.config["cache"] != "96M:1M"
+
+    def test_energy_objective_prefers_frugal_configs(self, plane):
+        perf = optimize_node(plane, objective="time_ns")
+        energy = optimize_node(plane, objective="energy_j")
+        perf_rec = plane.lookup(app="btmz", **perf.config)
+        energy_rec = plane.lookup(app="btmz", **energy.config)
+        assert energy_rec["energy_j"] <= perf_rec["energy_j"]
+
+    def test_edp_objective(self, plane):
+        choice = optimize_node(plane, objective="edp")
+        assert choice.score > 0
+
+    def test_app_subset(self, plane):
+        lulesh_only = optimize_node(plane, objective="time_ns",
+                                    apps=["lulesh"])
+        assert lulesh_only.config["memory"] == "8chDDR4"
+        assert set(lulesh_only.per_app) == {"lulesh"}
+
+    def test_infeasible_raises(self, plane):
+        with pytest.raises(ValueError, match="no feasible"):
+            optimize_node(plane,
+                          constraints=Constraints(power_cap_w=5.0))
+
+    def test_bad_constraints(self):
+        with pytest.raises(ValueError):
+            Constraints(power_cap_w=0.0)
+
+    def test_label(self, plane):
+        choice = optimize_node(plane)
+        assert choice.config["core"] in choice.label

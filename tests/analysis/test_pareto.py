@@ -1,0 +1,79 @@
+"""Tests for Pareto-front extraction."""
+
+import pytest
+
+from repro.analysis import best_configs, pareto_front
+from repro.core import ResultSet
+
+
+def rs():
+    """A small hand-built result set with a known front."""
+    out = ResultSet()
+    rows = [
+        # (vector, time, power, energy): the (100, 10) & (50, 20) &
+        # (30, 40) points form the front; (60, 30) and (110, 15) are
+        # dominated.
+        (128, 100.0, 10.0, 1.0),
+        (256, 50.0, 20.0, 1.0),
+        (512, 30.0, 40.0, 1.2),
+        (1024, 60.0, 30.0, None),
+        (2048, 110.0, 15.0, 2.0),
+    ]
+    for vec, t, p, e in rows:
+        out.add(dict(app="a", core="medium", cache="64M:512K",
+                     memory="4chDDR4", frequency=2.0, vector=vec, cores=64,
+                     time_ns=t, power_total_w=p, energy_j=e))
+    return out
+
+
+class TestParetoFront:
+    def test_front_members(self):
+        front = pareto_front(rs(), "a")
+        labels = [(p.x, p.y) for p in front]
+        assert labels == [(30.0, 40.0), (50.0, 20.0), (100.0, 10.0)]
+
+    def test_front_sorted_and_monotone(self):
+        front = pareto_front(rs(), "a")
+        xs = [p.x for p in front]
+        ys = [p.y for p in front]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)
+
+    def test_none_metrics_skipped(self):
+        front = pareto_front(rs(), "a", y_metric="energy_j")
+        assert all(p.config["vector"] != 1024 for p in front)
+
+    def test_missing_app_raises(self):
+        with pytest.raises(ValueError):
+            pareto_front(rs(), "zzz")
+
+    def test_point_label(self):
+        front = pareto_front(rs(), "a")
+        assert "medium/64M:512K/4chDDR4" in front[0].label
+
+
+class TestBestConfigs:
+    def test_objectives(self):
+        best = best_configs(rs(), "a")
+        assert best["performance"]["vector"] == 512
+        assert best["power"]["vector"] == 128
+        # EDP: 100*1.0=100, 50*1.0=50, 30*1.2=36, 110*2=220 -> 512 wins.
+        assert best["edp"]["vector"] == 512
+
+    def test_energy_skips_none(self):
+        best = best_configs(rs(), "a")
+        assert best["energy"]["vector"] in (128, 256)
+
+    def test_on_real_sweep(self):
+        """The paper's Table II DSE-Best shapes emerge from a real sweep."""
+        from repro.apps import get_app
+        from repro.config import DesignSpace
+        from repro.core import run_sweep
+
+        space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+        results = run_sweep(["lulesh"], space, processes=2)
+        best = best_configs(results, "lulesh")
+        # LULESH's fastest config uses eight channels (Table II).
+        assert best["performance"]["memory"] == "8chDDR4"
+        front = pareto_front(results, "lulesh")
+        assert len(front) >= 3

@@ -1,0 +1,74 @@
+"""Tests for the PCA analysis (Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PCA_VARIABLES, pca
+from repro.core import ResultSet
+
+
+class TestPca:
+    def test_explained_variance_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 5))
+        r = pca(x, ["a", "b", "c", "d", "e"])
+        assert r.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_variance_sorted_descending(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 4))
+        r = pca(x, list("abcd"))
+        ev = r.explained_variance_ratio
+        assert all(a >= b for a, b in zip(ev, ev[1:]))
+
+    def test_perfectly_correlated_pair_loads_together(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=200)
+        noise = rng.normal(size=(200, 2))
+        x = np.column_stack([a, -a, noise])
+        r = pca(x, ["u", "v", "n1", "n2"])
+        # PC0 captures the u/v anticorrelation with opposite signs.
+        lu = r.loading("u", 0)
+        lv = r.loading("v", 0)
+        assert lu * lv < 0
+        assert abs(lu) > 0.5 and abs(lv) > 0.5
+
+    def test_constant_column_contributes_nothing(self):
+        rng = np.random.default_rng(3)
+        x = np.column_stack([rng.normal(size=50), np.full(50, 7.0)])
+        r = pca(x, ["var", "const"])
+        assert abs(r.loading("const", 0)) < 1e-9
+
+    def test_correlated_with_time_helper(self):
+        rng = np.random.default_rng(4)
+        knob = rng.normal(size=300)
+        time = -knob + 0.05 * rng.normal(size=300)
+        other = rng.normal(size=300)
+        x = np.column_stack([knob, other, time])
+        r = pca(x, ["knob", "other", "Exec. time"])
+        drivers = dict(r.correlated_with_time(0))
+        assert "knob" in drivers
+        assert drivers["knob"] > 0  # increasing knob reduces time
+
+    def test_unknown_variable(self):
+        r = pca(np.random.default_rng(5).normal(size=(10, 2)), ["a", "b"])
+        with pytest.raises(KeyError):
+            r.loading("z", 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca(np.zeros((1, 2)), ["a", "b"])
+        with pytest.raises(ValueError):
+            pca(np.zeros((5, 2)), ["a"])
+
+
+class TestAppPca:
+    def test_variables_match_figure(self):
+        assert PCA_VARIABLES == ("OoO struct.", "Cache size", "FPU",
+                                 "Mem. BW", "Exec. time")
+
+    def test_empty_subset_raises(self):
+        from repro.analysis import app_pca
+
+        with pytest.raises(ValueError):
+            app_pca(ResultSet(), "hydro")

@@ -1,0 +1,63 @@
+"""Tests for the co-design recommendation engine.
+
+Run on the 2 GHz / 64-core plane, the derived guidelines must match the
+paper's Sec. VII conclusions.
+"""
+
+import pytest
+
+from repro.analysis import recommend
+from repro.apps import APP_NAMES
+from repro.config import DesignSpace
+from repro.core import run_sweep
+
+
+@pytest.fixture(scope="module")
+def plane():
+    space = DesignSpace(frequencies=(2.0,), core_counts=(64,))
+    return run_sweep(APP_NAMES, space, processes=2)
+
+
+@pytest.fixture(scope="module")
+def report(plane):
+    return recommend(plane, cores=64)
+
+
+class TestRecommendations:
+    def test_all_axes_covered(self, report):
+        axes = {r.axis for r in report.recommendations}
+        assert {"vector", "cache", "core", "memory", "software"} <= axes
+
+    def test_simd_recommendation_is_512(self, report):
+        """Paper: 'it is appropriate to add 512-bit FP computing units'."""
+        rec = report.by_axis("vector")[0]
+        assert rec.value == 512
+
+    def test_cache_recommendation_is_middle_point(self, report):
+        """Paper: '1MB L3 and 512KB L2 per core offer the best trade-off'
+        — the 96M step's gain does not justify doubling cache power."""
+        rec = report.by_axis("cache")[0]
+        assert rec.value == "64M:512K"
+
+    def test_core_recommendation_is_moderate(self, report):
+        """Paper: 'moderate OoO capabilities are a good design point'."""
+        rec = report.by_axis("core")[0]
+        assert rec.value in ("medium", "high")
+
+    def test_memory_recommendation_names_lulesh(self, report):
+        """Paper: 'memory bound codes benefit greatly from enhanced
+        memory bandwidth' — only LULESH in this mix."""
+        rec = report.by_axis("memory")[0]
+        assert rec.value == ("lulesh",)
+
+    def test_software_recommendation_targets_worst_occupancy(self, report):
+        """Paper: underutilization is the main way to hurt energy
+        efficiency — Specfem3D has the worst occupancy."""
+        rec = report.by_axis("software")[0]
+        assert rec.value == "spec3d"
+
+    def test_render_is_readable(self, report):
+        text = report.render()
+        assert "Co-design recommendations" in text
+        assert "evidence:" in text
+        assert len(text.splitlines()) >= 11

@@ -1,0 +1,49 @@
+"""Tests for scaling-curve helpers (Fig. 2)."""
+
+import pytest
+
+from repro.analysis import ScalingCurve, compute_region_scaling, full_app_scaling
+from repro.apps import get_app
+from repro.core import Musa
+
+
+class TestScalingCurve:
+    def test_efficiency(self):
+        c = ScalingCurve(app="x", core_counts=(1, 32, 64),
+                         speedups=(1.0, 24.0, 32.0))
+        assert c.efficiency(32) == pytest.approx(0.75)
+        assert c.efficiency(64) == pytest.approx(0.5)
+
+    def test_unknown_count(self):
+        c = ScalingCurve(app="x", core_counts=(1,), speedups=(1.0,))
+        with pytest.raises(KeyError):
+            c.efficiency(16)
+
+
+class TestComputeRegionScaling:
+    def test_one_core_baseline_is_unity(self):
+        c = compute_region_scaling(Musa(get_app("hydro")))
+        assert c.speedups[0] == pytest.approx(1.0)
+
+    def test_requires_baseline(self):
+        with pytest.raises(ValueError):
+            compute_region_scaling(Musa(get_app("hydro")),
+                                   core_counts=(32, 64))
+
+    def test_speedups_monotone(self):
+        c = compute_region_scaling(Musa(get_app("spmz")))
+        assert c.speedups[0] <= c.speedups[1] <= c.speedups[2] * 1.01
+
+
+class TestFullAppScaling:
+    def test_mpi_reduces_efficiency(self):
+        """Fig. 2b lies below Fig. 2a for every app."""
+        musa = Musa(get_app("btmz"))
+        region = compute_region_scaling(musa)
+        full = full_app_scaling(musa, n_ranks=16, n_iterations=1)
+        assert full.efficiency(64) < region.efficiency(64)
+
+    def test_hydro_keeps_scaling(self):
+        musa = Musa(get_app("hydro"))
+        full = full_app_scaling(musa, n_ranks=16, n_iterations=1)
+        assert full.efficiency(64) > 0.55

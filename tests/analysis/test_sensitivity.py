@@ -1,0 +1,66 @@
+"""Tests for tornado sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import render_tornado, tornado
+from repro.apps import get_app
+from repro.config import baseline_node
+from repro.core import Musa
+
+
+@pytest.fixture(scope="module")
+def btmz_swings(node64):
+    return tornado(Musa(get_app("btmz")), node64)
+
+
+@pytest.fixture(scope="module")
+def lulesh_swings(node64):
+    return tornado(Musa(get_app("lulesh")), node64)
+
+
+class TestTornado:
+    def test_covers_all_axes(self, btmz_swings):
+        assert {s.axis for s in btmz_swings} == {
+            "core", "cache", "memory", "frequency", "vector"}
+
+    def test_sorted_by_swing(self, btmz_swings):
+        swings = [s.swing for s in btmz_swings]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_swings_at_least_one(self, btmz_swings):
+        assert all(s.swing >= 1.0 - 1e-9 for s in btmz_swings)
+
+    def test_btmz_memory_is_last(self, btmz_swings):
+        """Compute-bound BT-MZ: memory channels move nothing."""
+        assert btmz_swings[-1].axis == "memory"
+        assert btmz_swings[-1].swing < 1.05
+
+    def test_lulesh_memory_matters(self, lulesh_swings):
+        """Bandwidth-bound LULESH: the channel axis has real swing."""
+        mem = next(s for s in lulesh_swings if s.axis == "memory")
+        assert mem.swing > 1.2
+        vec = next(s for s in lulesh_swings if s.axis == "vector")
+        assert vec.swing < 1.05  # and SIMD has none
+
+    def test_best_value_orientation(self, btmz_swings):
+        freq = next(s for s in btmz_swings if s.axis == "frequency")
+        assert freq.high_value == 3.0   # best = lowest time
+        assert freq.low_value == 1.5
+
+    def test_energy_metric(self, node64):
+        swings = tornado(Musa(get_app("btmz")), node64, metric="energy_j")
+        freq = next(s for s in swings if s.axis == "frequency")
+        # For energy, 3 GHz is the *worst* frequency (power superlinear).
+        assert freq.low_value == 3.0
+
+
+class TestRender:
+    def test_render(self, btmz_swings):
+        art = render_tornado(btmz_swings, "time_ns")
+        assert "Tornado" in art
+        assert "frequency" in art
+        assert "#" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_tornado([], "time_ns")

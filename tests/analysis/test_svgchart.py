@@ -1,0 +1,68 @@
+"""Tests for the dependency-free SVG bar-chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import grouped_bar_chart
+
+
+def sample_data():
+    return {
+        "hydro": {128: 1.0, 256: 1.1, 512: 1.2},
+        "spmz": {128: 1.0, 256: 1.5, 512: 1.8},
+    }
+
+
+class TestGroupedBarChart:
+    def test_well_formed_xml(self):
+        svg = grouped_bar_chart(sample_data(), ["hydro", "spmz"],
+                                [128, 256, 512], title="t")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_cell_plus_chrome(self):
+        svg = grouped_bar_chart(sample_data(), ["hydro", "spmz"],
+                                [128, 256, 512])
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        # 6 bars + background + 3 legend swatches
+        assert len(rects) == 6 + 1 + 3
+
+    def test_bar_heights_proportional(self):
+        svg = grouped_bar_chart({"a": {1: 1.0, 2: 2.0}}, ["a"], [1, 2])
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [r for r in root.findall(f"{ns}rect")
+                if r.find(f"{ns}title") is not None]
+        h1, h2 = (float(b.get("height")) for b in bars)
+        assert h2 == pytest.approx(2 * h1, rel=0.01)
+
+    def test_missing_cells_skipped(self):
+        svg = grouped_bar_chart({"a": {1: 1.0}}, ["a", "b"], [1, 2])
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [r for r in root.findall(f"{ns}rect")
+                if r.find(f"{ns}title") is not None]
+        assert len(bars) == 1
+
+    def test_escapes_labels(self):
+        svg = grouped_bar_chart({"<evil>": {1: 1.0}}, ["<evil>"], [1],
+                                title="a & b")
+        assert "<evil>" not in svg.replace("&lt;evil&gt;", "")
+        ET.fromstring(svg)  # still parses
+
+    def test_reference_line_present(self):
+        svg = grouped_bar_chart(sample_data(), ["hydro"], [128],
+                                reference_line=1.0)
+        assert "stroke-dasharray" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({}, [], [1])
+        with pytest.raises(ValueError):
+            grouped_bar_chart({"a": {}}, ["a"], [1])
+        with pytest.raises(ValueError):
+            grouped_bar_chart({"a": {1: 1.0}}, ["a"], [1], width=10,
+                              height=10)

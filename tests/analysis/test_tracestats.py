@@ -1,0 +1,103 @@
+"""Tests for trace-level statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    message_stats,
+    parallelism_profile,
+    task_granularity,
+    trace_summary,
+)
+from repro.analysis.tracestats import TaskGranularity
+from repro.apps import get_app
+from repro.runtime import task_phase
+from repro.trace import ComputePhase, TaskRecord
+
+
+class TestTaskGranularity:
+    def test_uniform_tasks(self):
+        phase = ComputePhase(phase_id=0, tasks=tuple(
+            TaskRecord(kernel="k", duration_ns=100.0) for _ in range(10)))
+        g = task_granularity(phase)
+        assert g.n_tasks == 10
+        assert g.mean_ns == pytest.approx(100.0)
+        assert g.max_over_mean == pytest.approx(1.0)
+
+    def test_imbalance_detected(self):
+        phase = ComputePhase(phase_id=0, tasks=(
+            TaskRecord(kernel="k", duration_ns=10.0),
+            TaskRecord(kernel="k", duration_ns=10.0),
+            TaskRecord(kernel="k", duration_ns=40.0),
+        ))
+        assert task_granularity(phase).max_over_mean == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGranularity.from_durations([])
+
+
+class TestParallelismProfile:
+    def test_independent_tasks_fully_parallel(self):
+        phase = ComputePhase(phase_id=0, tasks=tuple(
+            TaskRecord(kernel="k", duration_ns=10.0) for _ in range(16)))
+        prof = parallelism_profile(phase)
+        assert prof.max() == pytest.approx(16.0)
+        assert prof.min() == pytest.approx(16.0)
+
+    def test_chain_is_serial(self):
+        deps = [(), (0,), (1,), (2,)]
+        phase = ComputePhase(phase_id=0, tasks=tuple(
+            TaskRecord(kernel="k", duration_ns=10.0, deps=deps[i])
+            for i in range(4)))
+        prof = parallelism_profile(phase)
+        assert prof.max() == pytest.approx(1.0)
+
+    def test_serial_task_gates_profile(self):
+        phase = task_phase(0, "k", n_tasks=8, task_ns=10.0,
+                           serial_task_ns=10.0, creation_ns=0.0)
+        prof = parallelism_profile(phase, n_points=100)
+        # First half: the serial segment alone; second half: 8-wide.
+        assert prof[:45].max() == pytest.approx(1.0)
+        assert prof[60:].max() == pytest.approx(8.0)
+
+    def test_spmz_parallelism_capped_by_zones(self):
+        app = get_app("spmz")
+        prof = parallelism_profile(app.representative_phase())
+        assert prof.max() <= app.n_zones
+
+
+class TestMessageStats:
+    def test_counts(self):
+        trace = get_app("hydro").burst_trace(n_ranks=8, n_iterations=2)
+        m = message_stats(trace)
+        # per rank per iter: phases x neighbours isends.
+        n_phases = len(get_app("hydro").iteration_phases())
+        from repro.apps import grid_neighbors, rank_grid_dims
+
+        n_nb = len(grid_neighbors(0, rank_grid_dims(8)))
+        assert m.n_p2p == 8 * 2 * n_phases * n_nb
+        assert m.n_collectives == 8 * 2 * 1
+        assert m.mean_message_bytes == get_app("hydro").halo_bytes
+
+    def test_bytes_total(self):
+        trace = get_app("hydro").burst_trace(n_ranks=4, n_iterations=1)
+        m = message_stats(trace)
+        assert m.total_bytes == m.n_p2p * get_app("hydro").halo_bytes
+
+
+class TestTraceSummary:
+    def test_fields(self):
+        summary = trace_summary(get_app("lulesh").burst_trace(8, 1))
+        for key in ("app", "mean_task_us", "worst_imbalance",
+                    "mean_parallelism", "peak_parallelism", "p2p_messages"):
+            assert key in summary
+        assert summary["app"] == "lulesh"
+        assert summary["worst_imbalance"] > 1.2
+
+    def test_spec3d_low_parallelism(self):
+        """Fig. 3's root cause, visible straight from the trace."""
+        spec = trace_summary(get_app("spec3d").burst_trace(4, 1))
+        hydro = trace_summary(get_app("hydro").burst_trace(4, 1))
+        assert spec["peak_parallelism"] < 64
+        assert hydro["peak_parallelism"] > 256

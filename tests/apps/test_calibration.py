@@ -1,0 +1,119 @@
+"""Calibration tests: the application models must reproduce the paper's
+published per-app characteristics (within model tolerances).
+
+These pin the Fig. 1 runtime statistics and the qualitative rank order
+of memory behaviour; the per-axis evaluation shapes are pinned in
+``tests/integration/test_paper_claims.py``.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES, get_app
+from repro.core import Musa
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    """Fig. 1 characterization runs at the 32-core baseline."""
+    from repro.config import baseline_node
+
+    out = {}
+    for name in APP_NAMES:
+        out[name] = Musa(get_app(name)).simulate_node(baseline_node(32))
+    return out
+
+
+#: Paper Fig. 1 values at 32 cores: (L1, L2, L3 MPKI).  The model is
+#: expected to land within the stated relative tolerance; spmz/spec3d
+#: L3 MPKI are intentionally lower than the paper's print (see
+#: EXPERIMENTS.md: the printed values are inconsistent with the paper's
+#: own bandwidth narrative, which we prioritize).
+_FIG1_MPKI = {
+    "hydro": (5.98, 1.78, 0.19),
+    "spmz": (96.99, 22.26, 13.80),
+    "btmz": (24.14, 1.86, 0.57),
+    "spec3d": (43.32, 6.95, 4.81),
+    "lulesh": (13.50, 4.61, 5.27),
+}
+
+
+class TestFig1Mpki:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_l1_mpki(self, fig1, name):
+        assert fig1[name].mpki_l1 == pytest.approx(_FIG1_MPKI[name][0],
+                                                   rel=0.35)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_l2_mpki(self, fig1, name):
+        # LULESH's far tail is deliberately enlarged so its node saturates
+        # four DDR4 channels (the Fig. 8 anchor); its L2/L3 MPKI sit ~1.7x
+        # above the paper's print as documented in EXPERIMENTS.md.
+        rel = 0.9 if name == "lulesh" else 0.50
+        assert fig1[name].mpki_l2 == pytest.approx(_FIG1_MPKI[name][1],
+                                                   rel=rel)
+
+    @pytest.mark.parametrize("name", ["hydro", "btmz", "lulesh"])
+    def test_l3_mpki_calibrated_apps(self, fig1, name):
+        assert fig1[name].mpki_l3 == pytest.approx(_FIG1_MPKI[name][2],
+                                                   rel=0.50)
+
+    def test_l1_rank_order(self, fig1):
+        """SPMZ >> spec3d > btmz > lulesh > hydro (Fig. 1 shape)."""
+        l1 = {n: fig1[n].mpki_l1 for n in APP_NAMES}
+        assert l1["spmz"] > l1["spec3d"] > l1["btmz"] > l1["lulesh"] > l1["hydro"]
+
+    def test_hydro_is_cache_friendly(self, fig1):
+        assert fig1["hydro"].mpki_l3 < 0.5
+
+    def test_mpki_hierarchy_consistent(self, fig1):
+        for name in APP_NAMES:
+            r = fig1[name]
+            assert r.mpki_l1 >= r.mpki_l2 >= r.mpki_l3
+
+
+class TestFig1Bandwidth:
+    def test_lulesh_has_highest_request_rate(self, fig1):
+        rates = {n: fig1[n].gmem_req_per_s for n in APP_NAMES}
+        assert max(rates, key=rates.get) == "lulesh"
+
+    def test_lulesh_magnitude(self, fig1):
+        # Paper: ~0.5 G requests/s at 32 cores.
+        assert fig1["lulesh"].gmem_req_per_s == pytest.approx(0.51, rel=0.35)
+
+    def test_compute_apps_light_on_memory(self, fig1):
+        assert fig1["hydro"].gmem_req_per_s < 0.1
+        assert fig1["btmz"].gmem_req_per_s < 0.15
+
+    def test_only_lulesh_near_saturation(self, fig1):
+        assert fig1["lulesh"].bw_utilization > 0.6
+        for name in ("hydro", "btmz"):
+            assert fig1[name].bw_utilization < 0.3
+
+
+class TestApplicationContrast:
+    """Pairwise characteristics the paper's analysis hinges on."""
+
+    def test_spmz_most_vectorizable(self):
+        sigs = {n: get_app(n).detailed_trace() for n in APP_NAMES}
+        vec = {n: max(s.vec_fraction for s in sigs[n].kernels.values())
+               for n in APP_NAMES}
+        assert max(vec, key=vec.get) == "spmz"
+
+    def test_lulesh_short_loops(self):
+        lulesh = get_app("lulesh").detailed_trace()
+        assert all(s.trip_count < 8 for s in lulesh.kernels.values())
+
+    def test_spec3d_lowest_mlp(self):
+        sigs = {n: get_app(n).detailed_trace() for n in APP_NAMES}
+        mlp = {n: min(s.mlp for s in sigs[n].kernels.values())
+               for n in APP_NAMES}
+        assert min(mlp, key=mlp.get) == "spec3d"
+
+    def test_spec3d_poor_row_locality(self):
+        spec = get_app("spec3d").detailed_trace()
+        assert all(s.row_hit_rate <= 0.25 for s in spec.kernels.values())
+
+    def test_lulesh_highest_rank_imbalance(self):
+        imb = {n: get_app(n).rank_imbalance for n in APP_NAMES}
+        assert max(imb, key=imb.get) == "lulesh"
+        assert min(imb, key=imb.get) == "hydro"

@@ -1,0 +1,87 @@
+"""Tests for declarative synthetic applications."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.config import baseline_node
+from repro.core import Musa
+
+
+def fft_spec(**phase_extra):
+    return dict(
+        name="fft",
+        kernels={
+            "transpose": dict(instr_per_task=400_000, fp=0.15, load=0.4,
+                              store=0.3, ilp=2.2, vec_fraction=0.6,
+                              trip_count=64, mlp=8, row_hit_rate=0.3,
+                              reuse=[(8, 0.7), (50_000, 0.3)]),
+            "butterfly": dict(instr_per_task=200_000, fp=0.45, load=0.25,
+                              store=0.1, reuse=[(8, 0.9), (2_000, 0.1)]),
+        },
+        phases=[
+            dict(kernel="transpose", n_tasks=128, imbalance=0.1,
+                 **phase_extra),
+            dict(kernel="butterfly", n_tasks=128),
+        ],
+    )
+
+
+class TestMakeApp:
+    def test_builds_and_simulates(self):
+        app = make_app(**fft_spec())
+        r = Musa(app).simulate_node(baseline_node(64))
+        assert r.time_ns > 0
+        assert r.app == "fft"
+
+    def test_full_trace_machinery_works(self):
+        app = make_app(**fft_spec(), )
+        trace = app.burst_trace(n_ranks=8, n_iterations=1)
+        assert trace.n_ranks == 8
+        assert app.detailed_trace().covers(trace.kernel_names())
+
+    def test_app_level_overrides(self):
+        app = make_app(**fft_spec(), halo_bytes=1024, rank_imbalance=0.4)
+        assert app.halo_bytes == 1024
+        assert app.rank_imbalance == 0.4
+
+    def test_serial_segment_supported(self):
+        app = make_app(**fft_spec(serial_task_ns=100_000.0))
+        phase = app.canonical_phases()[0]
+        assert phase.tasks[0].duration_ns == pytest.approx(100_000.0)
+        assert phase.tasks[1].deps == (0,)
+
+    def test_int_alu_derived_from_remainder(self):
+        app = make_app(**fft_spec())
+        mix = app.kernels()["transpose"].mix
+        assert mix.fp + mix.int_alu + mix.load + mix.store + mix.branch \
+            + mix.other == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = make_app(**fft_spec()).canonical_phases()
+        b = make_app(**fft_spec()).canonical_phases()
+        assert [t.duration_ns for t in a[0].tasks] == \
+               [t.duration_ns for t in b[0].tasks]
+
+
+class TestValidation:
+    def test_unknown_kernel_field(self):
+        spec = fft_spec()
+        spec["kernels"]["transpose"]["simd"] = True
+        with pytest.raises(TypeError, match="unknown fields"):
+            make_app(**spec)
+
+    def test_unknown_phase_field(self):
+        spec = fft_spec()
+        spec["phases"][0]["chunks"] = 4
+        with pytest.raises(TypeError, match="unknown fields"):
+            make_app(**spec)
+
+    def test_phase_references_unknown_kernel(self):
+        spec = fft_spec()
+        spec["phases"][0]["kernel"] = "fftshift"
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_app(**spec)
+
+    def test_needs_name_kernels_phases(self):
+        with pytest.raises(ValueError):
+            make_app(name="", kernels={}, phases=[])

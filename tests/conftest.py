@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import baseline_node
+from repro.trace import InstructionMix, KernelSignature, ReuseProfile
+
+
+@pytest.fixture(scope="session")
+def node32():
+    """Baseline 32-core node (Fig. 1 characterization config)."""
+    return baseline_node(n_cores=32)
+
+
+@pytest.fixture(scope="session")
+def node64():
+    """Baseline 64-core node."""
+    return baseline_node(n_cores=64)
+
+
+@pytest.fixture
+def simple_reuse():
+    """A three-component reuse profile: L1-resident, L2-resident, DRAM."""
+    return ReuseProfile.from_components(
+        [(8.0, 0.90), (2000.0, 0.07), (1.0e6, 0.03)], cold_fraction=0.002,
+    )
+
+
+@pytest.fixture
+def simple_kernel(simple_reuse):
+    """A generic balanced kernel signature."""
+    return KernelSignature(
+        name="k",
+        instr_per_unit=100_000.0,
+        mix=InstructionMix(fp=0.30, int_alu=0.20, load=0.25, store=0.10,
+                           branch=0.10, other=0.05),
+        ilp=3.0,
+        vec_fraction=0.7,
+        trip_count=256,
+        mlp=6.0,
+        reuse=simple_reuse,
+        row_hit_rate=0.6,
+    )

@@ -1,0 +1,81 @@
+"""Tests for checkpointed (resumable) sweeps."""
+
+import json
+
+import pytest
+
+from repro.config import DesignSpace
+from repro.core import load_checkpoint, run_sweep_checkpointed
+
+
+@pytest.fixture
+def tiny_space():
+    return DesignSpace(core_labels=("medium",), cache_labels=("64M:512K",),
+                       memory_labels=("4chDDR4",), frequencies=(2.0,),
+                       vector_widths=(128, 256), core_counts=(64,))
+
+
+class TestCheckpointedSweep:
+    def test_fresh_run_completes(self, tiny_space, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        rs = run_sweep_checkpointed(["spmz"], tiny_space,
+                                    checkpoint_path=path)
+        assert len(rs) == 2
+        assert path.exists()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+
+    def test_resume_skips_done_work(self, tiny_space, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        first = run_sweep_checkpointed(["spmz"], tiny_space,
+                                       checkpoint_path=path)
+        size_before = path.stat().st_size
+        again = run_sweep_checkpointed(["spmz"], tiny_space,
+                                       checkpoint_path=path)
+        # Nothing re-simulated: file unchanged, results identical.
+        assert path.stat().st_size == size_before
+        assert len(again) == len(first)
+
+    def test_partial_checkpoint_resumes_rest(self, tiny_space, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        full = run_sweep_checkpointed(["spmz"], tiny_space,
+                                      checkpoint_path=path)
+        # Truncate to one record (simulated crash after the first sim).
+        lines = path.read_text().strip().splitlines()
+        path.write_text(lines[0] + "\n")
+        resumed = run_sweep_checkpointed(["spmz"], tiny_space,
+                                         checkpoint_path=path)
+        assert len(resumed) == len(full)
+
+    def test_truncated_tail_tolerated(self, tiny_space, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep_checkpointed(["spmz"], tiny_space, checkpoint_path=path)
+        # Corrupt the last line mid-JSON (torn write).
+        content = path.read_text()
+        path.write_text(content[:-20])
+        rs = load_checkpoint(path)
+        assert len(rs) == 1  # the intact record survives
+        resumed = run_sweep_checkpointed(["spmz"], tiny_space,
+                                         checkpoint_path=path)
+        assert len(resumed) == 2
+
+    def test_missing_checkpoint_is_empty(self, tmp_path):
+        assert len(load_checkpoint(tmp_path / "nope.jsonl")) == 0
+
+    def test_results_match_plain_sweep(self, tiny_space, tmp_path):
+        from repro.core import run_sweep
+
+        ckpt = run_sweep_checkpointed(["btmz"], tiny_space,
+                                      checkpoint_path=tmp_path / "c.jsonl")
+        plain = run_sweep(["btmz"], tiny_space, processes=1)
+        for rec in plain:
+            cfg = {k: rec[k] for k in ("app", "core", "cache", "memory",
+                                       "frequency", "vector", "cores")}
+            assert ckpt.lookup(**cfg)["time_ns"] == pytest.approx(
+                rec["time_ns"], rel=1e-9)
+
+    def test_rejects_bad_flush(self, tiny_space, tmp_path):
+        with pytest.raises(ValueError):
+            run_sweep_checkpointed(["spmz"], tiny_space,
+                                   checkpoint_path=tmp_path / "x.jsonl",
+                                   flush_every=0)

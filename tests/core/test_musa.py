@@ -1,0 +1,102 @@
+"""Tests for the Musa facade."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core import Musa
+
+
+@pytest.fixture(scope="module")
+def musa():
+    return Musa(get_app("spmz"))
+
+
+class TestBurstMode:
+    def test_region_speedup_monotone(self, musa):
+        s1 = musa.compute_region_speedup(1)
+        s32 = musa.compute_region_speedup(32)
+        s64 = musa.compute_region_speedup(64)
+        assert s1 == pytest.approx(1.0)
+        assert 1.0 < s32 <= 64
+        assert s32 <= s64 * 1.01
+
+    def test_burst_phase_memoized(self, musa):
+        p = musa.phases[0]
+        assert musa.burst_phase(p, 32) is musa.burst_phase(p, 32)
+
+    def test_burst_full_replay(self, musa):
+        res = musa.simulate_burst_full(n_cores=32, n_ranks=8, n_iterations=1)
+        assert res.n_ranks == 8
+        assert res.total_ns > 0
+        assert res.mpi_fraction > 0
+
+    def test_trace_cached(self, musa):
+        a = musa._burst_trace(8, 1)
+        b = musa._burst_trace(8, 1)
+        assert a is b
+
+
+class TestDetailedMode:
+    def test_simulate_node_record_fields(self, musa, node64):
+        rec = musa.simulate_node(node64).record()
+        for key in ("app", "core", "cache", "memory", "frequency", "vector",
+                    "cores", "time_ns", "power_total_w", "energy_j",
+                    "mpki_l1", "occupancy"):
+            assert key in rec
+
+    def test_phase_detail_memoized(self, musa, node64):
+        p = musa.phases[0]
+        assert musa.phase_detail(p, node64) is musa.phase_detail(p, node64)
+
+    def test_different_nodes_not_conflated(self, musa, node64):
+        p = musa.phases[0]
+        a = musa.phase_detail(p, node64)
+        b = musa.phase_detail(p, node64.with_(vector_bits=512))
+        assert a.makespan_ns != b.makespan_ns
+
+    def test_energy_consistent_with_power_and_time(self, musa, node64):
+        r = musa.simulate_node(node64)
+        assert r.energy_j == pytest.approx(
+            r.power.total_w * r.time_ns * 1e-9)
+
+    def test_hbm_energy_is_none(self):
+        from repro.config import baseline_node
+
+        m = Musa(get_app("lulesh"))
+        r = m.simulate_node(baseline_node(64).with_(memory="16chHBM",
+                                                    vector_bits=64))
+        assert r.energy_j is None
+        assert r.power.memory_w is None
+        assert r.power.core_l1_w > 0
+
+    def test_comm_excluded_by_default(self, musa, node64):
+        without = musa.simulate_node(node64)
+        with_comm = musa.simulate_node(node64, include_comm=True)
+        assert with_comm.time_ns > without.time_ns
+
+    def test_fast_vs_replay_agree(self, node64):
+        """The analytic integration must track the full replay."""
+        m = Musa(get_app("btmz"))
+        fast = m.simulate_node(node64, n_ranks=16, n_iterations=2,
+                               mode="fast", include_comm=True)
+        full = m.simulate_node(node64, n_ranks=16, n_iterations=2,
+                               mode="replay")
+        assert fast.time_ns == pytest.approx(full.time_ns, rel=0.30)
+
+    def test_invalid_mode(self, musa, node64):
+        with pytest.raises(ValueError):
+            musa.simulate_node(node64, mode="magic")
+
+
+class TestCommModel:
+    def test_single_rank_no_comm(self, musa):
+        assert musa.comm_iteration_ns(1) == 0.0
+
+    def test_comm_grows_with_halo(self):
+        a = Musa(get_app("hydro")).comm_iteration_ns(256)
+        b = Musa(get_app("btmz")).comm_iteration_ns(256)
+        assert b > a  # btmz has much bigger halos
+
+    def test_comm_independent_of_node_config(self, musa):
+        # Configuration-invariance: the paper's network is fixed.
+        assert musa.comm_iteration_ns(256) == musa.comm_iteration_ns(256)

@@ -1,0 +1,79 @@
+"""Tests for the paired normalization (Sec. V-B methodology)."""
+
+import pytest
+
+from repro.core import ResultSet, axis_table, normalize_axis
+
+
+def grid_results():
+    """A tiny 2-axis grid with known ratios."""
+    rs = ResultSet()
+    for app in ("a", "b"):
+        for cores in (32, 64):
+            for freq in (2.0, 3.0):
+                for vector in (128, 256):
+                    speed = (vector / 128) * (2.0 if app == "b" else 1.0)
+                    rs.add(dict(
+                        app=app, core="medium", cache="64M:512K",
+                        memory="4chDDR4", frequency=freq, vector=vector,
+                        cores=cores,
+                        time_ns=1000.0 / speed,
+                        power_total_w=100.0 * (vector / 128) ** 0.5,
+                        energy_j=None if vector == 256 and app == "b" else 5.0,
+                    ))
+    return rs
+
+
+class TestNormalizeAxis:
+    def test_time_inverted_to_speedup(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "time_ns")
+        for b in bars:
+            if b.value == 256:
+                assert b.mean == pytest.approx(2.0)
+            else:
+                assert b.mean == pytest.approx(1.0)
+
+    def test_power_not_inverted(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "power_total_w")
+        b256 = [b for b in bars if b.value == 256][0]
+        assert b256.mean == pytest.approx(2 ** 0.5)
+
+    def test_sample_counts(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "time_ns")
+        # per (app, cores, value): 2 frequency partners
+        assert all(b.n_samples == 2 for b in bars)
+
+    def test_none_metric_skipped(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "energy_j")
+        # app b's 256-bit energy is None -> no (b, 256) bar; the trivial
+        # (b, 128) self-ratio remains.
+        assert not [b for b in bars if b.app == "b" and b.value == 256]
+        assert [b for b in bars if b.app == "a" and b.value == 256]
+
+    def test_std_zero_for_uniform_ratios(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "time_ns")
+        assert all(b.std == pytest.approx(0.0, abs=1e-12) for b in bars)
+
+    def test_rejects_app_axis(self):
+        with pytest.raises(ValueError):
+            normalize_axis(grid_results(), "app", "a", "time_ns")
+
+    def test_rejects_nonpositive_metric(self):
+        rs = grid_results()
+        for r in rs:
+            r["bad"] = 0.0
+        with pytest.raises(ValueError):
+            normalize_axis(rs, "vector", 128, "bad")
+
+
+class TestAxisTable:
+    def test_panel_layout(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "time_ns")
+        table = axis_table(bars, apps=("a", "b"), values=(128, 256), cores=64)
+        assert table["a"][256][0] == pytest.approx(2.0)
+        assert table["b"][128][0] == pytest.approx(1.0)
+
+    def test_missing_value_raises(self):
+        bars = normalize_axis(grid_results(), "vector", 128, "time_ns")
+        with pytest.raises(ValueError, match="incomplete"):
+            axis_table(bars, apps=("a",), values=(128, 512), cores=64)

@@ -1,0 +1,89 @@
+"""Tests for detailed phase simulation."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core import simulate_phase_detailed
+
+
+@pytest.fixture(scope="module")
+def spmz():
+    app = get_app("spmz")
+    return app, app.detailed_trace(), app.iteration_phases()
+
+
+class TestSimulatePhaseDetailed:
+    def test_basic_outputs(self, spmz, node64):
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64)
+        assert d.makespan_ns > 0
+        assert d.busy_core_ns > 0
+        assert 1 <= d.n_busy_cores <= 64
+        assert d.instructions > 0
+        assert 0 < d.occupancy <= 1.0
+
+    def test_event_totals_scale_with_tasks(self, spmz, node64):
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64)
+        sig = detailed["sp_solve"]
+        work = sum(t.work_units for t in phases[0].tasks)
+        # Instruction totals = per-unit fused instructions x total work.
+        from repro.uarch import vectorize
+
+        expected = sig.instr_per_unit * vectorize(sig, 128).instr_scale * work
+        assert d.instructions == pytest.approx(expected, rel=1e-6)
+
+    def test_concurrency_capped_by_tasks(self, spmz, node64):
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64)
+        assert d.n_busy_cores <= phases[0].n_tasks
+
+    def test_imbalance_preserved(self, spmz, node64):
+        """Trace-level intra-phase imbalance survives re-timing."""
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64,
+                                    collect_spans=True)
+        durs = [s.duration_ns for s in d.schedule.spans]
+        assert max(durs) / (sum(durs) / len(durs)) > 1.05
+
+    def test_store_fraction_sane(self, spmz, node64):
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64)
+        assert 0.0 <= d.store_fraction <= 1.0
+
+    def test_row_hit_weighted(self, spmz, node64):
+        app, detailed, phases = spmz
+        d = simulate_phase_detailed(phases[0], detailed, node64)
+        rhs = [detailed[k].row_hit_rate for k in detailed.names()]
+        assert min(rhs) - 1e-9 <= d.row_hit_rate <= max(rhs) + 1e-9
+
+    def test_faster_node_shorter_makespan(self, spmz):
+        from repro.config import baseline_node
+
+        app, detailed, phases = spmz
+        slow = simulate_phase_detailed(phases[0], detailed,
+                                       baseline_node(64).with_(core="lowend"))
+        fast = simulate_phase_detailed(
+            phases[0], detailed,
+            baseline_node(64).with_(core="aggressive", vector_bits=512))
+        assert fast.makespan_ns < slow.makespan_ns
+
+    def test_empty_phase(self, node64):
+        from repro.trace import ComputePhase, DetailedTrace
+
+        app = get_app("hydro")
+        empty = ComputePhase(phase_id=0, tasks=(), serial_ns=500.0)
+        d = simulate_phase_detailed(empty, app.detailed_trace(), node64)
+        assert d.makespan_ns == pytest.approx(500.0)
+        assert d.instructions == 0.0
+
+    def test_refinement_converges(self, spmz, node64):
+        app, detailed, phases = spmz
+        d1 = simulate_phase_detailed(phases[0], detailed, node64, n_refine=1)
+        d4 = simulate_phase_detailed(phases[0], detailed, node64, n_refine=4)
+        assert d4.makespan_ns == pytest.approx(d1.makespan_ns, rel=0.25)
+
+    def test_rejects_bad_refine(self, spmz, node64):
+        app, detailed, phases = spmz
+        with pytest.raises(ValueError):
+            simulate_phase_detailed(phases[0], detailed, node64, n_refine=0)

@@ -1,0 +1,94 @@
+"""Tests for the ResultSet container."""
+
+import math
+
+import pytest
+
+from repro.core import ResultSet
+
+
+def rec(app="a", core="medium", cache="64M:512K", memory="4chDDR4",
+        frequency=2.0, vector=128, cores=64, **extra):
+    base = dict(app=app, core=core, cache=cache, memory=memory,
+                frequency=frequency, vector=vector, cores=cores)
+    base.update(extra)
+    return base
+
+
+class TestBasics:
+    def test_add_and_len(self):
+        rs = ResultSet()
+        rs.add(rec(time_ns=1.0))
+        assert len(rs) == 1
+
+    def test_duplicate_config_rejected(self):
+        rs = ResultSet([rec()])
+        with pytest.raises(ValueError, match="duplicate"):
+            rs.add(rec())
+
+    def test_missing_config_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            ResultSet([{"app": "a"}])
+
+    def test_lookup(self):
+        rs = ResultSet([rec(vector=128, time_ns=1.0),
+                        rec(vector=256, time_ns=2.0)])
+        assert rs.lookup(**rec(vector=256))["time_ns"] == 2.0
+
+    def test_lookup_missing(self):
+        rs = ResultSet([rec()])
+        with pytest.raises(KeyError):
+            rs.lookup(**rec(vector=512))
+
+
+class TestPartner:
+    def test_partner_pairs_on_other_axes(self):
+        rs = ResultSet([
+            rec(vector=128, frequency=2.0, time_ns=10.0),
+            rec(vector=512, frequency=2.0, time_ns=5.0),
+            rec(vector=128, frequency=3.0, time_ns=8.0),
+            rec(vector=512, frequency=3.0, time_ns=4.0),
+        ])
+        sample = rs.lookup(**rec(vector=512, frequency=3.0))
+        base = rs.partner(sample, vector=128)
+        assert base["frequency"] == 3.0
+        assert base["time_ns"] == 8.0
+
+
+class TestQueries:
+    def _rs(self):
+        return ResultSet([
+            rec(app="a", vector=128, time_ns=10.0, energy_j=1.0),
+            rec(app="a", vector=256, time_ns=8.0, energy_j=None),
+            rec(app="b", vector=128, time_ns=20.0, energy_j=3.0),
+        ])
+
+    def test_filter_equality(self):
+        assert len(self._rs().filter(app="a")) == 2
+
+    def test_filter_predicate(self):
+        rs = self._rs().filter(predicate=lambda r: r["time_ns"] < 15)
+        assert len(rs) == 2
+
+    def test_values_none_becomes_nan(self):
+        vals = self._rs().values("energy_j")
+        assert math.isnan(vals[1])
+        assert vals[0] == 1.0
+
+    def test_unique(self):
+        assert self._rs().unique("app") == ["a", "b"]
+
+    def test_group_mean_skips_none(self):
+        means = self._rs().group_mean(["app"], "energy_j")
+        assert means[("a",)] == pytest.approx(1.0)
+        assert means[("b",)] == pytest.approx(3.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        rs = ResultSet([rec(time_ns=1.5, energy_j=None)])
+        path = tmp_path / "results.json"
+        rs.save(path)
+        back = ResultSet.load(path)
+        assert len(back) == 1
+        assert back.lookup(**rec())["energy_j"] is None

@@ -1,0 +1,54 @@
+"""Tests for the design-space sweep driver (reduced spaces for speed)."""
+
+import pytest
+
+from repro.config import DesignSpace
+from repro.core import normalize_axis, run_sweep, sweep_configs
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    """A 2x2 slice of the full space (vector x memory)."""
+    return DesignSpace(
+        core_labels=("medium",),
+        cache_labels=("64M:512K",),
+        memory_labels=("4chDDR4", "8chDDR4"),
+        frequencies=(2.0,),
+        vector_widths=(128, 512),
+        core_counts=(64,),
+    )
+
+
+class TestSweep:
+    def test_inline_sweep_completeness(self, tiny_space):
+        rs = run_sweep(["spmz"], tiny_space, processes=1)
+        assert len(rs) == 4
+        assert set(rs.unique("vector")) == {128, 512}
+        assert set(rs.unique("memory")) == {"4chDDR4", "8chDDR4"}
+
+    def test_multiple_apps(self, tiny_space):
+        rs = run_sweep(["hydro", "lulesh"], tiny_space, processes=1)
+        assert len(rs) == 8
+        assert set(rs.unique("app")) == {"hydro", "lulesh"}
+
+    def test_results_normalizable(self, tiny_space):
+        rs = run_sweep(["spmz"], tiny_space, processes=1)
+        bars = normalize_axis(rs, "vector", 128, "time_ns")
+        b512 = [b for b in bars if b.value == 512][0]
+        assert b512.mean > 1.2  # spmz vectorizes well
+
+    def test_parallel_matches_inline(self, tiny_space):
+        inline = run_sweep(["btmz"], tiny_space, processes=1)
+        parallel = run_sweep(["btmz"], tiny_space, processes=2)
+        for rec in inline:
+            cfg = {k: rec[k] for k in
+                   ("app", "core", "cache", "memory", "frequency", "vector",
+                    "cores")}
+            other = parallel.lookup(**cfg)
+            assert other["time_ns"] == pytest.approx(rec["time_ns"],
+                                                     rel=1e-9)
+
+    def test_sweep_configs_ordering(self, tiny_space):
+        tasks = sweep_configs(["a", "b"], tiny_space)
+        assert len(tasks) == 8
+        assert tasks[0][0] == "a" and tasks[-1][0] == "b"

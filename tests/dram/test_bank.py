@@ -1,0 +1,63 @@
+"""Tests for the DRAM bank state machine."""
+
+import pytest
+
+from repro.dram import Bank, dram_standard
+
+
+@pytest.fixture
+def bank():
+    return Bank(dram_standard("DDR4-2400"))
+
+
+class TestBank:
+    def test_first_activate(self, bank):
+        t = bank.timing
+        col_ready = bank.prepare(row=5, now=0.0)
+        assert col_ready == pytest.approx(t.trcd)
+        assert bank.open_row == 5
+        assert bank.n_acts == 1
+        assert bank.n_pres == 0
+
+    def test_row_hit_no_new_activate(self, bank):
+        bank.prepare(row=5, now=0.0)
+        acts = bank.n_acts
+        col_ready = bank.prepare(row=5, now=100.0)
+        assert bank.n_acts == acts
+        assert col_ready == pytest.approx(100.0)
+
+    def test_row_conflict_precharges(self, bank):
+        t = bank.timing
+        bank.prepare(row=5, now=0.0)
+        col_ready = bank.prepare(row=9, now=t.tras + 1)
+        assert bank.n_pres == 1
+        assert bank.n_acts == 2
+        assert bank.open_row == 9
+        # precharge at tras+1, activate trp later, column trcd after that
+        assert col_ready == pytest.approx(t.tras + 1 + t.trp + t.trcd)
+
+    def test_tras_respected_on_early_precharge(self, bank):
+        t = bank.timing
+        bank.prepare(row=5, now=0.0)
+        # Immediately switch rows: PRE cannot issue before tRAS.
+        col_ready = bank.prepare(row=6, now=1.0)
+        assert col_ready >= t.tras + t.trp + t.trcd - 1e-9
+
+    def test_trc_spacing_between_activates(self, bank):
+        t = bank.timing
+        bank.prepare(row=1, now=0.0)
+        bank.prepare(row=2, now=t.tras)   # forces PRE+ACT
+        third = bank.prepare(row=3, now=t.tras)
+        # Third activate must wait at least tRC after the second.
+        assert third >= 2 * t.trp + t.tras + t.trcd - 1e-9
+
+    def test_column_issue_spacing(self, bank):
+        t = bank.timing
+        bank.prepare(row=1, now=0.0)
+        bank.column_issued(at=t.trcd)
+        ready = bank.prepare(row=1, now=t.trcd)
+        assert ready >= t.trcd + t.burst_cycles - 1e-9
+
+    def test_rejects_negative_row(self, bank):
+        with pytest.raises(ValueError):
+            bank.prepare(row=-1, now=0.0)

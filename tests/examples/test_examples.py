@@ -1,0 +1,47 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Each example is executed in-process (importing its main()) with the
+cheapest possible inputs; the heavyweight sweeps are covered by the
+benchmark harness instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "8-channel speedup" in out
+
+    def test_custom_application(self, capsys):
+        run_example("custom_application.py")
+        out = capsys.readouterr().out
+        assert "Best single upgrade" in out
+
+    def test_memory_system_deep_dive(self, capsys):
+        run_example("memory_system_deep_dive.py")
+        out = capsys.readouterr().out
+        assert "DRAM power" in out
+        assert "HBM2" in out
+
+    def test_scaling_study_small(self, capsys):
+        run_example("scaling_study.py", argv=["8"])
+        out = capsys.readouterr().out
+        assert "Fig. 2a" in out
+        assert "Fig. 4" in out

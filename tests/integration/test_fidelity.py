@@ -1,0 +1,39 @@
+"""Fast analytic integration vs full Dimemas replay, across apps.
+
+The sweep uses the 'fast' mode (per-phase makespans + analytic comm);
+this must track the full replay for every application, or the 864-point
+campaign would not be trustworthy.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES, get_app
+from repro.config import baseline_node
+from repro.core import Musa
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+@pytest.mark.parametrize("cores", [32, 64])
+def test_fast_tracks_replay(app, cores):
+    musa = Musa(get_app(app))
+    node = baseline_node(cores)
+    fast = musa.simulate_node(node, n_ranks=16, n_iterations=2,
+                              mode="fast", include_comm=True)
+    full = musa.simulate_node(node, n_ranks=16, n_iterations=2,
+                              mode="replay")
+    assert fast.time_ns == pytest.approx(full.time_ns, rel=0.35), (
+        app, cores, fast.time_ns, full.time_ns)
+
+
+@pytest.mark.parametrize("app", ["hydro", "lulesh"])
+def test_fast_tracks_replay_across_configs(app):
+    musa = Musa(get_app(app))
+    for node in (baseline_node(64).with_(vector_bits=512),
+                 baseline_node(64).with_(core="lowend"),
+                 baseline_node(64).with_(memory="8chDDR4")):
+        fast = musa.simulate_node(node, n_ranks=8, n_iterations=1,
+                                  mode="fast", include_comm=True)
+        full = musa.simulate_node(node, n_ranks=8, n_iterations=1,
+                                  mode="replay")
+        assert fast.time_ns == pytest.approx(full.time_ns, rel=0.35), (
+            app, node.label)

@@ -1,0 +1,53 @@
+"""Tests for collective cost models."""
+
+import math
+
+import pytest
+
+from repro.network import collective_cost_ns, marenostrum4_network
+
+
+@pytest.fixture
+def net():
+    return marenostrum4_network()
+
+
+class TestCollectiveCosts:
+    def test_single_rank_trivial(self, net):
+        assert collective_cost_ns("allreduce", 1, 8, net) == pytest.approx(
+            net.overhead_ns)
+
+    def test_logarithmic_scaling(self, net):
+        c16 = collective_cost_ns("allreduce", 16, 8, net)
+        c256 = collective_cost_ns("allreduce", 256, 8, net)
+        assert c256 / c16 == pytest.approx(math.log2(256) / math.log2(16),
+                                           rel=0.01)
+
+    def test_barrier_cheaper_than_allreduce_with_payload(self, net):
+        b = collective_cost_ns("barrier", 256, 0, net)
+        a = collective_cost_ns("allreduce", 256, 1 << 20, net)
+        assert b < a
+
+    def test_payload_increases_cost(self, net):
+        small = collective_cost_ns("bcast", 64, 8, net)
+        big = collective_cost_ns("bcast", 64, 1 << 20, net)
+        assert big > small
+
+    def test_alltoall_scales_linearly_in_ranks(self, net):
+        c64 = collective_cost_ns("alltoall", 64, 64 * 1024, net)
+        c128 = collective_cost_ns("alltoall", 128, 128 * 1024, net)
+        assert c128 > c64 * 1.5
+
+    def test_reduce_equals_bcast(self, net):
+        assert collective_cost_ns("reduce", 64, 1024, net) == pytest.approx(
+            collective_cost_ns("bcast", 64, 1024, net))
+
+    def test_unknown_kind_raises(self, net):
+        with pytest.raises(ValueError, match="unknown collective"):
+            collective_cost_ns("scan", 64, 8, net)
+
+    def test_rejects_bad_args(self, net):
+        with pytest.raises(ValueError):
+            collective_cost_ns("allreduce", 0, 8, net)
+        with pytest.raises(ValueError):
+            collective_cost_ns("allreduce", 4, -1, net)

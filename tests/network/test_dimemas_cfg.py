@@ -1,0 +1,74 @@
+"""Tests for Dimemas-style network config files."""
+
+import pytest
+
+from repro.network import (
+    NetworkConfig,
+    load_network_cfg,
+    marenostrum4_network,
+    save_network_cfg,
+)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "mn4.cfg"
+        net = marenostrum4_network()
+        save_network_cfg(net, path, comment="MareNostrum IV")
+        back = load_network_cfg(path)
+        assert back == net
+
+    def test_comment_written(self, tmp_path):
+        path = tmp_path / "x.cfg"
+        save_network_cfg(marenostrum4_network(), path, comment="hello")
+        assert path.read_text().startswith("# hello")
+
+
+class TestParsing:
+    def test_minimal_file(self, tmp_path):
+        path = tmp_path / "min.cfg"
+        path.write_text("latency_us = 2.0\nbandwidth_gbs = 25\n"
+                        "cpu_overhead_us = 0.1\n")
+        net = load_network_cfg(path)
+        assert net.latency_us == 2.0
+        assert net.bandwidth_gbs == 25.0
+        assert net.n_buses == 0  # default
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.cfg"
+        path.write_text(
+            "# machine\n\nlatency_us = 1.0  # one microsecond\n"
+            "bandwidth_gbs = 10\ncpu_overhead_us = 0.2\n")
+        assert load_network_cfg(path).latency_us == 1.0
+
+    def test_unknown_key(self, tmp_path):
+        path = tmp_path / "bad.cfg"
+        path.write_text("latencyy_us = 1.0\n")
+        with pytest.raises(ValueError, match="unknown key"):
+            load_network_cfg(path)
+
+    def test_duplicate_key(self, tmp_path):
+        path = tmp_path / "dup.cfg"
+        path.write_text("latency_us = 1\nlatency_us = 2\n"
+                        "bandwidth_gbs = 1\ncpu_overhead_us = 0\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            load_network_cfg(path)
+
+    def test_missing_required(self, tmp_path):
+        path = tmp_path / "m.cfg"
+        path.write_text("latency_us = 1.0\n")
+        with pytest.raises(ValueError, match="missing required"):
+            load_network_cfg(path)
+
+    def test_bad_value(self, tmp_path):
+        path = tmp_path / "v.cfg"
+        path.write_text("latency_us = fast\nbandwidth_gbs = 1\n"
+                        "cpu_overhead_us = 0\n")
+        with pytest.raises(ValueError, match="bad value"):
+            load_network_cfg(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "l.cfg"
+        path.write_text("latency_us 1.0\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_network_cfg(path)

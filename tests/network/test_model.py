@@ -1,0 +1,37 @@
+"""Tests for the Dimemas-style network model."""
+
+import pytest
+
+from repro.network import NetworkConfig, marenostrum4_network
+
+
+class TestNetworkConfig:
+    def test_transfer_time(self):
+        net = NetworkConfig(latency_us=1.0, bandwidth_gbs=10.0,
+                            cpu_overhead_us=0.5)
+        # 1 us latency + 10 KB / 10 GB/s = 1000 + 1024 ns
+        assert net.transfer_ns(10 * 1024) == pytest.approx(2024.0)
+
+    def test_zero_size_is_latency_only(self):
+        net = marenostrum4_network()
+        assert net.transfer_ns(0) == pytest.approx(net.latency_us * 1e3)
+
+    def test_eager_threshold(self):
+        net = marenostrum4_network()
+        assert net.is_eager(1024)
+        assert not net.is_eager(10 * 1024 * 1024)
+
+    def test_marenostrum_parameters(self):
+        net = marenostrum4_network()
+        # 100 Gb/s Omni-Path class link, ~1 us MPI latency.
+        assert net.bandwidth_gbs == pytest.approx(12.5)
+        assert net.latency_us == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(latency_us=-1, bandwidth_gbs=1, cpu_overhead_us=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(latency_us=1, bandwidth_gbs=0, cpu_overhead_us=0)
+        net = marenostrum4_network()
+        with pytest.raises(ValueError):
+            net.transfer_ns(-1)

@@ -1,0 +1,84 @@
+"""Tests for the DRAMPower-substitute model."""
+
+import numpy as np
+import pytest
+
+from repro.config import memory_preset
+from repro.dram import DramSystem, dram_standard
+from repro.power import DramPowerModel
+
+
+@pytest.fixture
+def model():
+    return DramPowerModel()
+
+
+class TestFromRates:
+    def test_idle_is_background_plus_refresh(self, model):
+        r = model.from_rates(memory_preset("4chDDR4"), 0.0, 0.0, 0.5)
+        assert r.activate_w == 0.0
+        assert r.rdwr_w == 0.0
+        assert r.background_w == pytest.approx(8 * model.background_w_per_dimm)
+        assert r.total_w == pytest.approx(
+            r.background_w * (1 + model.refresh_fraction))
+
+    def test_doubling_channels_doubles_background(self, model):
+        r4 = model.from_rates(memory_preset("4chDDR4"), 1e8, 5e7, 0.5)
+        r8 = model.from_rates(memory_preset("8chDDR4"), 1e8, 5e7, 0.5)
+        assert r8.background_w == pytest.approx(2 * r4.background_w)
+        # Dynamic components are traffic-driven and unchanged.
+        assert r8.rdwr_w == pytest.approx(r4.rdwr_w)
+
+    def test_row_locality_reduces_activate_power(self, model):
+        mem = memory_preset("4chDDR4")
+        streaming = model.from_rates(mem, 1e9, 0, row_hit_rate=0.9)
+        random = model.from_rates(mem, 1e9, 0, row_hit_rate=0.1)
+        assert streaming.activate_w < random.activate_w
+
+    def test_hbm_returns_none(self, model):
+        assert model.from_rates(memory_preset("16chHBM"), 1e8, 1e8, 0.5) is None
+
+    def test_magnitude_plausible(self, model):
+        # ~32 GB/s of traffic (0.5 G req/s, Fig. 1 LULESH territory):
+        # DRAM power should land in the tens of watts.
+        r = model.from_rates(memory_preset("8chDDR4"), 4e8, 1e8, 0.5)
+        assert 10 < r.total_w < 60
+
+    def test_rejects_bad_rates(self, model):
+        with pytest.raises(ValueError):
+            model.from_rates(memory_preset("4chDDR4"), -1, 0, 0.5)
+        with pytest.raises(ValueError):
+            model.from_rates(memory_preset("4chDDR4"), 0, 0, 1.5)
+
+
+class TestFromCounts:
+    def test_event_level_path(self, model):
+        timing = dram_standard("DDR4-2400")
+        sys = DramSystem(timing, 4)
+        res = sys.run(np.arange(8000), write_fraction=0.3)
+        elapsed_s = res.elapsed_ns * 1e-9
+        p = model.from_counts(memory_preset("4chDDR4"), res.counts, elapsed_s)
+        assert p.total_w > p.background_w
+        assert p.rdwr_w > 0
+
+    def test_counts_and_rates_agree(self, model):
+        """The rate-based sweep path must match the command-trace path
+        when fed the same statistics."""
+        timing = dram_standard("DDR4-2400")
+        res = DramSystem(timing, 4).run(np.arange(8000), write_fraction=0.0)
+        elapsed_s = res.elapsed_ns * 1e-9
+        from_counts = model.from_counts(memory_preset("4chDDR4"),
+                                        res.counts, elapsed_s)
+        from_rates = model.from_rates(
+            memory_preset("4chDDR4"),
+            reads_per_s=res.counts.n_rd / elapsed_s,
+            writes_per_s=res.counts.n_wr / elapsed_s,
+            row_hit_rate=res.counts.row_hit_rate(),
+        )
+        assert from_rates.total_w == pytest.approx(from_counts.total_w,
+                                                   rel=0.02)
+
+    def test_rejects_zero_elapsed(self, model):
+        from repro.dram import CommandCounts
+        with pytest.raises(ValueError):
+            model.from_counts(memory_preset("4chDDR4"), CommandCounts(), 0.0)

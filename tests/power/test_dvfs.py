@@ -1,0 +1,67 @@
+"""Tests for power-capped frequency selection."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.config import baseline_node
+from repro.core import Musa
+from repro.power import select_frequency
+
+
+@pytest.fixture(scope="module")
+def btmz_musa():
+    return Musa(get_app("btmz"))
+
+
+class TestSelectFrequency:
+    def test_unconstrained_performance_picks_fastest(self, btmz_musa, node64):
+        sel = select_frequency(btmz_musa, node64)
+        assert sel.selected.frequency_ghz == 3.0
+
+    def test_power_cap_forces_lower_frequency(self, btmz_musa, node64):
+        uncapped = select_frequency(btmz_musa, node64)
+        p3 = uncapped.point(3.0).power_w
+        p15 = uncapped.point(1.5).power_w
+        cap = (p3 + p15) / 2
+        sel = select_frequency(btmz_musa, node64, power_cap_w=cap)
+        assert sel.selected.frequency_ghz < 3.0
+        assert sel.selected.power_w <= cap
+
+    def test_infeasible_cap_selects_nothing(self, btmz_musa, node64):
+        sel = select_frequency(btmz_musa, node64, power_cap_w=1.0)
+        assert sel.selected is None
+        assert not any(p.feasible for p in sel.points)
+
+    def test_energy_objective_prefers_lower_frequency(self, btmz_musa,
+                                                      node64):
+        perf = select_frequency(btmz_musa, node64, objective="performance")
+        energy = select_frequency(btmz_musa, node64, objective="energy")
+        assert energy.selected.frequency_ghz <= perf.selected.frequency_ghz
+        assert energy.selected.energy_j <= perf.selected.energy_j
+
+    def test_edp_between_perf_and_energy(self, btmz_musa, node64):
+        perf = select_frequency(btmz_musa, node64, objective="performance")
+        energy = select_frequency(btmz_musa, node64, objective="energy")
+        edp = select_frequency(btmz_musa, node64, objective="edp")
+        assert (energy.selected.frequency_ghz
+                <= edp.selected.frequency_ghz
+                <= perf.selected.frequency_ghz)
+
+    def test_power_monotone_in_frequency(self, btmz_musa, node64):
+        sel = select_frequency(btmz_musa, node64)
+        powers = [p.power_w for p in sel.points]
+        assert powers == sorted(powers)
+
+    def test_point_lookup(self, btmz_musa, node64):
+        sel = select_frequency(btmz_musa, node64)
+        assert sel.point(2.0).frequency_ghz == 2.0
+        with pytest.raises(KeyError):
+            sel.point(4.5)
+
+    def test_validation(self, btmz_musa, node64):
+        with pytest.raises(ValueError):
+            select_frequency(btmz_musa, node64, objective="speed")
+        with pytest.raises(ValueError):
+            select_frequency(btmz_musa, node64, power_cap_w=0.0)
+        with pytest.raises(ValueError):
+            select_frequency(btmz_musa, node64, frequencies=())

@@ -1,0 +1,52 @@
+"""Tests for the 22nm V/f technology model."""
+
+import pytest
+
+from repro.power import (
+    dynamic_scale,
+    energy_scale,
+    leakage_scale,
+    voltage_for_frequency,
+)
+
+
+class TestVoltageCurve:
+    def test_reference_point(self):
+        assert voltage_for_frequency(2.0) == pytest.approx(0.90)
+
+    def test_paper_frequency_steps(self):
+        assert voltage_for_frequency(1.5) == pytest.approx(0.85)
+        assert voltage_for_frequency(3.0) == pytest.approx(1.00)
+
+    def test_monotone(self):
+        vs = [voltage_for_frequency(f) for f in (1.5, 2.0, 2.5, 3.0)]
+        assert vs == sorted(vs)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            voltage_for_frequency(0.0)
+
+
+class TestScaling:
+    def test_dynamic_scale_reference_is_one(self):
+        assert dynamic_scale(2.0) == pytest.approx(1.0)
+
+    def test_frequency_doubling_power(self):
+        # f*V^2 law: 1.5 -> 3.0 GHz raises dynamic power ~2.8x (part of
+        # the paper's 2.5x node-power observation).
+        ratio = dynamic_scale(3.0) / dynamic_scale(1.5)
+        assert 2.4 < ratio < 3.2
+
+    def test_energy_scale_is_v_squared(self):
+        assert energy_scale(3.0) == pytest.approx((1.0 / 0.9) ** 2)
+
+    def test_leakage_grows_slower_than_dynamic(self):
+        dyn = dynamic_scale(3.0) / dynamic_scale(1.5)
+        leak = leakage_scale(3.0) / leakage_scale(1.5)
+        assert 1.0 < leak < dyn
+
+    def test_all_positive(self):
+        for f in (0.5, 1.0, 2.0, 4.0):
+            assert dynamic_scale(f) > 0
+            assert leakage_scale(f) > 0
+            assert energy_scale(f) > 0

@@ -1,0 +1,83 @@
+"""Tests for the work-stealing scheduler variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import simulate_phase, simulate_phase_stealing
+from repro.trace import ComputePhase, TaskRecord
+
+from .test_scheduler import make_phase
+
+
+class TestBasics:
+    def test_single_core_serializes(self):
+        r = simulate_phase_stealing(make_phase([10, 20, 30]), 1)
+        assert r.makespan_ns == pytest.approx(60.0)
+
+    def test_work_conserved(self):
+        phase = make_phase([13, 7, 29, 11])
+        for cores in (1, 2, 4, 8):
+            r = simulate_phase_stealing(phase, cores, steal_ns=0.0)
+            assert r.busy_ns.sum() == pytest.approx(60.0)
+
+    def test_empty_phase(self):
+        r = simulate_phase_stealing(make_phase([]), 4)
+        assert r.n_tasks == 0
+
+    def test_dependencies_respected(self):
+        deps = [(), (0,), (1,)]
+        r = simulate_phase_stealing(make_phase([10] * 3, deps=deps), 4,
+                                    steal_ns=0.0)
+        assert r.makespan_ns >= 30.0 - 1e-9
+
+    def test_steal_cost_charged(self):
+        # Many tasks created centrally: workers steal; nonzero steal cost
+        # lengthens the schedule.
+        phase = make_phase([50.0] * 32)
+        cheap = simulate_phase_stealing(phase, 8, steal_ns=0.0)
+        costly = simulate_phase_stealing(phase, 8, steal_ns=100.0)
+        assert costly.makespan_ns >= cheap.makespan_ns
+
+    def test_spans(self):
+        r = simulate_phase_stealing(make_phase([10, 20]), 2,
+                                    collect_spans=True)
+        assert len(r.spans) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_phase_stealing(make_phase([1]), 0)
+        with pytest.raises(ValueError):
+            simulate_phase_stealing(make_phase([1]), 1, steal_ns=-1.0)
+
+
+class TestVsFifoScheduler:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1,
+                 max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_bounds_as_fifo(self, durations, n_cores):
+        """Both schedulers are greedy: Graham bounds hold for each."""
+        phase = make_phase(durations)
+        r = simulate_phase_stealing(phase, n_cores, steal_ns=0.0)
+        total, longest = sum(durations), max(durations)
+        assert r.makespan_ns >= max(total / n_cores, longest) - 1e-6
+        assert r.makespan_ns <= total / n_cores + longest + 1e-6
+
+    def test_comparable_makespans_on_app_phase(self):
+        from repro.apps import get_app
+
+        phase = get_app("lulesh").representative_phase()
+        fifo = simulate_phase(phase, 64)
+        steal = simulate_phase_stealing(phase, 64)
+        assert steal.makespan_ns == pytest.approx(fifo.makespan_ns,
+                                                  rel=0.25)
+
+    def test_stealing_helps_on_centralized_bursts(self):
+        """With zero steal cost, stealing is never worse than FIFO here."""
+        phase = make_phase([25.0] * 64, creation=1.0)
+        fifo = simulate_phase(phase, 16)
+        steal = simulate_phase_stealing(phase, 16, steal_ns=0.0)
+        assert steal.makespan_ns <= fifo.makespan_ns * 1.1

@@ -1,0 +1,154 @@
+"""Tests for the exact stack-distance profiler (Fenwick-tree algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import FenwickTree, profile_stream, stack_distances
+from repro.trace.streams import random_uniform, sequential_sweep
+
+
+class TestFenwickTree:
+    def test_point_updates_and_prefix_sums(self):
+        t = FenwickTree(10)
+        t.add(0, 5)
+        t.add(4, 3)
+        t.add(9, 1)
+        assert t.prefix_sum(0) == 5
+        assert t.prefix_sum(3) == 5
+        assert t.prefix_sum(4) == 8
+        assert t.prefix_sum(9) == 9
+        assert t.total() == 9
+
+    def test_range_sum(self):
+        t = FenwickTree(8)
+        for i in range(8):
+            t.add(i, i)
+        assert t.range_sum(2, 5) == 2 + 3 + 4 + 5
+        assert t.range_sum(0, 7) == sum(range(8))
+
+    def test_negative_delta(self):
+        t = FenwickTree(4)
+        t.add(2, 5)
+        t.add(2, -5)
+        assert t.total() == 0
+
+    def test_out_of_range(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(-5, 5)),
+                    max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_array(self, updates):
+        t = FenwickTree(32)
+        ref = np.zeros(32, dtype=np.int64)
+        for i, d in updates:
+            t.add(i, d)
+            ref[i] += d
+        for q in (0, 5, 15, 31):
+            assert t.prefix_sum(q) == ref[: q + 1].sum()
+
+
+class TestStackDistances:
+    def test_known_sequence(self):
+        # lines: A B C A B C (64-byte lines)
+        addrs = np.array([0, 64, 128, 0, 64, 128])
+        dists, n_cold = stack_distances(addrs)
+        assert n_cold == 3
+        # each reuse saw exactly 2 distinct other lines in between
+        assert list(dists) == [2, 2, 2]
+
+    def test_immediate_reuse_distance_zero(self):
+        addrs = np.array([0, 0, 0, 8])  # same line (offset < 64)
+        dists, n_cold = stack_distances(addrs)
+        assert n_cold == 1
+        assert list(dists) == [0, 0, 0]
+
+    def test_lru_stack_property(self):
+        # A B A: B's reuse never happens; A reused over 1 distinct line.
+        addrs = np.array([0, 64, 0])
+        dists, n_cold = stack_distances(addrs)
+        assert n_cold == 2
+        assert list(dists) == [1]
+
+    def test_all_cold(self):
+        addrs = np.arange(10) * 64
+        dists, n_cold = stack_distances(addrs)
+        assert n_cold == 10
+        assert len(dists) == 0
+
+    def test_empty(self):
+        dists, n_cold = stack_distances(np.array([], dtype=np.int64))
+        assert n_cold == 0 and len(dists) == 0
+
+    def test_sweep_distance_equals_working_set(self):
+        # Two sweeps over W lines: every reuse has distance exactly W-1.
+        w_lines = 50
+        stream = sequential_sweep(ws_bytes=w_lines * 64, n_sweeps=2,
+                                  elem_bytes=64)
+        dists, n_cold = stack_distances(stream)
+        assert n_cold == w_lines
+        assert np.all(dists == w_lines - 1)
+
+    @given(st.integers(2, 30), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_sweep_property(self, w_lines, n_sweeps):
+        stream = sequential_sweep(ws_bytes=w_lines * 64, n_sweeps=n_sweeps,
+                                  elem_bytes=64)
+        dists, n_cold = stack_distances(stream)
+        assert n_cold == w_lines
+        assert len(dists) == w_lines * (n_sweeps - 1)
+        assert np.all(dists == w_lines - 1)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_reference(self, lines):
+        """Fenwick implementation == brute-force distinct-count."""
+        addrs = np.array(lines, dtype=np.int64) * 64
+        dists, n_cold = stack_distances(addrs)
+        # Naive reference
+        ref, last, cold = [], {}, 0
+        for i, ln in enumerate(lines):
+            if ln in last:
+                ref.append(len(set(lines[last[ln] + 1: i])))
+            else:
+                cold += 1
+            last[ln] = i
+        assert n_cold == cold
+        assert list(dists) == ref
+
+    def test_distances_bounded_by_distinct_lines(self):
+        stream = random_uniform(ws_bytes=64 * 128, n_accesses=2000, seed=1)
+        dists, _ = stack_distances(stream)
+        assert dists.max() < 128
+
+
+class TestProfileStream:
+    def test_profile_of_sweep_has_knee_at_ws(self):
+        w_lines = 200
+        stream = sequential_sweep(ws_bytes=w_lines * 64, n_sweeps=5,
+                                  elem_bytes=8)
+        p = profile_stream(stream)
+        # A cache bigger than the working set captures (almost) all reuse.
+        assert p.miss_ratio(2 * w_lines) < 0.1
+        # A cache much smaller misses each sweep (line-level reuse of the
+        # 8 doubles within a line still hits).
+        assert p.miss_ratio(w_lines // 4) > p.miss_ratio(2 * w_lines)
+
+    def test_windowing_long_stream(self):
+        stream = sequential_sweep(ws_bytes=64 * 100, n_sweeps=4, elem_bytes=8)
+        p_full = profile_stream(stream)
+        p_win = profile_stream(stream, max_samples=1000, seed=3)
+        # Windowed profile stays qualitatively equivalent.
+        assert abs(p_full.miss_ratio(400) - p_win.miss_ratio(400)) < 0.25
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            stack_distances(np.zeros((3, 3), dtype=np.int64))

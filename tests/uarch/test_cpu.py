@@ -1,0 +1,96 @@
+"""Tests for the node-level bandwidth-contention model."""
+
+import pytest
+
+from repro.config import memory_preset
+from repro.trace import InstructionMix, KernelSignature, ReuseProfile
+from repro.uarch import dram_efficiency, resolve_contention, time_kernel
+
+
+def _bw_hungry_timing(node, m3=0.05, row_hit=0.5):
+    sig = KernelSignature(
+        name="stream", instr_per_unit=100_000.0,
+        mix=InstructionMix(fp=0.3, int_alu=0.15, load=0.3, store=0.1,
+                           branch=0.1, other=0.05),
+        ilp=3.0, vec_fraction=0.3, trip_count=8, mlp=12.0,
+        reuse=ReuseProfile.from_components([(8.0, 1.0 - m3), (5e6, m3)]),
+        row_hit_rate=row_hit,
+    )
+    return time_kernel(sig, node)
+
+
+def _light_timing(node):
+    sig = KernelSignature(
+        name="compute", instr_per_unit=100_000.0,
+        mix=InstructionMix(fp=0.5, int_alu=0.2, load=0.15, store=0.05,
+                           branch=0.1),
+        ilp=3.0, vec_fraction=0.5, trip_count=256, mlp=4.0,
+        reuse=ReuseProfile.from_components([(8.0, 0.999), (5e6, 0.001)]),
+        row_hit_rate=0.9,
+    )
+    return time_kernel(sig, node)
+
+
+class TestDramEfficiency:
+    def test_monotone_in_row_hit(self):
+        effs = [dram_efficiency(r) for r in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert effs == sorted(effs)
+        assert 0.3 < effs[0] < effs[-1] < 0.85
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            dram_efficiency(1.5)
+
+
+class TestResolveContention:
+    def test_one_core_unconstrained(self, node64):
+        t = _bw_hungry_timing(node64)
+        r = resolve_contention(t, 1, node64.memory)
+        assert r.mem_stall_multiplier == pytest.approx(1.0, abs=0.05)
+
+    def test_many_cores_saturate(self, node64):
+        t = _bw_hungry_timing(node64)
+        r = resolve_contention(t, 64, node64.memory)
+        assert r.utilization > 0.9
+        assert r.mem_stall_multiplier > 1.5
+
+    def test_light_kernel_no_throttle(self, node64):
+        t = _light_timing(node64)
+        r = resolve_contention(t, 64, node64.memory)
+        assert r.mem_stall_multiplier < 1.2
+
+    def test_throughput_never_exceeds_capacity(self, node64):
+        t = _bw_hungry_timing(node64)
+        for n in (8, 16, 32, 64):
+            r = resolve_contention(t, n, node64.memory)
+            assert r.achieved_bw_gbs <= r.capacity_gbs * (1 + 1e-6)
+
+    def test_more_channels_relieve_pressure(self, node64):
+        t = _bw_hungry_timing(node64)
+        r4 = resolve_contention(t, 64, memory_preset("4chDDR4"))
+        r8 = resolve_contention(t, 64, memory_preset("8chDDR4"))
+        assert r8.timing.cycles < r4.timing.cycles
+        assert r8.utilization < r4.utilization * 1.05
+
+    def test_monotone_in_core_count(self, node64):
+        t = _bw_hungry_timing(node64)
+        prev = 0.0
+        for n in (1, 4, 16, 64):
+            r = resolve_contention(t, n, node64.memory)
+            assert r.timing.cycles >= prev - 1e-9
+            prev = r.timing.cycles
+
+    def test_saturated_flag(self, node64):
+        t = _bw_hungry_timing(node64)
+        assert resolve_contention(t, 64, node64.memory).saturated
+        assert not resolve_contention(t, 1, node64.memory).saturated
+
+    def test_zero_traffic_kernel_passthrough(self, node64):
+        t = _light_timing(node64)
+        t0 = t.with_mem_stall_scaled(1.0)
+        r = resolve_contention(t0, 64, node64.memory)
+        assert r.timing.cycles == pytest.approx(t0.cycles, rel=0.25)
+
+    def test_rejects_zero_cores(self, node64):
+        with pytest.raises(ValueError):
+            resolve_contention(_light_timing(node64), 0, node64.memory)

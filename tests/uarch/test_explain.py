@@ -1,0 +1,50 @@
+"""Tests for the CPI-stack explanation."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.config import baseline_node
+from repro.uarch import explain_kernel, time_kernel
+
+
+class TestExplainKernel:
+    def test_stack_sums_to_cpi(self, node64, simple_kernel):
+        stack = explain_kernel(simple_kernel, node64)
+        timing = time_kernel(simple_kernel, node64)
+        assert stack.cpi == pytest.approx(
+            timing.cycles / timing.instructions)
+        assert stack.ipc == pytest.approx(timing.ipc)
+
+    def test_component_names(self, node64, simple_kernel):
+        stack = explain_kernel(simple_kernel, node64)
+        names = [n for n, _ in stack.components]
+        assert names == ["base", "L2 stall", "L3 stall", "DRAM stall"]
+
+    def test_bottleneck_is_max_component(self, node64, simple_kernel):
+        stack = explain_kernel(simple_kernel, node64)
+        biggest = max(stack.components, key=lambda c: c[1])[0]
+        assert stack.bottleneck == biggest
+
+    def test_spmz_is_dependency_bound(self, node64):
+        sig = get_app("spmz").detailed_trace()["sp_solve"]
+        stack = explain_kernel(sig, node64)
+        assert stack.base_bound == "dependencies (ILP)"
+
+    def test_lulesh_dram_heavy_when_sharing_l3(self, node64):
+        sig = get_app("lulesh").detailed_trace()["stress"]
+        alone = explain_kernel(sig, node64, l3_share_cores=1)
+        crowded = explain_kernel(sig, node64, l3_share_cores=64)
+        dram = dict(crowded.components)["DRAM stall"]
+        assert dram > dict(alone.components)["DRAM stall"]
+
+    def test_lowend_shifts_base_bound_to_issue(self):
+        sig = get_app("hydro").detailed_trace()["godunov"]
+        node = baseline_node(64).with_(core="lowend")
+        stack = explain_kernel(sig, node)
+        assert stack.base_bound == "issue width"
+
+    def test_render(self, node64, simple_kernel):
+        text = explain_kernel(simple_kernel, node64).render()
+        assert "CPI stack" in text
+        assert "DRAM stall" in text
+        assert "|" in text  # bars present

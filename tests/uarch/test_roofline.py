@@ -1,0 +1,71 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.config import baseline_node
+from repro.uarch import render_roofline, roofline_point
+
+
+class TestRooflinePoint:
+    def test_lulesh_pinned_to_memory_roof(self, node64):
+        sig = get_app("lulesh").detailed_trace()["stress"]
+        p = roofline_point(sig, node64)
+        assert p.memory_bound
+        assert p.roof_fraction == pytest.approx(1.0, abs=0.15)
+
+    def test_hydro_compute_bound(self, node64):
+        sig = get_app("hydro").detailed_trace()["godunov"]
+        p = roofline_point(sig, node64)
+        assert not p.memory_bound
+        assert p.operational_intensity > p.ridge_intensity
+
+    def test_achieved_never_exceeds_roof_materially(self, node64):
+        for app in ("hydro", "spmz", "btmz", "spec3d", "lulesh"):
+            detailed = get_app(app).detailed_trace()
+            for k in detailed.names():
+                p = roofline_point(detailed[k], node64)
+                assert p.achieved_gflops <= p.roof_gflops * 1.1, (app, k)
+
+    def test_wider_simd_raises_compute_roof(self, node64):
+        sig = get_app("spmz").detailed_trace()["sp_solve"]
+        narrow = roofline_point(sig, node64)
+        wide = roofline_point(sig, node64.with_(vector_bits=512))
+        assert wide.peak_gflops > 2 * narrow.peak_gflops
+
+    def test_more_channels_raise_memory_roof(self, node64):
+        sig = get_app("lulesh").detailed_trace()["stress"]
+        few = roofline_point(sig, node64)
+        many = roofline_point(sig, node64.with_(memory="8chDDR4"))
+        assert many.bandwidth_gbs == pytest.approx(2 * few.bandwidth_gbs)
+        assert many.achieved_gflops > few.achieved_gflops
+
+    def test_share_splits_bandwidth(self, node64):
+        sig = get_app("lulesh").detailed_trace()["stress"]
+        alone = roofline_point(sig, node64, l3_share_cores=1)
+        full = roofline_point(sig, node64, l3_share_cores=64)
+        assert alone.bandwidth_gbs == pytest.approx(
+            64 * full.bandwidth_gbs, rel=0.01)
+
+
+class TestRender:
+    def test_renders_kernels_and_roof(self, node64):
+        detailed = get_app("lulesh").detailed_trace()
+        pts = [roofline_point(detailed[k], node64)
+               for k in detailed.names()]
+        art = render_roofline(pts, width=48, height=10)
+        assert "Roofline" in art
+        assert "/" in art and "-" in art      # the two roof segments
+        assert "S" in art                      # stress marker
+        assert "memory-bound" in art
+
+    def test_rejects_mixed_nodes(self, node64):
+        sig = get_app("hydro").detailed_trace()["godunov"]
+        a = roofline_point(sig, node64)
+        b = roofline_point(sig, node64.with_(vector_bits=512))
+        with pytest.raises(ValueError, match="share one node"):
+            render_roofline([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_roofline([])
