@@ -25,6 +25,7 @@ from repro.core import ResultSet, run_sweep
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 _CACHE = Path(__file__).parent / ".cache" / "full_sweep.json"
+_JOURNAL = Path(__file__).parent / ".cache" / "full_sweep.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -37,15 +38,21 @@ def output_dir():
 def full_sweep():
     """All 864 configurations x 5 applications (4320 simulations)."""
     fresh = os.environ.get("REPRO_BENCH_FRESH") == "1"
+    if fresh:
+        _JOURNAL.unlink(missing_ok=True)
     if _CACHE.exists() and not fresh:
         rs = ResultSet.load(_CACHE)
         if len(rs) == 864 * 5:
             return rs
     procs = int(os.environ.get("REPRO_BENCH_PROCS",
                                min(os.cpu_count() or 1, 8)))
-    rs = run_sweep(APP_NAMES, full_design_space(), processes=procs)
+    # Journal every record so an interrupted benchmark session resumes
+    # instead of recomputing the 4,320-simulation campaign.
+    rs = run_sweep(APP_NAMES, full_design_space(), processes=procs,
+                   resume=_JOURNAL, fsync_every=64)
     _CACHE.parent.mkdir(parents=True, exist_ok=True)
     rs.save(_CACHE)
+    _JOURNAL.unlink(missing_ok=True)
     return rs
 
 

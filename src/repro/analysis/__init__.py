@@ -5,7 +5,8 @@ from .optimize import Constraints, OptimalChoice, optimize_node
 from .pareto import ParetoPoint, best_configs, pareto_front
 from .pca import PCA_VARIABLES, PcaResult, app_pca, pca
 from .recommend import Recommendation, RecommendationReport, recommend
-from .report import format_panel, format_rows, format_stacked_power
+from .report import (format_metrics_summary, format_panel, format_rows,
+                     format_stacked_power)
 from .sensitivity import AxisSwing, render_tornado, tornado
 from .scaling import ScalingCurve, compute_region_scaling, full_app_scaling
 from .svgchart import grouped_bar_chart
@@ -44,6 +45,7 @@ __all__ = [
     "app_pca",
     "compute_region_scaling",
     "AxisSwing",
+    "format_metrics_summary",
     "format_panel",
     "format_rows",
     "format_stacked_power",

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-__all__ = ["format_panel", "format_stacked_power", "format_rows"]
+__all__ = ["format_metrics_summary", "format_panel", "format_stacked_power",
+           "format_rows"]
 
 
 def format_rows(title: str, header: Sequence[str],
@@ -30,6 +31,47 @@ def _fmt(v: object) -> str:
     if isinstance(v, float):
         return f"{v:.3f}"
     return str(v)
+
+
+def format_metrics_summary(summary: Dict) -> str:
+    """Human-readable campaign execution metrics.
+
+    ``summary`` is :func:`repro.obs.summarize` output: a ``derived``
+    block (throughput, retry/fault accounting, memoization hit rate)
+    plus the raw counters and timer spans.  The memo hit rate reads as
+    "fraction of per-(phase, node) detailed simulations avoided": a
+    fresh single-worker full-space sweep of one app approaches
+    ``(points - 1) / points`` per phase; more workers or a cold cache
+    lower it because each worker process warms its own memo.
+    """
+    d = summary.get("derived", {})
+    rows = [
+        ["tasks completed", d.get("tasks_completed", 0)],
+        ["tasks skipped (resume)", d.get("tasks_skipped", 0)],
+        ["tasks failed", d.get("tasks_failed", 0)],
+        ["retries", d.get("retries", 0)],
+        ["faults observed", d.get("faults", 0)],
+        ["journal duplicates dropped", d.get("duplicates_dropped", 0)],
+        ["sweep wall time [s]", d.get("sweep_wall_s", 0.0)],
+        ["throughput [tasks/s]", d.get("tasks_per_second")],
+        ["memo hit rate (overall)", d.get("memo_hit_rate")],
+        ["  phase-detail component", d.get("phase_memo_hit_rate")],
+        ["  kernel-timing component", d.get("kernel_memo_hit_rate")],
+    ]
+    out = [format_rows("sweep execution metrics", ["metric", "value"], rows)]
+    timers = summary.get("timers", {})
+    if timers:
+        trows = []
+        for name in sorted(timers):
+            t = timers[name]
+            count = t.get("count", 0)
+            mean_ms = (1e3 * t.get("total_s", 0.0) / count) if count else 0.0
+            trows.append([name, int(count), t.get("total_s", 0.0), mean_ms,
+                          1e3 * t.get("max_s", 0.0)])
+        out.append(format_rows(
+            "stage spans",
+            ["span", "count", "total [s]", "mean [ms]", "max [ms]"], trows))
+    return "\n\n".join(out)
 
 
 def format_panel(

@@ -73,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--processes", type=int, default=None)
     w.add_argument("--plane", action="store_true",
                    help="only the 2 GHz / {32,64}-core plane (faster)")
+    w.add_argument("--smoke", action="store_true",
+                   help="tiny 8-configuration smoke space (CI)")
+    w.add_argument("--resume", default=None, metavar="JOURNAL",
+                   help="journal completed tasks here and skip any "
+                        "already journaled (crash-safe resume)")
+    w.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write execution metrics (throughput, retries, "
+                        "memo hit rate) as JSON")
+    w.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-task wall-clock budget in seconds")
+    w.add_argument("--retries", type=int, default=2,
+                   help="retry attempts per failing task (default 2)")
+    w.add_argument("--chunk-size", type=int, default=None,
+                   help="tasks per worker dispatch")
 
     f = sub.add_parser("figure", help="render a paper figure from a sweep")
     f.add_argument("axis", choices=sorted(FIGURE_AXES))
@@ -199,15 +213,42 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    space = (DesignSpace(frequencies=(2.0,), core_counts=(32, 64))
-             if args.plane else full_design_space())
+    import json
+
+    from ..analysis import format_metrics_summary
+    from ..obs import get_metrics, summarize
+
+    if args.smoke:
+        space = DesignSpace(core_labels=("medium", "high"),
+                            cache_labels=("64M:512K",),
+                            memory_labels=("4chDDR4", "8chDDR4"),
+                            frequencies=(2.0,), vector_widths=(128, 512),
+                            core_counts=(64,))
+    elif args.plane:
+        space = DesignSpace(frequencies=(2.0,), core_counts=(32, 64))
+    else:
+        space = full_design_space()
     total = len(space) * len(args.apps)
     print(f"sweeping {len(space)} configurations x {len(args.apps)} apps "
           f"({total} simulations)...", flush=True)
+    reg = get_metrics()
+    reg.reset()
     results = run_sweep(args.apps, space, processes=args.processes,
-                        progress=True)
+                        progress=True, resume=args.resume,
+                        timeout_s=args.timeout, max_retries=args.retries,
+                        chunk_size=args.chunk_size)
     results.save(args.out)
     print(f"wrote {len(results)} records to {args.out}")
+    n_failed = len(results.failures())
+    if n_failed:
+        print(f"warning: {n_failed} task(s) exhausted retries and were "
+              "recorded as failed stubs", file=sys.stderr)
+    summary = summarize(reg.snapshot())
+    print(format_metrics_summary(summary))
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.metrics_json}")
     return 0
 
 

@@ -1,6 +1,13 @@
 """MUSA core: multi-scale orchestration, sweeps, metrics, normalization."""
 
-from .checkpoint import load_checkpoint, run_sweep_checkpointed
+from .checkpoint import (
+    Journal,
+    JournalReplay,
+    load_checkpoint,
+    replay_journal,
+    run_sweep_checkpointed,
+    task_key,
+)
 from .compare import AppDelta, NodeComparison, compare_nodes
 from .metrics import (
     energy_delay_product,
@@ -14,13 +21,26 @@ from .musa import Musa, RunResult
 from .normalize import AxisBar, axis_table, normalize_axis
 from .phase_sim import PhaseDetail, simulate_phase_detailed
 from .results import CONFIG_KEYS, ResultSet
-from .sweep import run_sweep, sweep_configs
+from .sweep import (
+    FailNTimes,
+    InjectedFault,
+    SweepAbort,
+    TaskTimeout,
+    run_sweep,
+    sweep_configs,
+)
 
 __all__ = [
     "AppDelta",
     "AxisBar",
     "CONFIG_KEYS",
+    "FailNTimes",
+    "InjectedFault",
+    "Journal",
+    "JournalReplay",
     "Musa",
+    "SweepAbort",
+    "TaskTimeout",
     "NodeComparison",
     "PhaseDetail",
     "ResultSet",
@@ -34,9 +54,11 @@ __all__ = [
     "normalize_axis",
     "normalized_energy",
     "parallel_efficiency",
+    "replay_journal",
     "run_sweep",
     "run_sweep_checkpointed",
     "simulate_phase_detailed",
     "speedup",
     "sweep_configs",
+    "task_key",
 ]

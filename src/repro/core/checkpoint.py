@@ -1,41 +1,116 @@
-"""Checkpointed (resumable) design-space sweeps.
+"""Append-only sweep journal: crash-safe record of completed work.
 
 A full campaign is 4,320 simulations; interrupting one (timeout,
-preemption, crash) should not discard completed work.  The checkpointed
-driver appends each record to a JSONL file as it completes and, on
-restart, skips every (app, configuration) pair already present — the
+preemption, crash) should not discard completed work.  The sweep engine
+appends each finished record to a JSONL journal as it completes and, on
+resume, skips every (app, configuration) pair already present — the
 same amortization discipline MUSA applies to its traces.
+
+Journal format: one JSON object per line.
+
+* **result records** — flat :class:`~repro.core.results.ResultSet`
+  dicts, exactly what ``RunResult.record()`` produces;
+* **failure stubs** — result-shaped dicts with ``"failed": true`` plus
+  ``"error"``/``"attempts"``; these are *not* treated as done on
+  resume, so a later run retries them;
+* a truncated final line (the torn-write crash case) is tolerated and
+  dropped.
+
+Duplicate keys keep their first occurrence; every dropped duplicate is
+counted (``checkpoint.duplicates_dropped``) and logged through
+:mod:`repro.obs` so silent journal corruption is visible.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..obs import inc as obs_inc
+from ..obs import warn as obs_warn
 from ..config.space import DesignSpace
 from .results import CONFIG_KEYS, ResultSet
-from .sweep import _musa_for
 
-__all__ = ["run_sweep_checkpointed", "load_checkpoint"]
+__all__ = [
+    "Journal",
+    "JournalReplay",
+    "load_checkpoint",
+    "replay_journal",
+    "run_sweep_checkpointed",
+    "task_key",
+]
 
 
-def _record_key(record: dict) -> Tuple:
+def task_key(record: Dict) -> Tuple:
+    """The (app, axis...) identity of one design point."""
     return tuple(record[k] for k in CONFIG_KEYS)
 
 
-def load_checkpoint(path: Union[str, Path]) -> ResultSet:
-    """Load a (possibly partial) JSONL checkpoint into a ResultSet.
+class Journal:
+    """Append-only JSONL writer with a bounded-loss fsync policy.
 
-    Tolerates a truncated final line (the crash case); duplicate
-    records (from concurrent writers) keep their first occurrence.
+    ``fsync_every=1`` (the default) makes every record durable before
+    the next task starts; larger values trade at most that many records
+    of loss for fewer synchronous flushes on large campaigns.
     """
-    results = ResultSet()
+
+    def __init__(self, path: Union[str, Path], fsync_every: int = 1) -> None:
+        if fsync_every <= 0:
+            raise ValueError("fsync_every must be positive")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._since_sync = 0
+
+    def append(self, record: Dict) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._since_sync = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """Everything a resuming sweep needs to know about a journal."""
+
+    results: ResultSet = field(default_factory=ResultSet)
+    done: Set[Tuple] = field(default_factory=set)
+    failed: List[Dict] = field(default_factory=list)
+    duplicates: int = 0
+    corrupt_lines: int = 0
+
+
+def replay_journal(path: Union[str, Path]) -> JournalReplay:
+    """Replay a (possibly partial) journal.
+
+    Successful records land in ``results``/``done``; failure stubs are
+    collected separately so the caller can retry them; duplicates keep
+    their first occurrence and are counted, as are undecodable lines.
+    """
+    out = JournalReplay()
     p = Path(path)
     if not p.exists():
-        return results
-    seen: Set[Tuple] = set()
+        return out
     with p.open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -44,13 +119,36 @@ def load_checkpoint(path: Union[str, Path]) -> ResultSet:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # truncated tail from an interrupted run
-            key = _record_key(record)
-            if key in seen:
+                out.corrupt_lines += 1  # truncated tail of a crashed run
                 continue
-            seen.add(key)
-            results.add(record)
-    return results
+            key = task_key(record)
+            if key in out.done:
+                out.duplicates += 1
+                continue
+            if record.get("failed"):
+                out.failed.append(record)
+                continue
+            out.done.add(key)
+            out.results.add(record)
+    if out.duplicates:
+        obs_inc("checkpoint.duplicates_dropped", out.duplicates)
+        obs_warn(
+            "journal %s: dropped %d duplicate record(s), keeping first "
+            "occurrences", p, out.duplicates)
+    if out.corrupt_lines:
+        obs_inc("checkpoint.corrupt_lines", out.corrupt_lines)
+    obs_inc("checkpoint.records_loaded", len(out.results))
+    return out
+
+
+def load_checkpoint(path: Union[str, Path]) -> ResultSet:
+    """Load the successful records of a journal into a ResultSet.
+
+    Tolerates a truncated final line (the crash case); duplicate
+    records keep their first occurrence (each drop is warned about and
+    counted through :mod:`repro.obs`); failure stubs are excluded.
+    """
+    return replay_journal(path).results
 
 
 def run_sweep_checkpointed(
@@ -61,47 +159,25 @@ def run_sweep_checkpointed(
     flush_every: int = 1,
     progress: bool = False,
 ) -> ResultSet:
-    """Run (or resume) a sweep with per-record checkpointing.
+    """Run (or resume) a single-process sweep journaled at
+    ``checkpoint_path``.
 
-    Single-process by design: the bottleneck a checkpoint protects
-    against is wall-clock interruption, and an appending writer must be
-    unique.  For a fresh parallel campaign use
-    :func:`~repro.core.sweep.run_sweep` and ``ResultSet.save``.
+    Kept as the stable high-level entry point; since the sweep engine
+    itself became journal-aware this is a thin wrapper over
+    :func:`~repro.core.sweep.run_sweep` with ``resume=`` set.  Use
+    ``run_sweep(..., resume=path, processes=N)`` directly for a
+    parallel resumable campaign.
     """
     if flush_every <= 0:
         raise ValueError("flush_every must be positive")
-    space = space or DesignSpace()
-    path = Path(checkpoint_path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    from .sweep import run_sweep  # local import: sweep imports this module
 
-    results = load_checkpoint(path)
-    done = {_record_key(r) for r in results}
-    tasks = [(app, node) for app in app_names for node in space]
-    pending = []
-    for app, node in tasks:
-        ax = node.axis_values()
-        key = (app, ax["core"], ax["cache"], ax["memory"], ax["frequency"],
-               ax["vector"], ax["cores"])
-        if key not in done:
-            pending.append((app, node))
-
-    if progress and results:
-        print(f"  resuming: {len(results)} done, {len(pending)} pending",
-              flush=True)
-
-    with path.open("a", encoding="utf-8") as fh:
-        since_flush = 0
-        for i, (app, node) in enumerate(pending):
-            record = _musa_for(app).simulate_node(node, n_ranks=n_ranks
-                                                  ).record()
-            results.add(record)
-            fh.write(json.dumps(record) + "\n")
-            since_flush += 1
-            if since_flush >= flush_every:
-                fh.flush()
-                os.fsync(fh.fileno())
-                since_flush = 0
-            if progress and (i + 1) % 200 == 0:
-                print(f"  checkpointed sweep: {i + 1}/{len(pending)}",
-                      flush=True)
-    return results
+    return run_sweep(
+        app_names,
+        space,
+        n_ranks=n_ranks,
+        processes=1,
+        progress=progress,
+        resume=checkpoint_path,
+        fsync_every=flush_every,
+    )

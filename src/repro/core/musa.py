@@ -27,6 +27,7 @@ from ..config.node import NodeConfig
 from ..network.collectives import collective_cost_ns
 from ..network.model import NetworkConfig, marenostrum4_network
 from ..network.replay import ReplayResult, replay
+from ..obs import get_metrics
 from ..power.breakdown import PowerBreakdown
 from ..power.drampower import DramPowerModel
 from ..power.mcpat import McPatModel
@@ -97,12 +98,18 @@ class Musa:
         self.network = network or marenostrum4_network()
         self.mcpat = mcpat or McPatModel()
         self.drampower = drampower or DramPowerModel()
-        self.detailed = app.detailed_trace()
+        obs = get_metrics()
+        obs.inc("musa.trace_gen")
+        with obs.span("musa.trace_gen"):
+            self.detailed = app.detailed_trace()
         #: one canonical iteration's phases, shared across ranks/iterations
         self.phases: Tuple[ComputePhase, ...] = app.canonical_phases()
         self._burst_cache: Dict[Tuple, PhaseResult] = {}
         self._detail_cache: Dict[Tuple, PhaseDetail] = {}
         self._trace_cache: Dict[Tuple, BurstTrace] = {}
+        #: (kernel, node.label, share) -> resolved timing; shared across
+        #: phases so kernels reused by several phases are timed once
+        self._timing_cache: Dict[Tuple, Tuple] = {}
 
     # ------------------------------------------------------------------ burst
 
@@ -160,11 +167,17 @@ class Musa:
         """Detailed-mode simulation of one phase (memoized per node)."""
         if collect_spans:
             return simulate_phase_detailed(phase, self.detailed, node,
-                                           collect_spans=True)
+                                           collect_spans=True,
+                                           timing_cache=self._timing_cache)
         key = (id(phase), node.label)
+        obs = get_metrics()
         if key not in self._detail_cache:
+            obs.inc("musa.phase_detail.miss")
             self._detail_cache[key] = simulate_phase_detailed(
-                phase, self.detailed, node)
+                phase, self.detailed, node,
+                timing_cache=self._timing_cache)
+        else:
+            obs.inc("musa.phase_detail.hit")
         return self._detail_cache[key]
 
     def comm_iteration_ns(self, n_ranks: int) -> float:
@@ -212,6 +225,20 @@ class Musa:
         """
         if mode not in ("fast", "replay"):
             raise ValueError("mode must be 'fast' or 'replay'")
+        obs = get_metrics()
+        obs.inc("musa.simulate_node")
+        with obs.span("musa.simulate_node"):
+            return self._simulate_node(node, n_ranks, n_iterations, mode,
+                                       include_comm)
+
+    def _simulate_node(
+        self,
+        node: NodeConfig,
+        n_ranks: int,
+        n_iterations: Optional[int],
+        mode: str,
+        include_comm: bool,
+    ) -> RunResult:
         n_iter = n_iterations or self.app.default_iterations
         details = [self.phase_detail(p, node) for p in self.phases]
         scales = self.app.rank_scales(n_ranks)

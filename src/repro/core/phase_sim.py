@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..config.node import NodeConfig
+from ..obs import get_metrics
 from ..runtime.scheduler import PhaseResult, simulate_phase
 from ..trace.detailed import DetailedTrace
 from ..trace.events import ComputePhase
@@ -83,8 +84,34 @@ def simulate_phase_detailed(
     node: NodeConfig,
     collect_spans: bool = False,
     n_refine: int = 2,
+    timing_cache: Optional[Dict] = None,
 ) -> PhaseDetail:
-    """Simulate ``phase`` on ``node`` in detailed mode."""
+    """Simulate ``phase`` on ``node`` in detailed mode.
+
+    ``timing_cache`` (a plain dict owned by the caller, usually
+    :class:`~repro.core.musa.Musa`) memoizes resolved kernel timings by
+    ``(kernel, node.label, share)``.  Phases reusing a kernel at the
+    same occupancy — common, e.g. SP-MZ runs ``sp_solve`` in three of
+    its four phases — then skip the interval-analysis + contention
+    solve entirely; hits/misses are counted through :mod:`repro.obs`
+    as ``phase_sim.kernel_memo.*``.
+    """
+    obs = get_metrics()
+    obs.inc("phase_sim.calls")
+    with obs.span("phase_sim.simulate"):
+        return _simulate_phase_detailed(phase, detailed, node,
+                                        collect_spans, n_refine,
+                                        timing_cache)
+
+
+def _simulate_phase_detailed(
+    phase: ComputePhase,
+    detailed: DetailedTrace,
+    node: NodeConfig,
+    collect_spans: bool,
+    n_refine: int,
+    timing_cache: Optional[Dict] = None,
+) -> PhaseDetail:
     if n_refine < 1:
         raise ValueError("n_refine must be >= 1")
     tasks = phase.tasks
@@ -108,15 +135,25 @@ def simulate_phase_detailed(
     sched: Optional[PhaseResult] = None
     timings: Dict[str, KernelTiming] = {}
     utilization = 0.0
+    obs = get_metrics()
     for _ in range(n_refine):
         share = max(1, int(round(n_busy)))
         timings = {}
         utilization = 0.0
         for k in kernel_names:
-            t0 = time_kernel(detailed[k], node, l3_share_cores=share)
-            cont = resolve_contention(t0, share, node.memory)
-            timings[k] = cont.timing
-            utilization = max(utilization, cont.utilization)
+            ckey = (k, node.label, share)
+            if timing_cache is not None and ckey in timing_cache:
+                obs.inc("phase_sim.kernel_memo.hit")
+                timing, util = timing_cache[ckey]
+            else:
+                obs.inc("phase_sim.kernel_memo.miss")
+                t0 = time_kernel(detailed[k], node, l3_share_cores=share)
+                cont = resolve_contention(t0, share, node.memory)
+                timing, util = cont.timing, cont.utilization
+                if timing_cache is not None:
+                    timing_cache[ckey] = (timing, util)
+            timings[k] = timing
+            utilization = max(utilization, util)
         durations = np.array([
             timings[t.kernel].duration_ns * t.work_units for t in tasks
         ]) * imb

@@ -59,6 +59,20 @@ class ResultSet:
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self._records)
 
+    def __eq__(self, other: object) -> bool:
+        """Record-by-record equality, in order (bitwise field values)."""
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._records == other._records
+
+    def failures(self) -> "ResultSet":
+        """Failed-task stubs recorded by the fault-tolerant sweep."""
+        return self.filter(lambda r: bool(r.get("failed")))
+
+    def successes(self) -> "ResultSet":
+        """Records carrying real simulation results (no failure stubs)."""
+        return self.filter(lambda r: not r.get("failed"))
+
     def lookup(self, **config) -> Dict[str, Any]:
         """Exact-match lookup by full config key."""
         missing = [k for k in CONFIG_KEYS if k not in config]

@@ -1,29 +1,131 @@
-"""Design-space sweep driver.
+"""Fault-tolerant, resumable design-space sweep engine.
 
-Runs the full (or a restricted) design space for a set of applications,
-in parallel across worker processes.  Each worker owns one lazily-built
-:class:`~repro.core.musa.Musa` instance per application, so trace
-generation happens once per (worker, app) and phase-detail memoization
-works across the configs the worker handles — the same amortization
-MUSA gets from reusing one trace for the whole campaign.
+Runs the full (or a restricted) design space for a set of applications
+as a chunked task schedule, inline or across worker processes.  Each
+worker owns one lazily-built :class:`~repro.core.musa.Musa` instance
+per application, so trace generation happens once per (worker, app) and
+phase-detail memoization works across the configs the worker handles —
+the same amortization MUSA gets from reusing one trace for the whole
+campaign.
+
+Campaign-scale robustness, on top of the bare pool the first version
+was:
+
+* **journaling** — with ``resume=path`` every completed record is
+  appended to a crash-safe :class:`~repro.core.checkpoint.Journal`
+  and already-done tasks are skipped on the next invocation;
+* **fault tolerance** — a failing task (exception or per-task
+  ``timeout_s``) is retried up to ``max_retries`` times with
+  exponential backoff, then recorded as a ``"failed": True`` stub so
+  one bad point cannot abort a 4,320-simulation campaign;
+* **fault injection** — ``fault_hook(app, node, attempt)`` runs before
+  every simulation, letting tests kill precisely the Nth attempt of a
+  chosen task (:class:`FailNTimes`) or abort the whole sweep
+  (:class:`SweepAbort`);
+* **metrics** — scheduler counters (completed / skipped / retries /
+  failed) and worker-side spans are reported through
+  :mod:`repro.obs`, with worker deltas merged back into the parent.
+
+The returned :class:`~repro.core.results.ResultSet` is always in the
+canonical ``sweep_configs`` order, independent of worker count, chunk
+size and completion order.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from multiprocessing import get_context
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..apps.registry import get_app
 from ..config.node import NodeConfig
 from ..config.space import DesignSpace
+from ..obs import MetricsRegistry, ProgressMeter, get_metrics, set_metrics
+from .checkpoint import Journal, replay_journal, task_key
 from .musa import Musa
 from .results import ResultSet
 
-__all__ = ["run_sweep", "sweep_configs"]
+__all__ = [
+    "FailNTimes",
+    "InjectedFault",
+    "SweepAbort",
+    "TaskTimeout",
+    "run_sweep",
+    "sweep_configs",
+]
+
+
+class SweepAbort(RuntimeError):
+    """Fatal sweep error: never retried, aborts the whole campaign.
+
+    Work journaled before the abort is preserved; ``resume=`` picks the
+    campaign back up.
+    """
+
+
+class InjectedFault(RuntimeError):
+    """Raised by test fault hooks to simulate a worker failure."""
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded the per-task ``timeout_s`` budget."""
+
+
+@dataclass(frozen=True)
+class FailNTimes:
+    """Deterministic injectable fault hook.
+
+    Fails the first ``times`` attempts of every matching task (all
+    tasks when no ``app``/``label`` filter is given), so retry logic
+    can be exercised reproducibly from any worker process.  With
+    ``fatal=True`` it raises :class:`SweepAbort` instead, simulating a
+    mid-campaign crash.
+    """
+
+    times: int = 1
+    app: Optional[str] = None
+    label: Optional[str] = None
+    fatal: bool = False
+
+    def __call__(self, app_name: str, node: NodeConfig, attempt: int) -> None:
+        if attempt >= self.times:
+            return
+        if self.app is not None and app_name != self.app:
+            return
+        if self.label is not None and node.label != self.label:
+            return
+        if self.fatal:
+            raise SweepAbort(
+                f"injected abort for {app_name} on {node.label}")
+        raise InjectedFault(
+            f"injected fault (attempt {attempt}) for {app_name} "
+            f"on {node.label}")
+
+
+# --------------------------------------------------------------- worker side
 
 # Per-process Musa cache (workers are forked/spawned per sweep).
 _MUSA_CACHE: Dict[str, Musa] = {}
+
+#: Per-process task-execution settings, set by the pool initializer
+#: (or directly for inline runs).
+_WORKER: Dict[str, object] = {"fault_hook": None, "timeout_s": None}
 
 
 def _musa_for(app_name: str) -> Musa:
@@ -32,11 +134,70 @@ def _musa_for(app_name: str) -> Musa:
     return _MUSA_CACHE[app_name]
 
 
-def _simulate_one(task) -> Dict:
-    app_name, node, n_ranks = task
-    musa = _musa_for(app_name)
-    return musa.simulate_node(node, n_ranks=n_ranks).record()
+def _init_worker(fault_hook, timeout_s) -> None:
+    _WORKER["fault_hook"] = fault_hook
+    _WORKER["timeout_s"] = timeout_s
 
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`TaskTimeout` if the block runs longer than
+    ``seconds`` (POSIX main-thread only; no-op elsewhere)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded {seconds:g}s budget")
+
+    try:
+        old = signal.signal(signal.SIGALRM, _alarm)
+    except ValueError:  # not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _execute_task(task) -> Dict:
+    """One (app, node) simulation, with fault hook and timeout applied."""
+    idx, attempt, app_name, node, n_ranks = task
+    reg = get_metrics()
+    with reg.span("sweep.task"), _deadline(_WORKER["timeout_s"]):
+        hook = _WORKER["fault_hook"]
+        if hook is not None:
+            hook(app_name, node, attempt)
+        return _musa_for(app_name).simulate_node(node, n_ranks=n_ranks
+                                                 ).record()
+
+
+def _run_chunk(chunk) -> Tuple[List[Tuple], Dict]:
+    """Run a chunk of tasks in a worker; never raises for per-task
+    failures (:class:`SweepAbort` excepted), so the pool stays alive.
+
+    Returns ``(outcomes, metrics_delta)`` where each outcome is
+    ``(idx, attempt, ok, record_or_error)``.
+    """
+    reg = get_metrics()
+    before = reg.snapshot()
+    outcomes: List[Tuple] = []
+    for task in chunk:
+        idx, attempt = task[0], task[1]
+        try:
+            outcomes.append((idx, attempt, True, _execute_task(task)))
+        except SweepAbort:
+            raise
+        except Exception as exc:
+            outcomes.append((idx, attempt, False,
+                             f"{type(exc).__name__}: {exc}"))
+    return outcomes, MetricsRegistry.delta(before, reg.snapshot())
+
+
+# ------------------------------------------------------------ parent side
 
 def sweep_configs(
     app_names: Sequence[str],
@@ -47,12 +208,142 @@ def sweep_configs(
     return [(app, node) for app in app_names for node in configs]
 
 
+def _failure_stub(app_name: str, node: NodeConfig, error: str,
+                  attempts: int) -> Dict:
+    """A result-shaped record marking a task that exhausted its retries."""
+    ax = node.axis_values()
+    return {
+        "app": app_name,
+        "core": ax["core"], "cache": ax["cache"], "memory": ax["memory"],
+        "frequency": ax["frequency"], "vector": ax["vector"],
+        "cores": ax["cores"],
+        "failed": True,
+        "error": error,
+        "attempts": attempts,
+    }
+
+
+class _Scheduler:
+    """Shared bookkeeping for the inline and pooled schedulers: retry
+    queue with exponential backoff, journaling, metrics, progress."""
+
+    def __init__(self, tasks, reg, journal, meter, max_retries,
+                 retry_backoff_s):
+        self.tasks = tasks
+        self.reg = reg
+        self.journal = journal
+        self.meter = meter
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.completed: Dict[int, Dict] = {}
+        self.queue: deque = deque()
+        self.retry_heap: List[Tuple[float, int, int]] = []
+
+    def promote_ready_retries(self) -> None:
+        now = time.monotonic()
+        while self.retry_heap and self.retry_heap[0][0] <= now:
+            _, idx, attempt = heappop(self.retry_heap)
+            self.queue.append((idx, attempt))
+
+    def next_retry_delay(self) -> Optional[float]:
+        if not self.retry_heap:
+            return None
+        return max(0.0, self.retry_heap[0][0] - time.monotonic())
+
+    def pending(self) -> bool:
+        return bool(self.queue or self.retry_heap)
+
+    def _finish(self, idx: int, record: Dict) -> None:
+        self.completed[idx] = record
+        if self.journal is not None:
+            self.journal.append(record)
+        if self.meter is not None:
+            self.meter.update()
+
+    def record_outcome(self, idx: int, attempt: int, ok: bool,
+                       payload) -> None:
+        if ok:
+            self.reg.inc("sweep.tasks.completed")
+            self._finish(idx, payload)
+            return
+        self.reg.inc("sweep.faults")
+        if attempt < self.max_retries:
+            self.reg.inc("sweep.retries")
+            delay = self.retry_backoff_s * (2 ** attempt)
+            heappush(self.retry_heap,
+                     (time.monotonic() + delay, idx, attempt + 1))
+            return
+        app_name, node = self.tasks[idx]
+        self.reg.inc("sweep.tasks.failed")
+        self._finish(idx, _failure_stub(app_name, node, str(payload),
+                                        attempt + 1))
+
+
+def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
+    while sched.pending():
+        sched.promote_ready_retries()
+        if not sched.queue:
+            time.sleep(min(sched.next_retry_delay() or 0.0, 0.05))
+            continue
+        idx, attempt = sched.queue.popleft()
+        app_name, node = sched.tasks[idx]
+        try:
+            rec = _execute_task((idx, attempt, app_name, node, n_ranks))
+        except SweepAbort:
+            raise
+        except Exception as exc:
+            sched.record_outcome(idx, attempt, False,
+                                 f"{type(exc).__name__}: {exc}")
+        else:
+            sched.record_outcome(idx, attempt, True, rec)
+
+
+def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
+                chunk_size: int, fault_hook, timeout_s) -> None:
+    try:
+        ctx = get_context("fork")  # cheap workers; traces shared via COW
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = get_context("spawn")
+    with ctx.Pool(processes=processes, initializer=_init_worker,
+                  initargs=(fault_hook, timeout_s)) as pool:
+        inflight: Dict[int, object] = {}
+        handle = 0
+        while sched.pending() or inflight:
+            sched.promote_ready_retries()
+            while sched.queue and len(inflight) < processes * 2:
+                chunk = []
+                while sched.queue and len(chunk) < chunk_size:
+                    idx, attempt = sched.queue.popleft()
+                    app_name, node = sched.tasks[idx]
+                    chunk.append((idx, attempt, app_name, node, n_ranks))
+                inflight[handle] = pool.apply_async(_run_chunk, (chunk,))
+                handle += 1
+            ready = [h for h, ar in inflight.items() if ar.ready()]
+            if not ready:
+                time.sleep(0.002)
+                continue
+            for h in ready:
+                outcomes, delta = inflight.pop(h).get()  # raises SweepAbort
+                sched.reg.merge(delta)
+                for idx, attempt, ok, payload in outcomes:
+                    sched.record_outcome(idx, attempt, ok, payload)
+
+
 def run_sweep(
     app_names: Sequence[str],
     space: Optional[DesignSpace] = None,
     n_ranks: int = 256,
     processes: Optional[int] = None,
     progress: bool = False,
+    *,
+    resume: Optional[Union[str, Path]] = None,
+    fsync_every: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    chunk_size: Optional[int] = None,
+    fault_hook: Optional[Callable[[str, NodeConfig, int], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ResultSet:
     """Simulate every (application, configuration) pair.
 
@@ -65,29 +356,99 @@ def run_sweep(
     processes:
         Worker processes; <=1 runs inline (useful under pytest).
         Defaults to ``os.cpu_count()`` capped at 8.
+    resume:
+        Journal path.  Completed records are appended there as they
+        finish; tasks already journaled are skipped, so re-invoking
+        after a crash resumes the campaign.
+    fsync_every:
+        Journal fsync stride (1 = every record durable immediately).
+    timeout_s:
+        Per-task wall-clock budget; an overrunning task fails with
+        :class:`TaskTimeout` and enters the retry path.
+    max_retries:
+        Attempts beyond the first before a task is recorded as a
+        ``"failed": True`` stub instead of aborting the campaign.
+    retry_backoff_s:
+        Base of the exponential retry backoff (doubles per attempt).
+    chunk_size:
+        Tasks per worker dispatch (default: sized so each worker sees
+        ~8 chunks).
+    fault_hook:
+        ``hook(app_name, node, attempt)`` called before each attempt;
+        raising simulates a worker failure (see :class:`FailNTimes`).
+    metrics:
+        Registry to report into (default: the process-global one).
+
+    The returned ResultSet is in canonical task order regardless of
+    ``processes``/``chunk_size``; failed tasks appear as stub records
+    (``record["failed"] is True``).
     """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
     space = space or DesignSpace()
-    tasks = [(app, node, n_ranks) for app in app_names for node in space]
+    tasks = sweep_configs(app_names, space)
     if processes is None:
         processes = min(os.cpu_count() or 1, 8)
 
-    results = ResultSet()
-    if processes <= 1:
-        for i, task in enumerate(tasks):
-            results.add(_simulate_one(task))
-            if progress and (i + 1) % 200 == 0:
-                print(f"  sweep: {i + 1}/{len(tasks)}", flush=True)
-        return results
-
+    reg = metrics or get_metrics()
+    prev_reg = set_metrics(reg) if reg is not get_metrics() else None
+    prev_worker = dict(_WORKER)
+    journal: Optional[Journal] = None
     try:
-        ctx = get_context("fork")  # cheap workers; traces shared via COW
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        ctx = get_context("spawn")
-    with ctx.Pool(processes=processes) as pool:
-        chunk = max(1, len(tasks) // (processes * 8))
-        for i, rec in enumerate(pool.imap(_simulate_one, tasks,
-                                          chunksize=chunk)):
-            results.add(rec)
-            if progress and (i + 1) % 200 == 0:
-                print(f"  sweep: {i + 1}/{len(tasks)}", flush=True)
+        with reg.span("sweep.run"):
+            done: Dict[Tuple, Dict] = {}
+            if resume is not None:
+                replayed = replay_journal(resume)
+                for rec in replayed.results:
+                    done[task_key(rec)] = rec
+
+            pending: List[int] = []
+            n_resumed = 0
+            for i, (app_name, node) in enumerate(tasks):
+                ax = node.axis_values()
+                key = (app_name, ax["core"], ax["cache"], ax["memory"],
+                       ax["frequency"], ax["vector"], ax["cores"])
+                if key in done:
+                    n_resumed += 1
+                else:
+                    pending.append(i)
+            reg.inc("sweep.tasks.skipped", n_resumed)
+
+            if progress and n_resumed:
+                print(f"  resuming: {n_resumed} done, {len(pending)} pending",
+                      flush=True)
+            meter = (ProgressMeter(len(pending)) if progress and pending
+                     else None)
+
+            if resume is not None:
+                journal = Journal(resume, fsync_every=fsync_every)
+            sched = _Scheduler(tasks, reg, journal, meter, max_retries,
+                               retry_backoff_s)
+            sched.queue.extend((i, 0) for i in pending)
+
+            if processes <= 1 or len(pending) <= 1:
+                _init_worker(fault_hook, timeout_s)
+                _run_inline(sched, n_ranks)
+            else:
+                if chunk_size is None:
+                    chunk_size = min(32, max(1, len(pending)
+                                             // (processes * 8)))
+                _run_pooled(sched, n_ranks, processes, chunk_size,
+                            fault_hook, timeout_s)
+    finally:
+        if journal is not None:
+            journal.close()
+        _WORKER.update(prev_worker)
+        if prev_reg is not None:
+            set_metrics(prev_reg)
+
+    results = ResultSet()
+    for i, (app_name, node) in enumerate(tasks):
+        if i in sched.completed:
+            results.add(sched.completed[i])
+        else:
+            ax = node.axis_values()
+            key = (app_name, ax["core"], ax["cache"], ax["memory"],
+                   ax["frequency"], ax["vector"], ax["cores"])
+            results.add(done[key])
     return results

@@ -1,0 +1,31 @@
+"""Execution observability: counters, timer spans, progress meters.
+
+Everything here is process-local and dependency-free; the sweep engine
+merges worker deltas so campaign metrics survive multiprocessing.  See
+:func:`summarize` for the derived statistics (tasks/s, memo hit rate)
+surfaced by ``repro sweep --metrics-json``.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    get_metrics,
+    inc,
+    observe,
+    set_metrics,
+    span,
+    summarize,
+    warn,
+)
+from .progress import ProgressMeter
+
+__all__ = [
+    "MetricsRegistry",
+    "ProgressMeter",
+    "get_metrics",
+    "inc",
+    "observe",
+    "set_metrics",
+    "span",
+    "summarize",
+    "warn",
+]

@@ -1,0 +1,206 @@
+"""Lightweight execution metrics: counters and timer spans.
+
+The sweep engine, :class:`~repro.core.musa.Musa` and the detailed-mode
+phase simulator all report into one process-local
+:class:`MetricsRegistry`.  Worker processes ship snapshot *deltas* back
+to the sweep parent, which merges them, so a campaign's metrics are
+complete even when the work ran across a process pool.
+
+The registry is deliberately tiny — plain dicts, no locks beyond a
+single mutex, no background threads — so instrumentation can stay on
+in production sweeps without measurable overhead.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "inc",
+    "observe",
+    "span",
+    "warn",
+    "summarize",
+]
+
+logger = logging.getLogger("repro.obs")
+
+
+class MetricsRegistry:
+    """Named counters plus named timers (count / total / max seconds)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timed interval under ``name``."""
+        with self._lock:
+            t = self._timers.setdefault(
+                name, {"count": 0.0, "total_s": 0.0, "max_s": 0.0})
+            t["count"] += 1
+            t["total_s"] += seconds
+            t["max_s"] = max(t["max_s"], seconds)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block as one interval of timer ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    # -- reading ------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the current state, suitable for JSON or :meth:`merge`."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {k: dict(v) for k, v in self._timers.items()},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    # -- cross-process aggregation ------------------------------------------
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot (or delta) from another registry into this one."""
+        with self._lock:
+            for name, n in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + n
+            for name, t in snap.get("timers", {}).items():
+                mine = self._timers.setdefault(
+                    name, {"count": 0.0, "total_s": 0.0, "max_s": 0.0})
+                mine["count"] += t["count"]
+                mine["total_s"] += t["total_s"]
+                mine["max_s"] = max(mine["max_s"], t["max_s"])
+
+    @staticmethod
+    def delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """The snapshot difference ``after - before`` (counters and timers).
+
+        ``max_s`` is taken from ``after`` — a conservative upper bound
+        for the interval, exact when the maximum occurred inside it.
+        """
+        counters = {}
+        for name, n in after.get("counters", {}).items():
+            d = n - before.get("counters", {}).get(name, 0)
+            if d:
+                counters[name] = d
+        timers = {}
+        for name, t in after.get("timers", {}).items():
+            b = before.get("timers", {}).get(
+                name, {"count": 0.0, "total_s": 0.0, "max_s": 0.0})
+            dc = t["count"] - b["count"]
+            if dc:
+                timers[name] = {"count": dc, "total_s": t["total_s"] - b["total_s"],
+                                "max_s": t["max_s"]}
+        return {"counters": counters, "timers": timers}
+
+
+#: Process-local default registry; forked sweep workers inherit a copy
+#: and report deltas back to the parent.
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    return _GLOBAL
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-local registry (returns the previous one)."""
+    global _GLOBAL
+    previous, _GLOBAL = _GLOBAL, registry
+    return previous
+
+
+def inc(name: str, n: float = 1) -> None:
+    _GLOBAL.inc(name, n)
+
+
+def observe(name: str, seconds: float) -> None:
+    _GLOBAL.observe(name, seconds)
+
+
+def span(name: str):
+    return _GLOBAL.span(name)
+
+
+def warn(message: str, *args) -> None:
+    """Log a warning and count it (counter ``obs.warnings``)."""
+    _GLOBAL.inc("obs.warnings")
+    logger.warning(message, *args)
+
+
+def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Snapshot plus the derived campaign statistics the CLI reports.
+
+    * ``tasks_per_second`` — completed tasks over the sweep wall time;
+    * ``memo_hit_rate`` — fraction of memoizable detailed-simulation
+      lookups (phase-detail results plus resolved kernel timings)
+      served from cache instead of re-simulated;
+    * ``phase_memo_hit_rate`` / ``kernel_memo_hit_rate`` — the two
+      components: whole-phase results (hit on re-simulation of a
+      (phase, node) pair, e.g. retries or repeated points) and kernel
+      timings (hit when phases of one app share a kernel at the same
+      occupancy);
+    * ``retries`` / ``tasks_failed`` / ``tasks_skipped`` — fault and
+      resume accounting from the sweep scheduler.
+    """
+    snap = snap if snap is not None else _GLOBAL.snapshot()
+    c = snap.get("counters", {})
+    t = snap.get("timers", {})
+    run = t.get("sweep.run", {})
+    completed = c.get("sweep.tasks.completed", 0)
+    wall_s = run.get("total_s", 0.0)
+
+    def rate(hit_name, miss_name):
+        hits = c.get(hit_name, 0)
+        total = hits + c.get(miss_name, 0)
+        return hits / total if total else None
+
+    phase_hits = c.get("musa.phase_detail.hit", 0)
+    phase_misses = c.get("musa.phase_detail.miss", 0)
+    kern_hits = c.get("phase_sim.kernel_memo.hit", 0)
+    kern_misses = c.get("phase_sim.kernel_memo.miss", 0)
+    memo_total = phase_hits + phase_misses + kern_hits + kern_misses
+    derived = {
+        "tasks_completed": completed,
+        "tasks_skipped": c.get("sweep.tasks.skipped", 0),
+        "tasks_failed": c.get("sweep.tasks.failed", 0),
+        "retries": c.get("sweep.retries", 0),
+        "faults": c.get("sweep.faults", 0),
+        "duplicates_dropped": c.get("checkpoint.duplicates_dropped", 0),
+        "sweep_wall_s": wall_s,
+        "tasks_per_second": completed / wall_s if wall_s > 0 else None,
+        "memo_hit_rate": ((phase_hits + kern_hits) / memo_total
+                          if memo_total else None),
+        "phase_memo_hit_rate": rate("musa.phase_detail.hit",
+                                    "musa.phase_detail.miss"),
+        "kernel_memo_hit_rate": rate("phase_sim.kernel_memo.hit",
+                                     "phase_sim.kernel_memo.miss"),
+    }
+    return {"derived": derived, "counters": c, "timers": t}

@@ -1,0 +1,54 @@
+"""Throughput-aware progress reporting for long sweeps."""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressMeter"]
+
+
+class ProgressMeter:
+    """Prints ``done/total`` lines with a tasks-per-second rate and ETA.
+
+    Throttled by both a count stride and a minimum interval so a fast
+    inline sweep does not flood stdout while a slow campaign still
+    reports regularly.
+    """
+
+    def __init__(self, total: int, label: str = "sweep",
+                 every_n: int = 200, min_interval_s: float = 2.0,
+                 stream: Optional[TextIO] = None,
+                 clock=time.perf_counter) -> None:
+        self.total = total
+        self.label = label
+        self.every_n = max(1, every_n)
+        self.min_interval_s = min_interval_s
+        self.stream = stream if stream is not None else sys.stdout
+        self._clock = clock
+        self._t0 = clock()
+        self._last_print = self._t0 - min_interval_s
+        self.done = 0
+
+    def update(self, n: int = 1) -> None:
+        self.done += n
+        if self.done % self.every_n and self.done != self.total:
+            return
+        now = self._clock()
+        if now - self._last_print < self.min_interval_s \
+                and self.done != self.total:
+            return
+        self._last_print = now
+        print(f"  {self.render()}", file=self.stream, flush=True)
+
+    def render(self) -> str:
+        elapsed = max(self._clock() - self._t0, 1e-9)
+        rate = self.done / elapsed
+        if rate > 0 and self.done < self.total:
+            eta_s = (self.total - self.done) / rate
+            eta = f", eta {int(eta_s // 60):d}:{int(eta_s % 60):02d}"
+        else:
+            eta = ""
+        return (f"{self.label}: {self.done}/{self.total} "
+                f"({rate:.1f} tasks/s{eta})")

@@ -108,6 +108,34 @@ class TestCommands:
         # tiny space: 2 memory configs x 2 core counts
         assert len(back) == 4
 
+    def test_sweep_smoke_metrics_and_resume(self, tmp_path, capsys):
+        out_path = tmp_path / "out.json"
+        metrics_path = tmp_path / "metrics.json"
+        journal = tmp_path / "journal.jsonl"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--out", str(out_path), "--metrics-json",
+                   str(metrics_path), "--resume", str(journal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep execution metrics" in out
+        assert "memo hit rate" in out
+        assert journal.exists()
+        data = json.loads(metrics_path.read_text())
+        d = data["derived"]
+        assert d["tasks_completed"] == 8  # 8-config smoke space x 1 app
+        assert d["tasks_per_second"] > 0
+        assert d["memo_hit_rate"] is not None and d["memo_hit_rate"] > 0
+        assert d["retries"] == 0
+
+        # Re-invoking with the same journal skips all the work.
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--out", str(out_path), "--metrics-json",
+                   str(metrics_path), "--resume", str(journal)])
+        assert rc == 0
+        d = json.loads(metrics_path.read_text())["derived"]
+        assert d["tasks_completed"] == 0
+        assert d["tasks_skipped"] == 8
+
 
 class TestRecommendAndValidate:
     def test_recommend_from_results(self, plane_results, capsys):

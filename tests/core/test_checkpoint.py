@@ -1,11 +1,13 @@
 """Tests for checkpointed (resumable) sweeps."""
 
 import json
+import logging
 
 import pytest
 
 from repro.config import DesignSpace
-from repro.core import load_checkpoint, run_sweep_checkpointed
+from repro.core import load_checkpoint, replay_journal, run_sweep_checkpointed
+from repro.obs import get_metrics
 
 
 @pytest.fixture
@@ -79,3 +81,49 @@ class TestCheckpointedSweep:
             run_sweep_checkpointed(["spmz"], tiny_space,
                                    checkpoint_path=tmp_path / "x.jsonl",
                                    flush_every=0)
+
+
+def _record(vector=128, time_ns=1.0):
+    return {"app": "spmz", "core": "medium", "cache": "64M:512K",
+            "memory": "4chDDR4", "frequency": 2.0, "vector": vector,
+            "cores": 64, "time_ns": time_ns}
+
+
+class TestDuplicateHandling:
+    def test_duplicates_keep_first_and_warn(self, tmp_path, caplog):
+        path = tmp_path / "dup.jsonl"
+        lines = [_record(128, 1.0), _record(128, 999.0), _record(256, 2.0)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        before = get_metrics().counter("checkpoint.duplicates_dropped")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            rs = load_checkpoint(path)
+        assert len(rs) == 2
+        # First occurrence wins.
+        assert rs.lookup(**{k: _record(128)[k]
+                            for k in ("app", "core", "cache", "memory",
+                                      "frequency", "vector",
+                                      "cores")})["time_ns"] == 1.0
+        # The silent drop is now observable: counter + warning.
+        assert get_metrics().counter(
+            "checkpoint.duplicates_dropped") == before + 1
+        assert any("duplicate" in rec.message for rec in caplog.records)
+
+    def test_replay_counts_duplicates(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        rec = _record()
+        path.write_text(json.dumps(rec) + "\n" + json.dumps(rec) + "\n"
+                        + json.dumps(rec) + "\n")
+        replayed = replay_journal(path)
+        assert len(replayed.results) == 1
+        assert replayed.duplicates == 2
+
+    def test_failed_stub_excluded_from_checkpoint(self, tmp_path):
+        path = tmp_path / "stub.jsonl"
+        stub = {**_record(), "failed": True, "error": "boom", "attempts": 3}
+        del stub["time_ns"]
+        path.write_text(json.dumps(stub) + "\n"
+                        + json.dumps(_record(256)) + "\n")
+        rs = load_checkpoint(path)
+        assert len(rs) == 1  # the stub is retryable, not done
+        replayed = replay_journal(path)
+        assert len(replayed.failed) == 1

@@ -1,0 +1,134 @@
+"""Crash-injection tests for the fault-tolerant sweep engine.
+
+A deterministic fault hook kills chosen attempts of chosen tasks; the
+sweep must retry, complete, and produce a ResultSet identical to an
+uninterrupted run — or, once retries are exhausted, degrade gracefully
+to a failed-task stub instead of aborting the campaign.
+"""
+
+import time
+
+import pytest
+
+from repro.config import DesignSpace
+from repro.core import (
+    FailNTimes,
+    SweepAbort,
+    run_sweep,
+)
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    """A 2x2 slice of the full space (vector x memory)."""
+    return DesignSpace(
+        core_labels=("medium",),
+        cache_labels=("64M:512K",),
+        memory_labels=("4chDDR4", "8chDDR4"),
+        frequencies=(2.0,),
+        vector_widths=(128, 512),
+        core_counts=(64,),
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_run(tiny_space):
+    """The uninterrupted reference sweep."""
+    return run_sweep(["spmz"], tiny_space, processes=1)
+
+
+class _SleepHook:
+    """Fault hook that stalls every first attempt past the task budget."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def __call__(self, app_name, node, attempt):
+        if attempt == 0:
+            time.sleep(self.seconds)
+
+
+class TestInjectedFaults:
+    def test_every_task_failing_once_still_completes(self, tiny_space,
+                                                     clean_run):
+        reg = MetricsRegistry()
+        rs = run_sweep(["spmz"], tiny_space, processes=1,
+                       fault_hook=FailNTimes(times=1),
+                       retry_backoff_s=0.0, metrics=reg)
+        assert rs == clean_run
+        assert reg.counter("sweep.faults") == 4
+        assert reg.counter("sweep.retries") == 4
+        assert reg.counter("sweep.tasks.failed") == 0
+        assert reg.counter("sweep.tasks.completed") == 4
+
+    def test_single_task_fault_in_worker_pool(self, tiny_space, clean_run):
+        victim = list(tiny_space)[1].label
+        reg = MetricsRegistry()
+        rs = run_sweep(["spmz"], tiny_space, processes=2, chunk_size=1,
+                       fault_hook=FailNTimes(times=1, app="spmz",
+                                             label=victim),
+                       retry_backoff_s=0.0, metrics=reg)
+        assert rs == clean_run
+        assert reg.counter("sweep.retries") == 1
+        assert reg.counter("sweep.tasks.failed") == 0
+
+    def test_exhausted_retries_record_failure_stub(self, tiny_space,
+                                                   clean_run):
+        victim = list(tiny_space)[2].label
+        reg = MetricsRegistry()
+        rs = run_sweep(["spmz"], tiny_space, processes=1,
+                       fault_hook=FailNTimes(times=99, label=victim),
+                       max_retries=1, retry_backoff_s=0.0, metrics=reg)
+        assert len(rs) == 4  # campaign completed despite the bad point
+        stubs = list(rs.failures())
+        assert len(stubs) == 1
+        stub = stubs[0]
+        assert stub["failed"] is True
+        assert "InjectedFault" in stub["error"]
+        assert stub["attempts"] == 2  # first try + one retry
+        assert reg.counter("sweep.tasks.failed") == 1
+        assert reg.counter("sweep.tasks.completed") == 3
+        # Surviving records are bit-identical to the clean run.
+        for rec in rs.successes():
+            cfg = {k: rec[k] for k in ("app", "core", "cache", "memory",
+                                       "frequency", "vector", "cores")}
+            assert clean_run.lookup(**cfg) == rec
+
+    def test_per_task_timeout_enters_retry_path(self):
+        space = DesignSpace(core_labels=("medium",),
+                            cache_labels=("64M:512K",),
+                            memory_labels=("4chDDR4",), frequencies=(2.0,),
+                            vector_widths=(128,), core_counts=(64,))
+        reg = MetricsRegistry()
+        rs = run_sweep(["spmz"], space, processes=1,
+                       fault_hook=_SleepHook(0.5), timeout_s=0.05,
+                       max_retries=1, retry_backoff_s=0.0, metrics=reg)
+        # Attempt 0 times out, attempt 1 (hook passive) succeeds.
+        assert len(rs.failures()) == 0
+        assert reg.counter("sweep.retries") == 1
+        snap = reg.snapshot()
+        assert "TaskTimeout" not in str(list(rs))  # retried, not stubbed
+        assert snap["counters"]["sweep.faults"] == 1
+
+    def test_fatal_fault_aborts_campaign(self, tiny_space):
+        victim = list(tiny_space)[0].label
+        with pytest.raises(SweepAbort):
+            run_sweep(["spmz"], tiny_space, processes=1,
+                      fault_hook=FailNTimes(times=1, fatal=True,
+                                            label=victim))
+
+    def test_backoff_delays_retries(self, tiny_space):
+        t0 = time.perf_counter()
+        rs = run_sweep(["spmz"],
+                       DesignSpace(core_labels=("medium",),
+                                   cache_labels=("64M:512K",),
+                                   memory_labels=("4chDDR4",),
+                                   frequencies=(2.0,), vector_widths=(128,),
+                                   core_counts=(64,)),
+                       processes=1, fault_hook=FailNTimes(times=2),
+                       max_retries=2, retry_backoff_s=0.1)
+        elapsed = time.perf_counter() - t0
+        assert len(rs.failures()) == 0
+        # Two retries with exponential backoff: >= 0.1 + 0.2 seconds.
+        assert elapsed >= 0.3
