@@ -87,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry attempts per failing task (default 2)")
     w.add_argument("--chunk-size", type=int, default=None,
                    help="tasks per worker dispatch")
+    w.add_argument("--batch-size", type=int, default=256,
+                   help="configs per batched evaluation (default 256)")
+    w.add_argument("--no-batch", action="store_true",
+                   help="disable the batched evaluator (one simulation "
+                        "per task; results are identical, just slower)")
 
     f = sub.add_parser("figure", help="render a paper figure from a sweep")
     f.add_argument("axis", choices=sorted(FIGURE_AXES))
@@ -236,7 +241,8 @@ def cmd_sweep(args) -> int:
     results = run_sweep(args.apps, space, processes=args.processes,
                         progress=True, resume=args.resume,
                         timeout_s=args.timeout, max_retries=args.retries,
-                        chunk_size=args.chunk_size)
+                        chunk_size=args.chunk_size,
+                        batch=not args.no_batch, batch_size=args.batch_size)
     results.save(args.out)
     print(f"wrote {len(results)} records to {args.out}")
     n_failed = len(results.failures())

@@ -1,5 +1,6 @@
 """MUSA core: multi-scale orchestration, sweeps, metrics, normalization."""
 
+from .batch import BatchEvaluator
 from .checkpoint import (
     Journal,
     JournalReplay,
@@ -33,6 +34,7 @@ from .sweep import (
 __all__ = [
     "AppDelta",
     "AxisBar",
+    "BatchEvaluator",
     "CONFIG_KEYS",
     "FailNTimes",
     "InjectedFault",

@@ -1,0 +1,305 @@
+"""Batched config-major evaluation of the integrated fast mode.
+
+One sweep task used to be one ``(app, node)`` simulation; this module
+evaluates one app against a whole *batch* of node configurations at
+once.  Trace-derived quantities (imbalance factors, per-task work,
+kernel membership) are invariant across configurations and precomputed
+once per app; the per-kernel hot path then runs column-wise over the
+configuration axis (:mod:`repro.uarch.batch`), and only the
+discrete-event schedule replay remains per-config Python.
+
+**Exactness contract**: for every configuration the batched evaluator
+produces a :class:`~repro.core.musa.RunResult` bitwise-identical to
+``Musa.simulate_node`` — same floats, not merely close ones.  The
+refine loop reproduces the scalar iteration structure with a per-config
+*active* mask: once a configuration passes the scalar convergence test
+its share and occupancy freeze, and because the timing recompute at a
+frozen share is deterministic and idempotent, frozen lanes ride along
+through later iterations unchanged.
+
+Node-level totals are accumulated **in task order** (vector over the
+config axis), never regrouped per kernel — float addition is not
+associative and the contract is bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.node import NodeConfig
+from ..obs import get_metrics
+from ..runtime.scheduler import PhaseResult, simulate_phase
+from ..trace.events import ComputePhase
+from ..uarch.batch import NodeBatch, resolve_contention_batch, time_kernel_batch
+from .musa import Musa, RunResult
+from .phase_sim import PhaseDetail, _imbalance_factors
+
+__all__ = ["BatchEvaluator"]
+
+#: Matches the scalar path (simulate_phase_detailed's default).
+_N_REFINE = 2
+
+
+@dataclass(frozen=True)
+class _PhaseInvariants:
+    """Configuration-independent per-phase data, computed once per app."""
+
+    phase: ComputePhase
+    imb: np.ndarray              # per-task imbalance factors
+    work: Tuple                  # per-task work units (original numbers)
+    work_arr: np.ndarray         # same, as float64 (exact conversion)
+    kernel_names: Tuple[str, ...]
+    kidx: np.ndarray             # per-task index into kernel_names
+    n_tasks: int
+
+
+class BatchEvaluator:
+    """Evaluates one app's integrated fast mode over config batches.
+
+    Owns per-app memoization: miss profiles keyed on the full hashable
+    ``(kernel, hierarchy, share)`` and SIMD fusion keyed on
+    ``(kernel, width)`` persist for the evaluator's lifetime; resolved
+    kernel-timing *columns* are memoized per :meth:`evaluate` call by
+    ``(kernel, share-column)``, which is what makes kernels shared by
+    several phases (SP-MZ's ``sp_solve``) nearly free, mirroring the
+    scalar path's ``(kernel, node, share)`` cache.
+    """
+
+    def __init__(self, musa: Musa) -> None:
+        self.musa = musa
+        self._invariants = [self._phase_invariants(p) for p in musa.phases]
+        self._miss_memo: Dict = {}
+        self._vec_memo: Dict = {}
+
+    @staticmethod
+    def _phase_invariants(phase: ComputePhase) -> _PhaseInvariants:
+        tasks = phase.tasks
+        if not tasks:
+            return _PhaseInvariants(phase, np.empty(0), (),
+                                    np.empty(0, np.int64), (),
+                                    np.empty(0, np.int64), 0)
+        imb = _imbalance_factors(phase)
+        kernel_names = tuple(sorted({t.kernel for t in tasks}))
+        pos = {k: i for i, k in enumerate(kernel_names)}
+        kidx = np.array([pos[t.kernel] for t in tasks], np.int64)
+        work = tuple(t.work_units for t in tasks)
+        return _PhaseInvariants(
+            phase=phase,
+            imb=imb,
+            work=work,
+            work_arr=np.array(work, np.float64),
+            kernel_names=kernel_names,
+            kidx=kidx,
+            n_tasks=len(tasks),
+        )
+
+    # ------------------------------------------------------------------ public
+
+    def evaluate(
+        self,
+        nodes: Sequence[NodeConfig],
+        n_ranks: int = 256,
+        n_iterations: Optional[int] = None,
+        include_comm: bool = False,
+    ) -> List[RunResult]:
+        """Fast-mode results for every node, in input order.
+
+        Bitwise-equal to ``[musa.simulate_node(n, n_ranks, n_iterations,
+        include_comm=include_comm) for n in nodes]``.
+        """
+        nodes = list(nodes)
+        obs = get_metrics()
+        obs.inc("musa.simulate_node", len(nodes))
+        with obs.span("musa.batch_eval"):
+            return self._evaluate(nodes, n_ranks, n_iterations, include_comm)
+
+    def _evaluate(self, nodes, n_ranks, n_iterations, include_comm):
+        musa = self.musa
+        nb = NodeBatch.from_nodes(nodes)
+        n_configs = len(nodes)
+        n_iter = n_iterations or musa.app.default_iterations
+        scales = musa.app.rank_scales(n_ranks)
+        max_scale = float(scales.max())
+        comm_iter = musa.comm_iteration_ns(n_ranks) if include_comm else 0.0
+
+        kernel_memo: Dict = {}  # (kernel, share-column bytes) -> columns
+        details_per_phase: List[List[PhaseDetail]] = []
+        compute_iter = np.zeros(n_configs)
+        for inv in self._invariants:
+            details = self._phase_detail_batch(inv, nb, kernel_memo)
+            details_per_phase.append(details)
+            # Same accumulation order as sum(d.makespan_ns for d in details).
+            compute_iter = compute_iter + np.array(
+                [d.makespan_ns for d in details])
+
+        results: List[RunResult] = []
+        for i, node in enumerate(nodes):
+            details_i = [per_phase[i] for per_phase in details_per_phase]
+            ci = float(compute_iter[i])
+            total_ns = n_iter * (ci * max_scale + comm_iter)
+            results.append(musa._assemble_result(
+                node, n_ranks, n_iter, details_i, total_ns, ci, comm_iter))
+        return results
+
+    # ----------------------------------------------------------------- phases
+
+    def _phase_detail_batch(
+        self,
+        inv: _PhaseInvariants,
+        nb: NodeBatch,
+        kernel_memo: Dict,
+    ) -> List[PhaseDetail]:
+        obs = get_metrics()
+        n_configs = len(nb)
+        obs.inc("phase_sim.calls", n_configs)
+        phase = inv.phase
+
+        if inv.n_tasks == 0:
+            out = []
+            for node in nb.nodes:
+                sched = simulate_phase(phase, node.n_cores)
+                out.append(PhaseDetail(
+                    makespan_ns=sched.makespan_ns,
+                    busy_core_ns=float(sched.busy_ns.sum()),
+                    n_busy_cores=0.0, schedule=sched, instructions=0.0,
+                    scalar_flops=0.0, l1_accesses=0.0, l2_accesses=0.0,
+                    l3_accesses=0.0, dram_accesses=0.0, dram_bytes=0.0,
+                    store_fraction=0.0, row_hit_rate=0.0, bw_utilization=0.0,
+                    core_dynamic_j=0.0, timings=(),
+                ))
+            return out
+
+        detailed = self.musa.detailed
+        kernel_names, kidx, imb = inv.kernel_names, inv.kidx, inv.imb
+
+        n_cores_f = nb.n_cores.astype(np.float64)
+        # Scalar: float(min(len(tasks), node.n_cores)).
+        n_busy = np.minimum(float(inv.n_tasks), n_cores_f)
+
+        active = np.ones(n_configs, dtype=bool)
+        share: Optional[np.ndarray] = None
+        scheds: List[Optional[PhaseResult]] = [None] * n_configs
+        timing_cols: Dict = {}
+        util_col = np.zeros(n_configs)
+        for _ in range(_N_REFINE):
+            # Frozen lanes keep the share of the iteration they converged
+            # in (NOT round(frozen n_busy): 2.4 -> 2.6 converges with
+            # |diff| < 0.5 but the rounds differ).
+            share_new = np.maximum(1.0, np.round(n_busy)).astype(np.int64)
+            share = share_new if share is None else np.where(
+                active, share_new, share)
+            skey = share.tobytes()
+
+            timing_cols = {}
+            util_col = np.zeros(n_configs)
+            for k in kernel_names:
+                mk = (k, skey)
+                hit = kernel_memo.get(mk)
+                if hit is not None:
+                    obs.inc("phase_sim.kernel_memo.hit", n_configs)
+                    t_col, u_col = hit
+                else:
+                    obs.inc("phase_sim.kernel_memo.miss", n_configs)
+                    tb = time_kernel_batch(
+                        detailed[k], nb, share,
+                        miss_memo=self._miss_memo, vec_memo=self._vec_memo)
+                    cb = resolve_contention_batch(tb, share, nb)
+                    t_col, u_col = cb.timing, cb.utilization
+                    kernel_memo[mk] = (t_col, u_col)
+                timing_cols[k] = t_col
+                util_col = np.maximum(util_col, u_col)
+
+            dur_cols = np.stack(
+                [timing_cols[k].duration_ns for k in kernel_names])
+            conv = np.zeros(n_configs, dtype=bool)
+            for i in np.flatnonzero(active):
+                durations = (dur_cols[:, i][kidx] * inv.work_arr) * imb
+                sched = simulate_phase(phase, int(nb.n_cores[i]),
+                                       task_durations_ns=durations.tolist())
+                scheds[i] = sched
+                exec_ns = max(sched.makespan_ns - sched.serial_ns, 1e-9)
+                n_busy_new = min(
+                    float(n_cores_f[i]),
+                    max(1.0, float(sched.busy_ns.sum()) / exec_ns),
+                )
+                conv[i] = abs(n_busy_new - n_busy[i]) < 0.5
+                n_busy[i] = n_busy_new
+            active = active & ~conv
+            if not active.any():
+                break
+
+        # ------- node-level event totals, accumulated in task order ----------
+        instr_cols = np.stack(
+            [timing_cols[k].instructions for k in kernel_names])
+        l1_cols = np.stack([timing_cols[k].l1_accesses for k in kernel_names])
+        l2_cols = np.stack([timing_cols[k].l2_accesses for k in kernel_names])
+        l3_cols = np.stack([timing_cols[k].l3_accesses for k in kernel_names])
+        dram_cols = np.stack(
+            [timing_cols[k].dram_accesses for k in kernel_names])
+        bytes_cols = np.stack([timing_cols[k].dram_bytes for k in kernel_names])
+        flops_per_kernel = [timing_cols[k].scalar_flops for k in kernel_names]
+        # Scalar computes (sig.row_hit_rate * dram_bytes) * w and
+        # (store/mem * l1_accesses) * w per task; hoist the per-kernel
+        # left factor, keep the * w and the accumulation per task.
+        rhb_cols = np.stack([
+            detailed[k].row_hit_rate * timing_cols[k].dram_bytes
+            for k in kernel_names])
+        ratios = []
+        for k in kernel_names:
+            mix = detailed[k].mix
+            ratios.append(mix.store / mix.mem if mix.mem > 0 else 0.0)
+        sw_cols = np.stack(
+            [ratios[j] * l1_cols[j] for j in range(len(kernel_names))])
+
+        tot_instr = np.zeros(n_configs)
+        tot_l1 = np.zeros(n_configs)
+        tot_l2 = np.zeros(n_configs)
+        tot_l3 = np.zeros(n_configs)
+        tot_dram = np.zeros(n_configs)
+        tot_bytes = np.zeros(n_configs)
+        row_hit_w = np.zeros(n_configs)
+        store_w = np.zeros(n_configs)
+        tot_flops = 0.0  # config-invariant: same accumulation, computed once
+        for t_i in range(inv.n_tasks):
+            j = kidx[t_i]
+            w = inv.work[t_i]
+            tot_instr = tot_instr + instr_cols[j] * w
+            tot_flops += flops_per_kernel[j] * w
+            tot_l1 = tot_l1 + l1_cols[j] * w
+            tot_l2 = tot_l2 + l2_cols[j] * w
+            tot_l3 = tot_l3 + l3_cols[j] * w
+            tot_dram = tot_dram + dram_cols[j] * w
+            tot_bytes = tot_bytes + bytes_cols[j] * w
+            row_hit_w = row_hit_w + rhb_cols[j] * w
+            store_w = store_w + sw_cols[j] * w
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            row_hit_col = np.where(tot_bytes != 0.0, row_hit_w / tot_bytes, 0.0)
+            store_col = np.where(tot_l1 != 0.0, store_w / tot_l1, 0.0)
+
+        out = []
+        for i in range(n_configs):
+            sched = scheds[i]
+            assert sched is not None
+            out.append(PhaseDetail(
+                makespan_ns=sched.makespan_ns,
+                busy_core_ns=float(sched.busy_ns.sum()),
+                n_busy_cores=float(n_busy[i]),
+                schedule=sched,
+                instructions=float(tot_instr[i]),
+                scalar_flops=tot_flops,
+                l1_accesses=float(tot_l1[i]),
+                l2_accesses=float(tot_l2[i]),
+                l3_accesses=float(tot_l3[i]),
+                dram_accesses=float(tot_dram[i]),
+                dram_bytes=float(tot_bytes[i]),
+                store_fraction=float(store_col[i]),
+                row_hit_rate=float(row_hit_col[i]),
+                bw_utilization=float(util_col[i]),
+                core_dynamic_j=0.0,
+                timings=tuple(timing_cols[k].at(i) for k in kernel_names),
+            ))
+        return out

@@ -106,11 +106,17 @@ def replay_journal(path: Union[str, Path]) -> JournalReplay:
     Successful records land in ``results``/``done``; failure stubs are
     collected separately so the caller can retry them; duplicates keep
     their first occurrence and are counted, as are undecodable lines.
+
+    Failure stubs are deduplicated by task key across the whole journal
+    (a task that fails on N resumed runs appends N stubs); the *latest*
+    stub wins, so ``attempts`` reflects the most recent run.  A stub for
+    a task that later succeeded is dropped entirely.
     """
     out = JournalReplay()
     p = Path(path)
     if not p.exists():
         return out
+    stubs: Dict[Tuple, Dict] = {}
     with p.open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -126,10 +132,12 @@ def replay_journal(path: Union[str, Path]) -> JournalReplay:
                 out.duplicates += 1
                 continue
             if record.get("failed"):
-                out.failed.append(record)
+                stubs[key] = record  # latest stub wins
                 continue
             out.done.add(key)
             out.results.add(record)
+            stubs.pop(key, None)  # the task eventually succeeded
+    out.failed.extend(stubs.values())
     if out.duplicates:
         obs_inc("checkpoint.duplicates_dropped", out.duplicates)
         obs_warn(

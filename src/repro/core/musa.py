@@ -107,7 +107,7 @@ class Musa:
         self._burst_cache: Dict[Tuple, PhaseResult] = {}
         self._detail_cache: Dict[Tuple, PhaseDetail] = {}
         self._trace_cache: Dict[Tuple, BurstTrace] = {}
-        #: (kernel, node.label, share) -> resolved timing; shared across
+        #: (kernel, node, share) -> resolved timing; shared across
         #: phases so kernels reused by several phases are timed once
         self._timing_cache: Dict[Tuple, Tuple] = {}
 

@@ -65,13 +65,23 @@ class PhaseDetail:
 
 def _imbalance_factors(phase: ComputePhase) -> np.ndarray:
     """Per-task duration multipliers preserving the trace's intra-phase
-    imbalance, normalized per kernel (mean 1 over each kernel's tasks)."""
+    imbalance, normalized per kernel (mean 1 over each kernel's tasks).
+
+    Zero-work tasks (empty partitions in an irregular decomposition)
+    carry no re-timeable work: they get factor 1.0 and are excluded
+    from the per-kernel mean so they cannot skew their siblings.
+    """
     n = len(phase.tasks)
-    per_unit = np.array([t.duration_ns / t.work_units for t in phase.tasks])
+    per_unit = np.array([t.duration_ns / t.work_units if t.work_units > 0
+                         else 0.0 for t in phase.tasks])
+    has_work = np.array([t.work_units > 0 for t in phase.tasks])
     factors = np.ones(n)
     kernels = {t.kernel for t in phase.tasks}
     for k in kernels:
-        idx = [i for i, t in enumerate(phase.tasks) if t.kernel == k]
+        idx = [i for i, t in enumerate(phase.tasks)
+               if t.kernel == k and has_work[i]]
+        if not idx:
+            continue
         mean = per_unit[idx].mean()
         if mean > 0:
             factors[idx] = per_unit[idx] / mean
@@ -90,7 +100,9 @@ def simulate_phase_detailed(
 
     ``timing_cache`` (a plain dict owned by the caller, usually
     :class:`~repro.core.musa.Musa`) memoizes resolved kernel timings by
-    ``(kernel, node.label, share)``.  Phases reusing a kernel at the
+    ``(kernel, node, share)`` — the full (hashable) NodeConfig, not its
+    display label, so two distinct configurations that happen to render
+    the same label can never share timings.  Phases reusing a kernel at the
     same occupancy — common, e.g. SP-MZ runs ``sp_solve`` in three of
     its four phases — then skip the interval-analysis + contention
     solve entirely; hits/misses are counted through :mod:`repro.obs`
@@ -141,7 +153,7 @@ def _simulate_phase_detailed(
         timings = {}
         utilization = 0.0
         for k in kernel_names:
-            ckey = (k, node.label, share)
+            ckey = (k, node, share)
             if timing_cache is not None and ckey in timing_cache:
                 obs.inc("phase_sim.kernel_memo.hit")
                 timing, util = timing_cache[ckey]

@@ -8,6 +8,14 @@ phase-detail memoization works across the configs the worker handles —
 the same amortization MUSA gets from reusing one trace for the whole
 campaign.
 
+Since the batched engine landed, the unit of work is one app x
+*config-batch*: consecutive same-app tasks are grouped (up to
+``batch_size``) and evaluated column-wise by
+:class:`~repro.core.batch.BatchEvaluator`, bitwise-identical to — and
+several times faster than — per-config simulation.  Journal records,
+retries, abort and resume semantics are all still per config; a batch
+that fails to evaluate falls back to scalar per-config simulation.
+
 Campaign-scale robustness, on top of the bare pool the first version
 was:
 
@@ -57,6 +65,7 @@ from ..apps.registry import get_app
 from ..config.node import NodeConfig
 from ..config.space import DesignSpace
 from ..obs import MetricsRegistry, ProgressMeter, get_metrics, set_metrics
+from .batch import BatchEvaluator
 from .checkpoint import Journal, replay_journal, task_key
 from .musa import Musa
 from .results import ResultSet
@@ -123,9 +132,13 @@ class FailNTimes:
 # Per-process Musa cache (workers are forked/spawned per sweep).
 _MUSA_CACHE: Dict[str, Musa] = {}
 
+# Per-process batched-evaluator cache, keyed like _MUSA_CACHE.
+_BATCH_EVALUATORS: Dict[str, BatchEvaluator] = {}
+
 #: Per-process task-execution settings, set by the pool initializer
 #: (or directly for inline runs).
-_WORKER: Dict[str, object] = {"fault_hook": None, "timeout_s": None}
+_WORKER: Dict[str, object] = {"fault_hook": None, "timeout_s": None,
+                              "batch": False, "batch_size": 1}
 
 
 def _musa_for(app_name: str) -> Musa:
@@ -134,9 +147,18 @@ def _musa_for(app_name: str) -> Musa:
     return _MUSA_CACHE[app_name]
 
 
-def _init_worker(fault_hook, timeout_s) -> None:
+def _evaluator_for(app_name: str) -> BatchEvaluator:
+    if app_name not in _BATCH_EVALUATORS:
+        _BATCH_EVALUATORS[app_name] = BatchEvaluator(_musa_for(app_name))
+    return _BATCH_EVALUATORS[app_name]
+
+
+def _init_worker(fault_hook, timeout_s, batch: bool = False,
+                 batch_size: int = 1) -> None:
     _WORKER["fault_hook"] = fault_hook
     _WORKER["timeout_s"] = timeout_s
+    _WORKER["batch"] = batch
+    _WORKER["batch_size"] = batch_size
 
 
 @contextmanager
@@ -175,6 +197,106 @@ def _execute_task(task) -> Dict:
                                                  ).record()
 
 
+def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
+    """One app x config-batch evaluation (the batched task shape).
+
+    ``batch`` is a list of ``(idx, attempt, app_name, node, n_ranks)``
+    tuples sharing one ``app_name``.  Semantics mirror running each
+    member through :func:`_execute_task`:
+
+    * the fault hook runs per member; a member whose hook raises a
+      transient error fails *individually* and the rest proceed;
+    * :class:`SweepAbort` from a hook stops the walk, the members
+      already cleared are still evaluated and **returned** (so the
+      caller can journal them before surfacing the abort), and the
+      abort comes back as the second tuple element — never raised from
+      here;
+    * the wall-clock budget is ``timeout_s x len(batch)`` for the whole
+      batch; on :class:`TaskTimeout` every member without an outcome
+      fails with the timeout (entering the per-task retry path);
+    * if the batched evaluator itself fails, the batch falls back to
+      scalar per-config simulation (``sweep.batch.fallback`` counts
+      these) — a model bug degrades throughput, not coverage.
+
+    Returns ``(outcomes, abort)`` with outcomes shaped exactly like
+    :func:`_run_chunk`'s.
+    """
+    reg = get_metrics()
+    outcomes: List[Tuple] = []
+    runnable: List[Tuple] = []
+    abort: Optional[BaseException] = None
+    app_name, n_ranks = batch[0][2], batch[0][4]
+    timeout_s = _WORKER["timeout_s"]
+    budget = timeout_s * len(batch) if timeout_s else None
+    hook = _WORKER["fault_hook"]
+    reg.inc("sweep.batch.configs", len(batch))
+    try:
+        with reg.span("sweep.batch"), _deadline(budget):
+            for task in batch:
+                idx, attempt, _, node, _ = task
+                if hook is not None:
+                    try:
+                        hook(app_name, node, attempt)
+                    except SweepAbort as exc:
+                        abort = exc
+                        break
+                    except TaskTimeout:
+                        raise
+                    except Exception as exc:
+                        outcomes.append((idx, attempt, False,
+                                         f"{type(exc).__name__}: {exc}"))
+                        continue
+                runnable.append(task)
+            if runnable:
+                results = None
+                try:
+                    results = _evaluator_for(app_name).evaluate(
+                        [t[3] for t in runnable], n_ranks=n_ranks)
+                except (SweepAbort, TaskTimeout):
+                    raise
+                except Exception:
+                    reg.inc("sweep.batch.fallback")
+                if results is not None:
+                    for task, res in zip(runnable, results):
+                        outcomes.append((task[0], task[1], True, res.record()))
+                else:
+                    for task in runnable:  # scalar fallback; hooks already ran
+                        idx, attempt, _, node, _ = task
+                        try:
+                            rec = _musa_for(app_name).simulate_node(
+                                node, n_ranks=n_ranks).record()
+                        except TaskTimeout:
+                            raise
+                        except Exception as exc:
+                            outcomes.append((idx, attempt, False,
+                                             f"{type(exc).__name__}: {exc}"))
+                        else:
+                            outcomes.append((idx, attempt, True, rec))
+    except TaskTimeout as exc:
+        if abort is None:
+            done = {o[0] for o in outcomes}
+            msg = f"{type(exc).__name__}: {exc}"
+            for task in batch:
+                if task[0] not in done:
+                    outcomes.append((task[0], task[1], False, msg))
+        # With an abort pending, evaluated-but-unrecorded members simply
+        # stay un-journaled; the resumed campaign redoes them.
+    return outcomes, abort
+
+
+def _iter_batches(chunk, batch_size: int):
+    """Split a task chunk into maximal runs of consecutive same-app
+    tasks, capped at ``batch_size``."""
+    i = 0
+    while i < len(chunk):
+        j = i + 1
+        while (j < len(chunk) and j - i < batch_size
+               and chunk[j][2] == chunk[i][2]):
+            j += 1
+        yield list(chunk[i:j])
+        i = j
+
+
 def _run_chunk(chunk) -> Tuple[List[Tuple], Dict]:
     """Run a chunk of tasks in a worker; never raises for per-task
     failures (:class:`SweepAbort` excepted), so the pool stays alive.
@@ -185,15 +307,30 @@ def _run_chunk(chunk) -> Tuple[List[Tuple], Dict]:
     reg = get_metrics()
     before = reg.snapshot()
     outcomes: List[Tuple] = []
-    for task in chunk:
-        idx, attempt = task[0], task[1]
-        try:
-            outcomes.append((idx, attempt, True, _execute_task(task)))
-        except SweepAbort:
-            raise
-        except Exception as exc:
-            outcomes.append((idx, attempt, False,
-                             f"{type(exc).__name__}: {exc}"))
+    batch_size = int(_WORKER.get("batch_size") or 1)
+    if _WORKER.get("batch") and batch_size > 1:
+        for batch in _iter_batches(chunk, batch_size):
+            try:
+                out, abort = _execute_batch(batch)
+            except SweepAbort:
+                raise
+            except Exception as exc:
+                out = [(t[0], t[1], False, f"{type(exc).__name__}: {exc}")
+                       for t in batch]
+                abort = None
+            outcomes.extend(out)
+            if abort is not None:
+                raise abort
+    else:
+        for task in chunk:
+            idx, attempt = task[0], task[1]
+            try:
+                outcomes.append((idx, attempt, True, _execute_task(task)))
+            except SweepAbort:
+                raise
+            except Exception as exc:
+                outcomes.append((idx, attempt, False,
+                                 f"{type(exc).__name__}: {exc}"))
     return outcomes, MetricsRegistry.delta(before, reg.snapshot())
 
 
@@ -279,11 +416,43 @@ class _Scheduler:
                                         attempt + 1))
 
 
+def _pop_batch(sched: _Scheduler, n_ranks: int, batch_size: int) -> List:
+    """Pop a maximal run of queued tasks sharing the front task's app."""
+    idx, attempt = sched.queue.popleft()
+    app_name, node = sched.tasks[idx]
+    batch = [(idx, attempt, app_name, node, n_ranks)]
+    while sched.queue and len(batch) < batch_size:
+        nxt_idx = sched.queue[0][0]
+        if sched.tasks[nxt_idx][0] != app_name:
+            break
+        idx, attempt = sched.queue.popleft()
+        _, node = sched.tasks[idx]
+        batch.append((idx, attempt, app_name, node, n_ranks))
+    return batch
+
+
 def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
+    batch_size = int(_WORKER.get("batch_size") or 1)
+    batched = bool(_WORKER.get("batch")) and batch_size > 1
     while sched.pending():
         sched.promote_ready_retries()
         if not sched.queue:
             time.sleep(min(sched.next_retry_delay() or 0.0, 0.05))
+            continue
+        if batched:
+            batch = _pop_batch(sched, n_ranks, batch_size)
+            try:
+                outcomes, abort = _execute_batch(batch)
+            except Exception as exc:
+                outcomes = [(t[0], t[1], False,
+                             f"{type(exc).__name__}: {exc}") for t in batch]
+                abort = None
+            for idx, attempt, ok, payload in outcomes:
+                sched.record_outcome(idx, attempt, ok, payload)
+            if abort is not None:
+                # Pre-abort members are journaled above before the
+                # campaign stops — a resume skips them.
+                raise abort
             continue
         idx, attempt = sched.queue.popleft()
         app_name, node = sched.tasks[idx]
@@ -298,14 +467,41 @@ def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
             sched.record_outcome(idx, attempt, True, rec)
 
 
+def _drain_ready(sched: _Scheduler, inflight: Dict[int, object],
+                 ready: Sequence[int]) -> None:
+    """Collect every ready chunk result, then surface any abort.
+
+    A chunk whose ``.get()`` raises :class:`SweepAbort` must not
+    discard the *other* ready chunks' completed outcomes and metrics
+    deltas: those are drained (and journaled through the scheduler)
+    first, and the abort is re-raised only after all ready handles have
+    been recorded — so a resume does not redo finished work.
+    """
+    abort: Optional[BaseException] = None
+    for h in ready:
+        try:
+            outcomes, delta = inflight.pop(h).get()
+        except SweepAbort as exc:
+            if abort is None:
+                abort = exc
+            continue
+        sched.reg.merge(delta)
+        for idx, attempt, ok, payload in outcomes:
+            sched.record_outcome(idx, attempt, ok, payload)
+    if abort is not None:
+        raise abort
+
+
 def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
-                chunk_size: int, fault_hook, timeout_s) -> None:
+                chunk_size: int, fault_hook, timeout_s, batch,
+                batch_size) -> None:
     try:
         ctx = get_context("fork")  # cheap workers; traces shared via COW
     except ValueError:  # pragma: no cover - non-POSIX fallback
         ctx = get_context("spawn")
     with ctx.Pool(processes=processes, initializer=_init_worker,
-                  initargs=(fault_hook, timeout_s)) as pool:
+                  initargs=(fault_hook, timeout_s, batch, batch_size)
+                  ) as pool:
         inflight: Dict[int, object] = {}
         handle = 0
         while sched.pending() or inflight:
@@ -322,11 +518,7 @@ def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
             if not ready:
                 time.sleep(0.002)
                 continue
-            for h in ready:
-                outcomes, delta = inflight.pop(h).get()  # raises SweepAbort
-                sched.reg.merge(delta)
-                for idx, attempt, ok, payload in outcomes:
-                    sched.record_outcome(idx, attempt, ok, payload)
+            _drain_ready(sched, inflight, ready)
 
 
 def run_sweep(
@@ -344,6 +536,8 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     fault_hook: Optional[Callable[[str, NodeConfig, int], None]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    batch: bool = True,
+    batch_size: int = 256,
 ) -> ResultSet:
     """Simulate every (application, configuration) pair.
 
@@ -378,13 +572,23 @@ def run_sweep(
         raising simulates a worker failure (see :class:`FailNTimes`).
     metrics:
         Registry to report into (default: the process-global one).
+    batch:
+        Evaluate config batches through the column-wise
+        :class:`~repro.core.batch.BatchEvaluator` (the fast path; the
+        results are bitwise-identical to scalar evaluation).  Disable
+        to force one simulation per task.
+    batch_size:
+        Upper bound on configs per batched evaluation; also scales the
+        batch's wall-clock budget (``timeout_s x len(batch)``).
 
     The returned ResultSet is in canonical task order regardless of
-    ``processes``/``chunk_size``; failed tasks appear as stub records
-    (``record["failed"] is True``).
+    ``processes``/``chunk_size``/``batch_size``; failed tasks appear as
+    stub records (``record["failed"] is True``).
     """
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     space = space or DesignSpace()
     tasks = sweep_configs(app_names, space)
     if processes is None:
@@ -427,14 +631,14 @@ def run_sweep(
             sched.queue.extend((i, 0) for i in pending)
 
             if processes <= 1 or len(pending) <= 1:
-                _init_worker(fault_hook, timeout_s)
+                _init_worker(fault_hook, timeout_s, batch, batch_size)
                 _run_inline(sched, n_ranks)
             else:
                 if chunk_size is None:
                     chunk_size = min(32, max(1, len(pending)
                                              // (processes * 8)))
                 _run_pooled(sched, n_ranks, processes, chunk_size,
-                            fault_hook, timeout_s)
+                            fault_hook, timeout_s, batch, batch_size)
     finally:
         if journal is not None:
             journal.close()

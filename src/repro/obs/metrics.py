@@ -168,7 +168,10 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       timings (hit when phases of one app share a kernel at the same
       occupancy);
     * ``retries`` / ``tasks_failed`` / ``tasks_skipped`` — fault and
-      resume accounting from the sweep scheduler.
+      resume accounting from the sweep scheduler;
+    * ``batched_configs`` / ``batch_fallbacks`` — configs that went
+      through the column-wise batched evaluator, and batches that had
+      to fall back to scalar per-config simulation.
     """
     snap = snap if snap is not None else _GLOBAL.snapshot()
     c = snap.get("counters", {})
@@ -202,5 +205,7 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
                                     "musa.phase_detail.miss"),
         "kernel_memo_hit_rate": rate("phase_sim.kernel_memo.hit",
                                      "phase_sim.kernel_memo.miss"),
+        "batched_configs": c.get("sweep.batch.configs", 0),
+        "batch_fallbacks": c.get("sweep.batch.fallback", 0),
     }
     return {"derived": derived, "counters": c, "timers": t}

@@ -75,6 +75,102 @@ class PhaseResult:
         return float(self.n_cores * self.makespan_ns - self.busy_ns.sum())
 
 
+#: id(phase) -> (structure tag or None, phase) — the phase reference is
+#: kept so a garbage-collected phase cannot alias a recycled id().
+_STRUCTURE_CACHE: dict = {}
+
+#: Bound on the structure cache: one entry per distinct phase object;
+#: applications hold a few dozen phases, so this never grows in practice,
+#: but synthetic tests churning phases should not leak.
+_STRUCTURE_CACHE_MAX = 4096
+
+
+def _structure_of(phase: ComputePhase) -> Optional[str]:
+    """Classify the dependency structure of a phase, if specializable.
+
+    Two shapes cover every trace the application models emit and admit
+    an exact shortcut of the general list scheduler (see
+    :func:`_simulate_fast`):
+
+    * ``"nodeps"`` — every task is immediately ready once created;
+    * ``"fanout0"`` — task 0 has no dependencies and every other task
+      depends exactly on task 0 (producer/consumer fan-out).
+
+    Anything else returns ``None`` and takes the general path.
+    """
+    key = id(phase)
+    hit = _STRUCTURE_CACHE.get(key)
+    if hit is not None and hit[1] is phase:
+        return hit[0]
+    tasks = phase.tasks
+    structure: Optional[str] = None
+    if all(not t.deps for t in tasks):
+        structure = "nodeps"
+    elif tasks and not tasks[0].deps and all(
+            t.deps == (0,) for t in tasks[1:]):
+        structure = "fanout0"
+    if len(_STRUCTURE_CACHE) >= _STRUCTURE_CACHE_MAX:
+        _STRUCTURE_CACHE.clear()
+    _STRUCTURE_CACHE[key] = (structure, phase)
+    return structure
+
+
+def _simulate_fast(structure: str, n: int, n_cores: int, durations,
+                   create_time, master_done: float, serial: float,
+                   creation: float, critical_total: float,
+                   busy: np.ndarray) -> PhaseResult:
+    """Specialized greedy scheduler for the two common dependency shapes.
+
+    Bitwise-identical to the general algorithm: for both shapes the
+    ready heap provably pops tasks in index order (ready times are
+    nondecreasing in the task index and ties break on the index), so
+    the ready heap is elided and only the core heap is kept.  The same
+    heap operations run in the same order, producing the same floats.
+    """
+    cores: List[Tuple[float, int]] = [(0.0, c) for c in range(n_cores)]
+    cores[0] = (master_done, 0)
+    heapq.heapify(cores)
+    busy[0] += master_done
+
+    makespan = master_done
+    start_index = 0
+    if structure == "fanout0":
+        # Task 0 runs alone; its finish gates every other task.
+        free_time, core = heapq.heappop(cores)
+        rt = create_time[0]
+        start = rt if rt > free_time else free_time
+        end0 = start + durations[0]
+        busy[core] += durations[0]
+        heapq.heappush(cores, (end0, core))
+        if end0 > makespan:
+            makespan = end0
+        start_index = 1
+    else:
+        end0 = 0.0
+
+    for i in range(start_index, n):
+        rt = create_time[i]
+        if structure == "fanout0" and end0 > rt:
+            rt = end0
+        free_time, core = heapq.heappop(cores)
+        start = rt if rt > free_time else free_time
+        end = start + durations[i]
+        busy[core] += durations[i]
+        heapq.heappush(cores, (end, core))
+        if end > makespan:
+            makespan = end
+
+    makespan = max(makespan, serial + critical_total)
+    return PhaseResult(
+        makespan_ns=makespan,
+        busy_ns=busy,
+        n_tasks=n,
+        serial_ns=serial,
+        creation_ns_total=n * creation,
+        spans=None,
+    )
+
+
 def simulate_phase(
     phase: ComputePhase,
     n_cores: int,
@@ -82,6 +178,7 @@ def simulate_phase(
     overhead_scale: float = 1.0,
     task_durations_ns: Optional[Sequence[float]] = None,
     collect_spans: bool = False,
+    _force_general: bool = False,
 ) -> PhaseResult:
     """Simulate one compute phase on ``n_cores`` cores.
 
@@ -101,6 +198,9 @@ def simulate_phase(
     collect_spans:
         If True, record per-task (core, start, end) for timeline
         analysis; costs memory, off by default for the sweep.
+    _force_general:
+        Skip the structure-specialized fast path (testing hook; the two
+        paths are asserted bitwise-equal by the property suite).
     """
     if n_cores <= 0:
         raise ValueError("n_cores must be positive")
@@ -131,6 +231,13 @@ def simulate_phase(
     # Task i is created at serial + (i+1)*creation by the master thread.
     create_time = [serial + (i + 1) * creation for i in range(n)]
     master_done = create_time[-1]
+
+    if not collect_spans and not _force_general:
+        structure = _structure_of(phase)
+        if structure is not None:
+            return _simulate_fast(structure, n, n_cores, durations,
+                                  create_time, master_done, serial,
+                                  creation, critical_total, busy)
 
     # Dependency bookkeeping: children lists and remaining-dep counters.
     n_deps = [len(t.deps) for t in tasks]

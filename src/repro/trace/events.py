@@ -37,14 +37,16 @@ class TaskRecord:
     duration_ns: float
     deps: Tuple[int, ...] = ()
     #: work units (e.g. grid cells) — used to rescale durations when the
-    #: detailed model re-times the kernel.
+    #: detailed model re-times the kernel.  Zero is allowed: irregular
+    #: decompositions produce empty partitions whose tasks exist in the
+    #: trace but carry no re-timeable work.
     work_units: float = 1.0
 
     def __post_init__(self) -> None:
         if self.duration_ns < 0:
             raise ValueError("duration_ns must be non-negative")
-        if self.work_units <= 0:
-            raise ValueError("work_units must be positive")
+        if self.work_units < 0:
+            raise ValueError("work_units must be non-negative")
         if any(d < 0 for d in self.deps):
             raise ValueError("dependency indices must be non-negative")
 

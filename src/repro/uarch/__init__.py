@@ -1,22 +1,36 @@
 """Detailed microarchitecture models (TaskSim substitute)."""
 
+from .batch import (
+    ContentionBatch,
+    KernelTimingBatch,
+    NodeBatch,
+    resolve_contention_batch,
+    time_kernel_batch,
+)
 from .cache import CacheHierarchySim, CacheStats, SetAssociativeCache
 from .core_model import KernelTiming, time_kernel
 from .cpu import ContentionResult, dram_efficiency, resolve_contention
 from .explain import CpiStack, explain_kernel
-from .hierarchy import MissProfile, hierarchy_miss_profile
+from .hierarchy import (
+    MissProfile,
+    hierarchy_miss_profile,
+    hierarchy_miss_profile_batch,
+)
 from .roofline import RooflinePoint, render_roofline, roofline_point
 from .validation import KernelValidation, validate_kernel
-from .vector import VectorizationResult, fusion_factor, vectorize
+from .vector import VectorizationResult, fusion_factor, vectorize, vectorize_batch
 
 __all__ = [
     "CacheHierarchySim",
     "CacheStats",
+    "ContentionBatch",
     "ContentionResult",
     "CpiStack",
     "KernelTiming",
+    "KernelTimingBatch",
     "KernelValidation",
     "MissProfile",
+    "NodeBatch",
     "RooflinePoint",
     "SetAssociativeCache",
     "VectorizationResult",
@@ -24,10 +38,14 @@ __all__ = [
     "explain_kernel",
     "fusion_factor",
     "hierarchy_miss_profile",
+    "hierarchy_miss_profile_batch",
     "render_roofline",
     "resolve_contention",
+    "resolve_contention_batch",
     "roofline_point",
     "time_kernel",
+    "time_kernel_batch",
     "validate_kernel",
     "vectorize",
+    "vectorize_batch",
 ]

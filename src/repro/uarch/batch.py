@@ -1,0 +1,347 @@
+"""Config-major batched kernel timing (vectorized over configurations).
+
+The sweep evaluates every kernel signature against hundreds of node
+configurations; the per-config scalar path spends most of its time in
+Python call overhead for :func:`~repro.uarch.core_model.time_kernel`
+and :func:`~repro.uarch.cpu.resolve_contention`.  This module lays the
+configuration axis out as NumPy arrays (struct-of-arrays over
+:class:`~repro.config.node.NodeConfig`) and evaluates all configs of a
+batch with elementwise array arithmetic.
+
+**Exactness contract** (enforced by the property suite): every batched
+result is bitwise-identical to the scalar path, not merely close.
+
+* miss profiles and SIMD fusion take few distinct values per batch, so
+  they are computed by the *scalar* model once per distinct value and
+  scattered (:func:`~.hierarchy.hierarchy_miss_profile_batch`,
+  :func:`~.vector.vectorize_batch`) — trivially exact;
+* the interval-analysis formulas and the contention fixed point are
+  replicated op-for-op: same operand order, same associativity, same
+  float64 intermediates.  IEEE-754 elementwise ops are deterministic,
+  so identical operation sequences give identical bits;
+* the contention fixed point converges per-config; an *active mask*
+  freezes each lane at exactly the iteration where the scalar loop
+  would ``break``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.cache import LINE_BYTES, CacheHierarchy
+from ..config.memory import MemoryConfig
+from ..config.node import NodeConfig
+from ..trace.kernel import KernelSignature
+from .core_model import _MIN_EXPOSURE, KernelTiming
+from .cpu import _DAMPING, _MAX_ITER, _QUEUE_GAIN, _U_CLIP, dram_efficiency
+from .hierarchy import MissProfile, hierarchy_miss_profile_batch
+from .vector import VectorizationResult, vectorize_batch
+
+__all__ = [
+    "ContentionBatch",
+    "KernelTimingBatch",
+    "NodeBatch",
+    "resolve_contention_batch",
+    "time_kernel_batch",
+]
+
+
+@dataclass(frozen=True)
+class NodeBatch:
+    """Struct-of-arrays view of a sequence of node configurations.
+
+    Numeric fields become float64 columns (integer configuration values
+    convert to float64 exactly); categorical fields (cache hierarchy,
+    memory technology) stay as object lists for the dedupe-and-scatter
+    sub-models.
+    """
+
+    nodes: Tuple[NodeConfig, ...]
+    issue_width: np.ndarray
+    n_fpu: np.ndarray
+    n_alu: np.ndarray
+    l1_ports: np.ndarray
+    store_buffer: np.ndarray
+    rob_size: np.ndarray
+    max_mlp: np.ndarray
+    frequency_ghz: np.ndarray
+    l2_latency: np.ndarray
+    l3_latency: np.ndarray
+    idle_latency_ns: np.ndarray
+    peak_bw_gbs: np.ndarray
+    n_cores: np.ndarray
+    vector_bits: Tuple[int, ...]
+    hierarchies: Tuple[CacheHierarchy, ...]
+    memories: Tuple[MemoryConfig, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @classmethod
+    def from_nodes(cls, nodes: Sequence[NodeConfig]) -> "NodeBatch":
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValueError("NodeBatch needs at least one node")
+        f64 = np.float64
+        return cls(
+            nodes=nodes,
+            issue_width=np.array([n.core.issue_width for n in nodes], f64),
+            n_fpu=np.array([n.core.n_fpu for n in nodes], f64),
+            n_alu=np.array([n.core.n_alu for n in nodes], f64),
+            l1_ports=np.array([n.core.l1_ports for n in nodes], f64),
+            store_buffer=np.array([n.core.store_buffer for n in nodes], f64),
+            rob_size=np.array([n.core.rob_size for n in nodes], f64),
+            max_mlp=np.array([n.core.max_mlp for n in nodes], f64),
+            frequency_ghz=np.array([n.frequency_ghz for n in nodes], f64),
+            l2_latency=np.array(
+                [n.cache.l2.latency_cycles for n in nodes], f64),
+            l3_latency=np.array(
+                [n.cache.l3.latency_cycles for n in nodes], f64),
+            idle_latency_ns=np.array(
+                [n.memory.idle_latency_ns for n in nodes], f64),
+            peak_bw_gbs=np.array([n.memory.peak_bw_gbs for n in nodes], f64),
+            n_cores=np.array([n.n_cores for n in nodes], np.int64),
+            vector_bits=tuple(n.vector_bits for n in nodes),
+            hierarchies=tuple(n.cache for n in nodes),
+            memories=tuple(n.memory for n in nodes),
+        )
+
+
+@dataclass(frozen=True)
+class KernelTimingBatch:
+    """Column-wise :class:`~repro.uarch.core_model.KernelTiming`.
+
+    Every array has one entry per configuration of the originating
+    :class:`NodeBatch`; scalar fields are configuration-invariant.
+    """
+
+    kernel: str
+    base_cycles: np.ndarray
+    l2_stall_cycles: np.ndarray
+    l3_stall_cycles: np.ndarray
+    mem_stall_cycles: np.ndarray
+    instructions: np.ndarray
+    scalar_flops: float
+    l1_accesses: np.ndarray
+    l2_accesses: np.ndarray
+    l3_accesses: np.ndarray
+    dram_accesses: np.ndarray
+    dram_lines: np.ndarray
+    frequency_ghz: np.ndarray
+    row_hit_rate: float
+    miss_profiles: Tuple[MissProfile, ...]
+    vectorizations: Tuple[VectorizationResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.base_cycles)
+
+    @property
+    def cycles(self) -> np.ndarray:
+        # Same left-to-right association as KernelTiming.cycles.
+        return (self.base_cycles + self.l2_stall_cycles
+                + self.l3_stall_cycles + self.mem_stall_cycles)
+
+    @property
+    def duration_ns(self) -> np.ndarray:
+        return self.cycles / self.frequency_ghz
+
+    @property
+    def dram_bytes(self) -> np.ndarray:
+        return self.dram_lines * LINE_BYTES
+
+    def with_mem_stall_scaled(self, factors: np.ndarray) -> "KernelTimingBatch":
+        return replace(self, mem_stall_cycles=self.mem_stall_cycles * factors)
+
+    def at(self, i: int) -> KernelTiming:
+        """Materialize the scalar timing of configuration ``i``."""
+        return KernelTiming(
+            kernel=self.kernel,
+            base_cycles=float(self.base_cycles[i]),
+            l2_stall_cycles=float(self.l2_stall_cycles[i]),
+            l3_stall_cycles=float(self.l3_stall_cycles[i]),
+            mem_stall_cycles=float(self.mem_stall_cycles[i]),
+            instructions=float(self.instructions[i]),
+            scalar_flops=self.scalar_flops,
+            l1_accesses=float(self.l1_accesses[i]),
+            l2_accesses=float(self.l2_accesses[i]),
+            l3_accesses=float(self.l3_accesses[i]),
+            dram_accesses=float(self.dram_accesses[i]),
+            dram_lines=float(self.dram_lines[i]),
+            frequency_ghz=float(self.frequency_ghz[i]),
+            row_hit_rate=self.row_hit_rate,
+            miss_profile=self.miss_profiles[i],
+            vectorization=self.vectorizations[i],
+        )
+
+
+def time_kernel_batch(
+    sig: KernelSignature,
+    batch: NodeBatch,
+    shares: Sequence[int],
+    mem_latency_ns: float = 0.0,
+    miss_memo: Optional[Dict[Tuple[str, str, int], MissProfile]] = None,
+    vec_memo: Optional[Dict[Tuple[str, int], VectorizationResult]] = None,
+) -> KernelTimingBatch:
+    """Batched :func:`~repro.uarch.core_model.time_kernel`.
+
+    ``shares[i]`` is ``l3_share_cores`` for configuration ``i``.  The
+    arithmetic mirrors the scalar function operation-for-operation (see
+    the module docstring for why that yields bitwise equality).
+    """
+    vecs = vectorize_batch(sig, batch.vector_bits, memo=vec_memo)
+    profiles = hierarchy_miss_profile_batch(
+        sig, batch.hierarchies, shares, memo=miss_memo)
+
+    f64 = np.float64
+    instr_scale = np.array([v.instr_scale for v in vecs], f64)
+    fp_scale = np.array([v.fp_scale for v in vecs], f64)
+    mem_scale = np.array([v.mem_scale for v in vecs], f64)
+    miss_l1 = np.array([p.miss_l1 for p in profiles], f64)
+    miss_l2 = np.array([p.miss_l2 for p in profiles], f64)
+    miss_l3 = np.array([p.miss_l3 for p in profiles], f64)
+
+    n0 = sig.instr_per_unit
+    m = sig.mix
+    n_instr = n0 * instr_scale
+    n_fp = (n0 * m.fp) * fp_scale       # scalar: (n0 * m.fp) * fp_scale
+    n_mem = (n0 * m.mem) * mem_scale
+    n_int = n0 * (m.int_alu + m.other)  # config-invariant scalars
+    n_br = n0 * m.branch
+
+    # --- base component (same operand order as the scalar model) -------------
+    dispatch = n_instr / batch.issue_width
+    dependency = n_instr / sig.ilp
+    fu_fp = n_fp / batch.n_fpu
+    fu_mem = n_mem / batch.l1_ports
+    store_ports = np.where(batch.store_buffer < 64, 1.0, 2.0)
+    fu_store = ((n0 * m.store) * mem_scale) / store_ports
+    fu_int = (n_int + n_br) / batch.n_alu
+    base = np.maximum(np.maximum(np.maximum(np.maximum(np.maximum(
+        dispatch, dependency), fu_fp), fu_mem), fu_store), fu_int)
+
+    # --- stall components -----------------------------------------------------
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ipc_base = np.where(base > 0, n_instr / base, batch.issue_width)
+    hide_window = batch.rob_size / np.maximum(np.minimum(ipc_base, 4.0), 1e-9)
+
+    l2_acc = n_mem * miss_l1
+    l3_acc = n_mem * miss_l2
+    dram_acc = n_mem * miss_l3
+    dram_lines_traffic = (n0 * m.mem) * miss_l3
+
+    l2_stall = l2_acc * np.maximum(batch.l2_latency - hide_window,
+                                   batch.l2_latency * _MIN_EXPOSURE)
+    l3_stall = l3_acc * np.maximum(batch.l3_latency - hide_window,
+                                   batch.l3_latency * _MIN_EXPOSURE)
+
+    if mem_latency_ns > 0:
+        lat_ns = np.full(len(batch), f64(mem_latency_ns))
+    else:
+        lat_ns = batch.idle_latency_ns
+    mem_lat_cycles = lat_ns * batch.frequency_ghz
+    with np.errstate(divide="ignore", invalid="ignore"):
+        miss_per_instr = np.where(n_instr > 0, dram_acc / n_instr, 0.0)
+    window_mlp = np.maximum(1.0, batch.rob_size * miss_per_instr)
+    prefetch_mlp = sig.mlp * sig.row_hit_rate
+    mlp_eff = np.maximum(1.0, np.minimum(
+        np.minimum(sig.mlp, batch.max_mlp),
+        np.maximum(window_mlp, prefetch_mlp)))
+    mem_exposure = np.maximum(mem_lat_cycles - hide_window,
+                              mem_lat_cycles * _MIN_EXPOSURE)
+    mem_stall = dram_acc * mem_exposure / mlp_eff
+
+    return KernelTimingBatch(
+        kernel=sig.name,
+        base_cycles=base,
+        l2_stall_cycles=l2_stall,
+        l3_stall_cycles=l3_stall,
+        mem_stall_cycles=mem_stall,
+        instructions=n_instr,
+        scalar_flops=n0 * m.fp,
+        l1_accesses=n_mem,
+        l2_accesses=l2_acc,
+        l3_accesses=l3_acc,
+        dram_accesses=dram_acc,
+        dram_lines=dram_lines_traffic,
+        frequency_ghz=batch.frequency_ghz,
+        row_hit_rate=sig.row_hit_rate,
+        miss_profiles=tuple(profiles),
+        vectorizations=tuple(vecs),
+    )
+
+
+@dataclass(frozen=True)
+class ContentionBatch:
+    """Column-wise :class:`~repro.uarch.cpu.ContentionResult`."""
+
+    timing: KernelTimingBatch
+    utilization: np.ndarray
+    achieved_bw_gbs: np.ndarray
+    capacity_gbs: np.ndarray
+    mem_stall_multiplier: np.ndarray
+
+
+def resolve_contention_batch(
+    timing: KernelTimingBatch,
+    n_busy_cores: np.ndarray,
+    batch: NodeBatch,
+) -> ContentionBatch:
+    """Batched :func:`~repro.uarch.cpu.resolve_contention`.
+
+    ``n_busy_cores[i]`` is the occupied core count of configuration
+    ``i``.  The damped fixed point runs with an *active* mask: a lane
+    that satisfies the scalar convergence test is assigned ``d_new``
+    and frozen — exactly where the scalar loop breaks — so every lane
+    reproduces its scalar iteration sequence bit-for-bit.
+    """
+    n_busy = np.asarray(n_busy_cores, dtype=np.float64)
+    if np.any(n_busy <= 0):
+        raise ValueError("n_busy_cores must be positive")
+
+    capacity = batch.peak_bw_gbs * dram_efficiency(timing.row_hit_rate)
+    bytes_per_unit = timing.dram_bytes
+    freq = timing.frequency_ghz
+    t_fixed = (timing.base_cycles + timing.l2_stall_cycles
+               + timing.l3_stall_cycles)
+    t_mem0 = timing.mem_stall_cycles
+
+    trivial = (bytes_per_unit <= 0) | (t_mem0 <= 0)
+    active = ~trivial
+
+    d = t_fixed + t_mem0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d_floor = bytes_per_unit / (capacity / n_busy) * freq
+        for _ in range(_MAX_ITER):
+            if not active.any():
+                break
+            demand = n_busy * bytes_per_unit / (d / freq)
+            u = demand / capacity
+            uc = np.minimum(u, _U_CLIP)
+            inflate = 1.0 + _QUEUE_GAIN * uc * uc / (1.0 - uc)
+            d_new = np.maximum(t_fixed + t_mem0 * inflate, d_floor)
+            conv = np.abs(d_new - d) < 1e-9 * np.maximum(d, 1.0)
+            d = np.where(
+                active,
+                np.where(conv, d_new, _DAMPING * d + (1.0 - _DAMPING) * d_new),
+                d,
+            )
+            active = active & ~conv
+        d = np.maximum(np.maximum(d, d_floor), t_fixed + t_mem0)
+
+        mult = np.where(
+            trivial, 1.0,
+            np.maximum(1.0, (d - t_fixed) / np.where(trivial, 1.0, t_mem0)))
+        achieved = np.where(
+            trivial, 0.0, n_busy * bytes_per_unit / (d / freq))
+        utilization = np.where(trivial, 0.0, achieved / capacity)
+
+    return ContentionBatch(
+        timing=timing.with_mem_stall_scaled(mult),
+        utilization=utilization,
+        achieved_bw_gbs=achieved,
+        capacity_gbs=capacity,
+        mem_stall_multiplier=mult,
+    )

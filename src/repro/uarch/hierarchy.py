@@ -11,11 +11,13 @@ capacity argument ("1MB of LLC per core", Sec. V-B2) enters the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config.cache import CacheHierarchy
 from ..trace.kernel import KernelSignature
 
-__all__ = ["MissProfile", "hierarchy_miss_profile"]
+__all__ = ["MissProfile", "hierarchy_miss_profile",
+           "hierarchy_miss_profile_batch"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +98,41 @@ def hierarchy_miss_profile(
     m2 = min(m2, m1)
     m3 = min(m3, m2)
     return MissProfile(miss_l1=m1, miss_l2=m2, miss_l3=m3)
+
+
+def hierarchy_miss_profile_batch(
+    sig: KernelSignature,
+    hierarchies: Sequence[CacheHierarchy],
+    shares: Sequence[int],
+    memo: Optional[Dict[Tuple, MissProfile]] = None,
+) -> List[MissProfile]:
+    """:func:`hierarchy_miss_profile` over a configuration axis.
+
+    Miss ratios depend only on ``(hierarchy, l3_share_cores)``, and a
+    sweep batch contains few distinct pairs (3 cache presets x a handful
+    of occupancy values), so the batch evaluates each distinct pair with
+    the exact scalar model once and scatters — bitwise-identical to
+    per-config calls.  ``memo`` — keyed ``(kernel, hierarchy, share)``
+    on the full hashable hierarchy, never a display label — lets a
+    caller share distinct-pair evaluations across batches.
+    """
+    if len(hierarchies) != len(shares):
+        raise ValueError("hierarchies and shares must align")
+    local: Dict[Tuple, MissProfile] = {}
+    out: List[MissProfile] = []
+    for h, s in zip(hierarchies, shares):
+        s = int(s)
+        lk = (h, s)
+        prof = local.get(lk)
+        if prof is None:
+            if memo is not None:
+                mk = (sig.name, h, s)
+                prof = memo.get(mk)
+                if prof is None:
+                    prof = hierarchy_miss_profile(sig, h, l3_share_cores=s)
+                    memo[mk] = prof
+            else:
+                prof = hierarchy_miss_profile(sig, h, l3_share_cores=s)
+            local[lk] = prof
+        out.append(prof)
+    return out

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..trace.kernel import KernelSignature
 
-__all__ = ["VectorizationResult", "fusion_factor", "vectorize"]
+__all__ = ["VectorizationResult", "fusion_factor", "vectorize",
+           "vectorize_batch"]
 
 _LANE_BITS = 64  # double-precision lane
 
@@ -126,3 +128,29 @@ def vectorize(sig: KernelSignature, vector_bits: int) -> VectorizationResult:
         mem_scale=mem_scale,
         bytes_per_access_scale=bytes_scale,
     )
+
+
+def vectorize_batch(
+    sig: KernelSignature,
+    vector_bits: Sequence[int],
+    memo: Optional[Dict[Tuple[str, int], VectorizationResult]] = None,
+) -> List[VectorizationResult]:
+    """:func:`vectorize` over a configuration axis.
+
+    The vector-width axis takes only a handful of distinct values per
+    sweep, so the batch collapses to one exact scalar evaluation per
+    distinct width, scattered back per configuration — results are
+    bitwise-identical to per-config :func:`vectorize` calls.  ``memo``
+    (keyed ``(kernel, width)``) lets a caller share the distinct-width
+    evaluations across batches.
+    """
+    by_width: Dict[int, VectorizationResult] = {}
+    for w in set(vector_bits):
+        if memo is not None:
+            key = (sig.name, w)
+            if key not in memo:
+                memo[key] = vectorize(sig, w)
+            by_width[w] = memo[key]
+        else:
+            by_width[w] = vectorize(sig, w)
+    return [by_width[w] for w in vector_bits]

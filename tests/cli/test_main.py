@@ -108,6 +108,27 @@ class TestCommands:
         # tiny space: 2 memory configs x 2 core counts
         assert len(back) == 4
 
+    def test_sweep_batch_flags(self, tmp_path, capsys):
+        """--no-batch and --batch-size select the evaluation engine;
+        both engines must write identical results."""
+        out_b = tmp_path / "batched.json"
+        out_s = tmp_path / "scalar.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--batch-size", "4", "--out", str(out_b),
+                   "--metrics-json", str(metrics)])
+        assert rc == 0
+        d = json.loads(metrics.read_text())["derived"]
+        assert d["batched_configs"] == 8
+        assert d["batch_fallbacks"] == 0
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--no-batch", "--out", str(out_s),
+                   "--metrics-json", str(metrics)])
+        assert rc == 0
+        d = json.loads(metrics.read_text())["derived"]
+        assert d["batched_configs"] == 0
+        assert ResultSet.load(out_b) == ResultSet.load(out_s)
+
     def test_sweep_smoke_metrics_and_resume(self, tmp_path, capsys):
         out_path = tmp_path / "out.json"
         metrics_path = tmp_path / "metrics.json"

@@ -127,3 +127,43 @@ class TestDuplicateHandling:
         assert len(rs) == 1  # the stub is retryable, not done
         replayed = replay_journal(path)
         assert len(replayed.failed) == 1
+
+
+def _stub(vector=128, attempts=1, error="boom"):
+    s = {**_record(vector), "failed": True, "error": error,
+         "attempts": attempts}
+    del s["time_ns"]
+    return s
+
+
+class TestStubDedupe:
+    """Regression: a task failing across N resumed runs appends N stubs;
+    replay must collapse them to one entry reflecting the latest run."""
+
+    def test_repeated_stubs_collapse_to_latest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [_stub(128, attempts=1, error="first"),
+                 _record(256),
+                 _stub(128, attempts=2, error="second")]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        replayed = replay_journal(path)
+        assert len(replayed.failed) == 1
+        assert replayed.failed[0]["attempts"] == 2
+        assert replayed.failed[0]["error"] == "second"
+        assert replayed.duplicates == 0  # stubs are not duplicates
+
+    def test_stub_then_success_drops_stub(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [_stub(128, attempts=1), _record(128)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        replayed = replay_journal(path)
+        assert replayed.failed == []
+        assert len(replayed.results) == 1
+
+    def test_distinct_tasks_keep_distinct_stubs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [_stub(128, attempts=1), _stub(256, attempts=3)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        replayed = replay_journal(path)
+        assert len(replayed.failed) == 2
+        assert sorted(s["attempts"] for s in replayed.failed) == [1, 3]

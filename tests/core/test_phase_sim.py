@@ -87,3 +87,78 @@ class TestSimulatePhaseDetailed:
         app, detailed, phases = spmz
         with pytest.raises(ValueError):
             simulate_phase_detailed(phases[0], detailed, node64, n_refine=0)
+
+
+class TestTimingCacheKey:
+    def test_same_label_different_config_not_conflated(self, spmz, node64):
+        """Regression: the kernel-timing memo must key on the *full*
+        node configuration, not its label.
+
+        Two nodes whose cores share the label ``medium`` but differ in
+        every pipeline parameter used to collide in a shared
+        ``timing_cache``, silently reusing whichever node was simulated
+        first.
+        """
+        from dataclasses import replace
+
+        from repro.config import core_preset
+
+        app, detailed, phases = spmz
+        weak_core = replace(core_preset("medium"), rob_size=40,
+                            issue_width=2, n_fpu=1)
+        assert weak_core.label == node64.core.label
+        weak = node64.with_(core=weak_core)
+
+        cache = {}
+        d_strong = simulate_phase_detailed(phases[0], detailed, node64,
+                                           timing_cache=cache)
+        d_weak = simulate_phase_detailed(phases[0], detailed, weak,
+                                         timing_cache=cache)
+        # Fresh caches give the ground truth for each node.
+        t_strong = simulate_phase_detailed(phases[0], detailed, node64)
+        t_weak = simulate_phase_detailed(phases[0], detailed, weak)
+        assert d_strong.makespan_ns == t_strong.makespan_ns
+        assert d_weak.makespan_ns == t_weak.makespan_ns
+        assert d_weak.makespan_ns != d_strong.makespan_ns
+
+
+class TestZeroWorkTasks:
+    def _phase_with_empty_partition(self, detailed):
+        from repro.trace import ComputePhase, TaskRecord
+
+        kernel = next(iter(detailed.names()))
+        tasks = tuple(
+            TaskRecord(kernel=kernel, duration_ns=d, work_units=w)
+            for d, w in ((1000.0, 2.0), (0.0, 0.0), (1500.0, 3.0))
+        )
+        return ComputePhase(phase_id=0, tasks=tasks)
+
+    def test_zero_work_task_simulates(self, spmz, node64):
+        """Regression: a zero-work task (an empty partition of an
+        irregular decomposition) raised ZeroDivisionError in
+        ``_imbalance_factors``."""
+        app, detailed, phases = spmz
+        phase = self._phase_with_empty_partition(detailed)
+        d = simulate_phase_detailed(phase, detailed, node64)
+        assert d.makespan_ns > 0
+
+    def test_zero_work_factor_is_neutral(self, spmz):
+        from repro.core.phase_sim import _imbalance_factors
+
+        app, detailed, phases = spmz
+        phase = self._phase_with_empty_partition(detailed)
+        factors = _imbalance_factors(phase)
+        assert factors[1] == 1.0
+        # Siblings keep their relative per-unit imbalance (500 vs 500).
+        assert factors[0] == pytest.approx(factors[2])
+
+    def test_zero_work_contributes_no_events(self, spmz, node64):
+        app, detailed, phases = spmz
+        phase = self._phase_with_empty_partition(detailed)
+        with_zero = simulate_phase_detailed(phase, detailed, node64)
+        from repro.trace import ComputePhase
+
+        trimmed = ComputePhase(phase_id=0, tasks=(phase.tasks[0],
+                                                  phase.tasks[2]))
+        without = simulate_phase_detailed(trimmed, detailed, node64)
+        assert with_zero.instructions == pytest.approx(without.instructions)

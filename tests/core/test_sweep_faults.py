@@ -132,3 +132,83 @@ class TestInjectedFaults:
         assert len(rs.failures()) == 0
         # Two retries with exponential backoff: >= 0.1 + 0.2 seconds.
         assert elapsed >= 0.3
+
+
+class TestAbortDrainsCompletedWork:
+    """Regression: an abort surfacing from one pool chunk used to throw
+    away every *other* ready chunk's finished results and metrics."""
+
+    class _Handle:
+        def __init__(self, result=None, exc=None):
+            self._result = result
+            self._exc = exc
+
+        def get(self):
+            if self._exc is not None:
+                raise self._exc
+            return self._result
+
+    def test_drain_ready_records_siblings_before_raising(self):
+        from repro.core.sweep import _drain_ready
+
+        class _FakeSched:
+            def __init__(self):
+                self.reg = MetricsRegistry()
+                self.recorded = []
+
+            def record_outcome(self, idx, attempt, ok, payload):
+                self.recorded.append((idx, attempt, ok, payload))
+
+        delta = {"counters": {"sweep.tasks.completed": 1}, "timers": {}}
+        sched = _FakeSched()
+        inflight = {
+            0: self._Handle(result=([(0, 0, True, {"r": 0})], delta)),
+            1: self._Handle(exc=SweepAbort("injected")),
+            2: self._Handle(result=([(2, 0, True, {"r": 2})], delta)),
+        }
+        with pytest.raises(SweepAbort):
+            _drain_ready(sched, inflight, [0, 1, 2])
+        # Both sibling chunks were recorded and their metrics merged
+        # before the abort surfaced; every handle was consumed.
+        assert sorted(o[0] for o in sched.recorded) == [0, 2]
+        assert sched.reg.counter("sweep.tasks.completed") == 2
+        assert inflight == {}
+
+    def test_pooled_abort_preserves_journal(self, tmp_path):
+        from repro.core import load_checkpoint
+
+        space = DesignSpace(core_labels=("medium",),
+                            cache_labels=("64M:512K",),
+                            memory_labels=("4chDDR4", "8chDDR4"),
+                            frequencies=(2.0,), vector_widths=(128, 512),
+                            core_counts=(32, 64))
+        victim = list(space)[-1].label
+        journal = tmp_path / "abort.jsonl"
+        with pytest.raises(SweepAbort):
+            run_sweep(["spmz"], space, processes=2, chunk_size=1,
+                      resume=journal,
+                      fault_hook=FailNTimes(times=1, fatal=True,
+                                            label=victim))
+        # The victim chunk is dispatched last and only once fewer than
+        # 2 x processes chunks are inflight, so at least 4 of the other
+        # 7 chunks were drained — and journaled — before the abort.
+        rs = load_checkpoint(journal)
+        assert len(rs) >= 4
+        assert all(not r.get("failed") for r in rs)
+
+    def test_inline_batched_abort_preserves_journal(self, tiny_space,
+                                                    tmp_path):
+        from repro.core import load_checkpoint
+
+        victim = list(tiny_space)[-1].label
+        journal = tmp_path / "abort.jsonl"
+        with pytest.raises(SweepAbort):
+            run_sweep(["spmz"], tiny_space, processes=1, batch=True,
+                      batch_size=8, resume=journal,
+                      fault_hook=FailNTimes(times=1, fatal=True,
+                                            label=victim))
+        # Members of the aborted batch that cleared their hooks before
+        # the victim are evaluated and journaled, so a resumed campaign
+        # only redoes the victim.
+        rs = load_checkpoint(journal)
+        assert len(rs) == 3

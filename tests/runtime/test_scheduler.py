@@ -179,3 +179,45 @@ class TestProperties:
             simulate_phase(make_phase([1]), 0)
         with pytest.raises(ValueError):
             simulate_phase(make_phase([1]), 1, duration_scale=0.0)
+
+
+class TestFastPathEquivalence:
+    """The structure-specialized scheduler (no-deps / fan-out) must be
+    bitwise identical to the general ready-heap event loop."""
+
+    def _assert_identical(self, phase, n_cores, **kw):
+        fast = simulate_phase(phase, n_cores, collect_spans=True, **kw)
+        general = simulate_phase(phase, n_cores, collect_spans=True,
+                                 _force_general=True, **kw)
+        assert fast.makespan_ns == general.makespan_ns
+        assert np.array_equal(fast.busy_ns, general.busy_ns)
+        assert fast.serial_ns == general.serial_ns
+        assert fast.creation_ns_total == general.creation_ns_total
+        assert fast.spans == general.spans
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                 max_size=40),
+        st.integers(min_value=1, max_value=12),
+        st.sampled_from(["nodeps", "fanout0"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_phases(self, durations, n_cores, structure):
+        deps = None
+        if structure == "fanout0":
+            deps = [()] + [(0,) for _ in durations[1:]]
+        phase = make_phase(durations, deps=deps, serial=3.0, creation=0.5)
+        self._assert_identical(phase, n_cores)
+
+    def test_duration_overrides_and_scales(self):
+        phase = make_phase([10, 20, 30, 40], serial=2.0, critical=1.0)
+        self._assert_identical(phase, 2,
+                               task_durations_ns=[7.0, 3.0, 11.0, 5.0],
+                               duration_scale=1.3, overhead_scale=0.5)
+
+    def test_app_phases_identical(self):
+        from repro.apps import get_app
+
+        app = get_app("lulesh")
+        for phase in app.iteration_phases():
+            self._assert_identical(phase, 64)

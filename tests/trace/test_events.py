@@ -16,9 +16,14 @@ class TestTaskRecord:
         with pytest.raises(ValueError):
             TaskRecord(kernel="k", duration_ns=-1.0)
 
-    def test_rejects_nonpositive_work(self):
+    def test_rejects_negative_work(self):
         with pytest.raises(ValueError):
-            TaskRecord(kernel="k", duration_ns=1.0, work_units=0.0)
+            TaskRecord(kernel="k", duration_ns=1.0, work_units=-1.0)
+
+    def test_zero_work_allowed(self):
+        # Empty partitions of an irregular decomposition are legal.
+        t = TaskRecord(kernel="k", duration_ns=1.0, work_units=0.0)
+        assert t.work_units == 0.0
 
     def test_rejects_negative_dep(self):
         with pytest.raises(ValueError):
