@@ -96,6 +96,26 @@ def main() -> int:
     assert ds["memo_hit_rate"] is not None and ds["memo_hit_rate"] > 0
     print(f"  metrics OK: {d['tasks_per_second']:.1f} tasks/s, "
           f"scalar memo hit rate {ds['memo_hit_rate']:.2f}")
+
+    # 4. Replay mode: event-driven MPI trace replay per point must give
+    #    identical ResultSets across worker counts, differ from the
+    #    analytic fast mode, and report replay activity.
+    reg_r = MetricsRegistry()
+    replay_1 = run_sweep(APPS, SPACE, n_ranks=16, processes=1,
+                         mode="replay", metrics=reg_r)
+    replay_ref = json.dumps(list(replay_1), sort_keys=True)
+    replay_2 = run_sweep(APPS, SPACE, n_ranks=16, processes=2,
+                         mode="replay")
+    assert json.dumps(list(replay_2), sort_keys=True) == replay_ref, \
+        "replay-mode sweep differs across worker counts"
+    fast_16 = run_sweep(APPS, SPACE, n_ranks=16, processes=1)
+    assert json.dumps(list(fast_16), sort_keys=True) != replay_ref, \
+        "replay mode produced fast-mode results"
+    dr = summarize(reg_r.snapshot())["derived"]
+    assert dr["replay_events"] > 0 and dr["replay_messages"] > 0
+    print(f"  replay mode OK: {len(replay_1)} records identical across "
+          f"1 and 2 workers, {int(dr['replay_events'])} events, "
+          f"{int(dr['replay_messages'])} messages")
     print("smoke sweep passed")
     return 0
 

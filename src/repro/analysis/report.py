@@ -58,6 +58,13 @@ def format_metrics_summary(summary: Dict) -> str:
         ["  phase-detail component", d.get("phase_memo_hit_rate")],
         ["  kernel-timing component", d.get("kernel_memo_hit_rate")],
     ]
+    if d.get("replay_events", 0):
+        rows += [
+            ["replay events processed", d.get("replay_events", 0)],
+            ["replay wakeups", d.get("replay_wakeups", 0)],
+            ["replay messages", d.get("replay_messages", 0)],
+            ["replay bus waits", d.get("replay_bus_waits", 0)],
+        ]
     out = [format_rows("sweep execution metrics", ["metric", "value"], rows)]
     timers = summary.get("timers", {})
     if timers:

@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=APP_NAMES)
     w.add_argument("--out", default="results.json")
     w.add_argument("--processes", type=int, default=None)
+    w.add_argument("--mode", default="fast", choices=("fast", "replay"),
+                   help="per-point integration: 'fast' analytic critical "
+                        "path, or 'replay' event-driven MPI trace replay "
+                        "(paper Sec. II; slower, models communication "
+                        "overlap and bus contention)")
+    w.add_argument("--ranks", type=int, default=256,
+                   help="MPI ranks per simulated run (default 256)")
     w.add_argument("--plane", action="store_true",
                    help="only the 2 GHz / {32,64}-core plane (faster)")
     w.add_argument("--smoke", action="store_true",
@@ -238,11 +245,13 @@ def cmd_sweep(args) -> int:
           f"({total} simulations)...", flush=True)
     reg = get_metrics()
     reg.reset()
-    results = run_sweep(args.apps, space, processes=args.processes,
+    results = run_sweep(args.apps, space, n_ranks=args.ranks,
+                        processes=args.processes,
                         progress=True, resume=args.resume,
                         timeout_s=args.timeout, max_retries=args.retries,
                         chunk_size=args.chunk_size,
-                        batch=not args.no_batch, batch_size=args.batch_size)
+                        batch=not args.no_batch, batch_size=args.batch_size,
+                        mode=args.mode)
     results.save(args.out)
     print(f"wrote {len(results)} records to {args.out}")
     n_failed = len(results.failures())

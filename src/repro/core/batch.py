@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config.node import NodeConfig
+from ..network.replay import replay
 from ..obs import get_metrics
 from ..runtime.scheduler import PhaseResult, simulate_phase
 from ..trace.events import ComputePhase
@@ -104,19 +105,28 @@ class BatchEvaluator:
         n_ranks: int = 256,
         n_iterations: Optional[int] = None,
         include_comm: bool = False,
+        mode: str = "fast",
     ) -> List[RunResult]:
-        """Fast-mode results for every node, in input order.
+        """Integrated results for every node, in input order.
 
         Bitwise-equal to ``[musa.simulate_node(n, n_ranks, n_iterations,
-        include_comm=include_comm) for n in nodes]``.
+        mode=mode, include_comm=include_comm) for n in nodes]``.  With
+        ``mode='replay'`` the per-kernel compute timings are still
+        resolved column-wise over the whole batch; only the
+        Dimemas-style event-driven replay — which splices each config's
+        phase makespans into the ``n_ranks``-rank trace — runs
+        per-config.
         """
+        if mode not in ("fast", "replay"):
+            raise ValueError("mode must be 'fast' or 'replay'")
         nodes = list(nodes)
         obs = get_metrics()
         obs.inc("musa.simulate_node", len(nodes))
         with obs.span("musa.batch_eval"):
-            return self._evaluate(nodes, n_ranks, n_iterations, include_comm)
+            return self._evaluate(nodes, n_ranks, n_iterations, include_comm,
+                                  mode)
 
-    def _evaluate(self, nodes, n_ranks, n_iterations, include_comm):
+    def _evaluate(self, nodes, n_ranks, n_iterations, include_comm, mode):
         musa = self.musa
         nb = NodeBatch.from_nodes(nodes)
         n_configs = len(nodes)
@@ -135,11 +145,21 @@ class BatchEvaluator:
             compute_iter = compute_iter + np.array(
                 [d.makespan_ns for d in details])
 
+        trace = (musa._burst_trace(n_ranks, n_iterations)
+                 if mode == "replay" else None)
         results: List[RunResult] = []
         for i, node in enumerate(nodes):
             details_i = [per_phase[i] for per_phase in details_per_phase]
             ci = float(compute_iter[i])
-            total_ns = n_iter * (ci * max_scale + comm_iter)
+            if mode == "fast":
+                total_ns = n_iter * (ci * max_scale + comm_iter)
+            else:
+                by_id = {id(p): d for p, d in zip(musa.phases, details_i)}
+
+                def duration(rank, phase, _by_id=by_id):
+                    return _by_id[id(phase)].makespan_ns * scales[rank]
+
+                total_ns = replay(trace, musa.network, duration).total_ns
             results.append(musa._assemble_result(
                 node, n_ranks, n_iter, details_i, total_ns, ci, comm_iter))
         return results

@@ -218,7 +218,10 @@ class Musa:
         rank-imbalance critical path; with ``include_comm`` it adds the
         analytic communication model.  ``mode='replay'`` splices the
         same detailed timings into the full Dimemas-style replay
-        (communication always included).  The design-space figures
+        (communication always included), run on the reactive
+        event-driven engine — usable at the paper's 256-rank scale and
+        reported through the ``replay.*`` metrics counters.  The
+        design-space figures
         (Figs. 5-9) evaluate the detailed *compute region* per node —
         communication is configuration-invariant and enters only the
         scaling study (Fig. 2b) — so the sweep default excludes it.

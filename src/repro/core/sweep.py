@@ -138,7 +138,8 @@ _BATCH_EVALUATORS: Dict[str, BatchEvaluator] = {}
 #: Per-process task-execution settings, set by the pool initializer
 #: (or directly for inline runs).
 _WORKER: Dict[str, object] = {"fault_hook": None, "timeout_s": None,
-                              "batch": False, "batch_size": 1}
+                              "batch": False, "batch_size": 1,
+                              "mode": "fast"}
 
 
 def _musa_for(app_name: str) -> Musa:
@@ -154,11 +155,12 @@ def _evaluator_for(app_name: str) -> BatchEvaluator:
 
 
 def _init_worker(fault_hook, timeout_s, batch: bool = False,
-                 batch_size: int = 1) -> None:
+                 batch_size: int = 1, mode: str = "fast") -> None:
     _WORKER["fault_hook"] = fault_hook
     _WORKER["timeout_s"] = timeout_s
     _WORKER["batch"] = batch
     _WORKER["batch_size"] = batch_size
+    _WORKER["mode"] = mode
 
 
 @contextmanager
@@ -193,8 +195,8 @@ def _execute_task(task) -> Dict:
         hook = _WORKER["fault_hook"]
         if hook is not None:
             hook(app_name, node, attempt)
-        return _musa_for(app_name).simulate_node(node, n_ranks=n_ranks
-                                                 ).record()
+        return _musa_for(app_name).simulate_node(
+            node, n_ranks=n_ranks, mode=str(_WORKER["mode"])).record()
 
 
 def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
@@ -226,6 +228,7 @@ def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
     runnable: List[Tuple] = []
     abort: Optional[BaseException] = None
     app_name, n_ranks = batch[0][2], batch[0][4]
+    mode = str(_WORKER["mode"])
     timeout_s = _WORKER["timeout_s"]
     budget = timeout_s * len(batch) if timeout_s else None
     hook = _WORKER["fault_hook"]
@@ -251,7 +254,7 @@ def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
                 results = None
                 try:
                     results = _evaluator_for(app_name).evaluate(
-                        [t[3] for t in runnable], n_ranks=n_ranks)
+                        [t[3] for t in runnable], n_ranks=n_ranks, mode=mode)
                 except (SweepAbort, TaskTimeout):
                     raise
                 except Exception:
@@ -264,7 +267,7 @@ def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
                         idx, attempt, _, node, _ = task
                         try:
                             rec = _musa_for(app_name).simulate_node(
-                                node, n_ranks=n_ranks).record()
+                                node, n_ranks=n_ranks, mode=mode).record()
                         except TaskTimeout:
                             raise
                         except Exception as exc:
@@ -302,36 +305,45 @@ def _run_chunk(chunk) -> Tuple[List[Tuple], Dict]:
     failures (:class:`SweepAbort` excepted), so the pool stays alive.
 
     Returns ``(outcomes, metrics_delta)`` where each outcome is
-    ``(idx, attempt, ok, record_or_error)``.
+    ``(idx, attempt, ok, record_or_error)``.  The delta is recorded in
+    a fresh chunk-local registry (swapped in for the chunk's duration,
+    then folded into the worker's persistent one) so its timer
+    ``max_s`` values are true per-interval maxima — snapshot
+    subtraction would report the worker's *all-time* max for every
+    chunk, inflating parent-merged spans.
     """
-    reg = get_metrics()
-    before = reg.snapshot()
+    chunk_reg = MetricsRegistry()
+    prev = set_metrics(chunk_reg)
     outcomes: List[Tuple] = []
-    batch_size = int(_WORKER.get("batch_size") or 1)
-    if _WORKER.get("batch") and batch_size > 1:
-        for batch in _iter_batches(chunk, batch_size):
-            try:
-                out, abort = _execute_batch(batch)
-            except SweepAbort:
-                raise
-            except Exception as exc:
-                out = [(t[0], t[1], False, f"{type(exc).__name__}: {exc}")
-                       for t in batch]
-                abort = None
-            outcomes.extend(out)
-            if abort is not None:
-                raise abort
-    else:
-        for task in chunk:
-            idx, attempt = task[0], task[1]
-            try:
-                outcomes.append((idx, attempt, True, _execute_task(task)))
-            except SweepAbort:
-                raise
-            except Exception as exc:
-                outcomes.append((idx, attempt, False,
-                                 f"{type(exc).__name__}: {exc}"))
-    return outcomes, MetricsRegistry.delta(before, reg.snapshot())
+    try:
+        batch_size = int(_WORKER.get("batch_size") or 1)
+        if _WORKER.get("batch") and batch_size > 1:
+            for batch in _iter_batches(chunk, batch_size):
+                try:
+                    out, abort = _execute_batch(batch)
+                except SweepAbort:
+                    raise
+                except Exception as exc:
+                    out = [(t[0], t[1], False, f"{type(exc).__name__}: {exc}")
+                           for t in batch]
+                    abort = None
+                outcomes.extend(out)
+                if abort is not None:
+                    raise abort
+        else:
+            for task in chunk:
+                idx, attempt = task[0], task[1]
+                try:
+                    outcomes.append((idx, attempt, True, _execute_task(task)))
+                except SweepAbort:
+                    raise
+                except Exception as exc:
+                    outcomes.append((idx, attempt, False,
+                                     f"{type(exc).__name__}: {exc}"))
+    finally:
+        set_metrics(prev)
+        prev.merge(chunk_reg.snapshot())
+    return outcomes, chunk_reg.snapshot()
 
 
 # ------------------------------------------------------------ parent side
@@ -494,13 +506,13 @@ def _drain_ready(sched: _Scheduler, inflight: Dict[int, object],
 
 def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
                 chunk_size: int, fault_hook, timeout_s, batch,
-                batch_size) -> None:
+                batch_size, mode) -> None:
     try:
         ctx = get_context("fork")  # cheap workers; traces shared via COW
     except ValueError:  # pragma: no cover - non-POSIX fallback
         ctx = get_context("spawn")
     with ctx.Pool(processes=processes, initializer=_init_worker,
-                  initargs=(fault_hook, timeout_s, batch, batch_size)
+                  initargs=(fault_hook, timeout_s, batch, batch_size, mode)
                   ) as pool:
         inflight: Dict[int, object] = {}
         handle = 0
@@ -538,6 +550,7 @@ def run_sweep(
     metrics: Optional[MetricsRegistry] = None,
     batch: bool = True,
     batch_size: int = 256,
+    mode: str = "fast",
 ) -> ResultSet:
     """Simulate every (application, configuration) pair.
 
@@ -580,6 +593,14 @@ def run_sweep(
     batch_size:
         Upper bound on configs per batched evaluation; also scales the
         batch's wall-clock budget (``timeout_s x len(batch)``).
+    mode:
+        ``'fast'`` (default) evaluates each point with the analytic
+        communication-invariant model; ``'replay'`` splices the same
+        detailed compute timings into the event-driven Dimemas-style
+        MPI replay of the ``n_ranks``-rank trace (see
+        :meth:`repro.core.musa.Musa.simulate_node`).  Replay tasks are
+        journaled, retried and resumed exactly like fast ones, and the
+        batched evaluator still amortizes the compute-timing columns.
 
     The returned ResultSet is in canonical task order regardless of
     ``processes``/``chunk_size``/``batch_size``; failed tasks appear as
@@ -589,6 +610,8 @@ def run_sweep(
         raise ValueError("max_retries must be >= 0")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if mode not in ("fast", "replay"):
+        raise ValueError("mode must be 'fast' or 'replay'")
     space = space or DesignSpace()
     tasks = sweep_configs(app_names, space)
     if processes is None:
@@ -631,14 +654,14 @@ def run_sweep(
             sched.queue.extend((i, 0) for i in pending)
 
             if processes <= 1 or len(pending) <= 1:
-                _init_worker(fault_hook, timeout_s, batch, batch_size)
+                _init_worker(fault_hook, timeout_s, batch, batch_size, mode)
                 _run_inline(sched, n_ranks)
             else:
                 if chunk_size is None:
                     chunk_size = min(32, max(1, len(pending)
                                              // (processes * 8)))
                 _run_pooled(sched, n_ranks, processes, chunk_size,
-                            fault_hook, timeout_s, batch, batch_size)
+                            fault_hook, timeout_s, batch, batch_size, mode)
     finally:
         if journal is not None:
             journal.close()

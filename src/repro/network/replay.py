@@ -6,11 +6,36 @@ compute-phase durations supplied by a callback — burst-mode scheduling
 results or detailed-simulation timings, exactly how MUSA splices the
 two levels together (Sec. II).
 
-The engine is a fixed-point sweep: ranks advance as far as their local
-state allows; blocked ranks (waiting on an unmatched message or an
-incomplete collective) are retried once their peers progress.  A full
-pass with no progress means a genuine communication deadlock in the
-trace and raises.
+Two engines share one event-processing core:
+
+* ``engine='event'`` (default) — a reactive discrete-event simulator in
+  the Dimemas tradition (Girona et al., EuroPVM/MPI 2000): runnable
+  ranks sit in a ready-heap keyed by virtual time, and a rank blocked
+  on an unmatched message, an unresolved request, or an incomplete
+  collective is parked on an explicit wake list and re-examined exactly
+  once — when its dependency resolves.  O(events x log ranks).
+* ``engine='polling'`` — the reference engine: every step re-scans all
+  ranks for the runnable one with the smallest virtual clock.
+  O(events x ranks); semantically identical (bit-identical results,
+  both engines execute the same step sequence), kept as the oracle for
+  equivalence tests and benchmarks.
+
+Both engines advance exactly one event at a time, always for the ready
+rank with the minimum ``(clock, rank)`` key.  That global virtual-time
+ordering is what makes the finite-bus pool — the only *shared* network
+resource — deterministic: transfers acquire buses in simulated-time
+order, never in rank-scan order, so the replay is provably invariant
+to the order ranks are iterated in (see ``rank_order``).
+
+Message costs are order-independent by construction: an eager/isend
+transfer's arrival (bus queueing + sender-link serialization) is
+computed once, on the sending side, and travels with the buffered
+message; a rendezvous transfer is priced by one shared helper whether
+the match happens on the sender's or the receiver's side.
+
+An empty ready set with ranks still outstanding is a genuine
+communication deadlock in the trace and raises, naming the stuck ranks
+and the events they are stuck on.
 """
 
 from __future__ import annotations
@@ -18,19 +43,23 @@ from __future__ import annotations
 import heapq
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_metrics
 from ..trace.burst import BurstTrace
 from ..trace.events import ComputePhase, MpiCall
 from .collectives import collective_cost_ns
 from .model import NetworkConfig
 
-__all__ = ["ReplayResult", "TimelineSegment", "replay"]
+__all__ = ["ReplayResult", "TimelineSegment", "replay", "REPLAY_ENGINES"]
 
 #: Maps (rank, phase) to its simulated duration in ns.
 PhaseDurationFn = Callable[[int, ComputePhase], float]
+
+REPLAY_ENGINES = ("event", "polling")
 
 
 @dataclass(frozen=True)
@@ -76,10 +105,16 @@ class ReplayResult:
 
 class _BusPool:
     """Dimemas's finite-bus model: at most ``n_buses`` simultaneous
-    transfers network-wide; a transfer may start once a bus frees up."""
+    transfers network-wide; a transfer may start once a bus frees up.
+
+    Buses are granted in acquisition order, which both engines keep in
+    simulated-time order — the pool itself is order-deterministic given
+    that discipline.
+    """
 
     def __init__(self, n_buses: int) -> None:
         self.n_buses = n_buses
+        self.n_waits = 0
         self._free: List[float] = [0.0] * n_buses if n_buses > 0 else []
 
     def acquire(self, ready_ns: float, duration_ns: float) -> float:
@@ -89,6 +124,8 @@ class _BusPool:
             return ready_ns
         earliest = heapq.heappop(self._free)
         start = max(ready_ns, earliest)
+        if start > ready_ns:
+            self.n_waits += 1
         heapq.heappush(self._free, start + duration_ns)
         return start
 
@@ -97,12 +134,15 @@ class _Matcher:
     """Point-to-point message matching (FIFO per (src, dst, tag))."""
 
     def __init__(self) -> None:
-        # (src, dst, tag) -> deque of buffered send records (ready_ns, size)
+        # (src, dst, tag) -> deque of buffered eager/isend records
+        # (arrival_ns, transfer_ns): the arrival already includes bus
+        # queueing and sender-link serialization, so a recv matched
+        # later prices the message identically to one matched earlier.
         self.sends: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
         # (src, dst, tag) -> deque of posted recv records (post_ns, resolver)
         self.recvs: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
         # (src, dst, tag) -> deque of rendezvous sends awaiting their
-        # receiver: (ready_ns, size, sender_release_slot)
+        # receiver: (ready_ns, transfer_ns, sender_release_slot, sender)
         self.rdv_sends: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
 
 
@@ -114,58 +154,142 @@ class _RankState:
     p2p_ns: float = 0.0
     collective_ns: float = 0.0
     #: request id -> completion time (ns) for posted isend/irecv
-    requests: Dict[int, Optional[float]] = field(default_factory=dict)
+    requests: Dict[int, object] = field(default_factory=dict)
     #: release slot of an in-progress blocking rendezvous send/recv
     pending_slot: Optional[List[Optional[float]]] = None
     #: time the rank's outgoing link is busy until (injection serializes)
     link_free: float = 0.0
+    #: parked on a wake list, waiting for a dependency to resolve
+    blocked: bool = False
     done: bool = False
 
 
-def replay(
-    trace: BurstTrace,
-    net: NetworkConfig,
-    phase_duration: PhaseDurationFn,
-    collect_segments: bool = False,
-) -> ReplayResult:
-    """Replay ``trace`` through the network model.
+class _ReplayCore:
+    """Engine-independent replay state plus single-event stepping.
 
-    ``phase_duration(rank, phase)`` supplies each compute phase's
-    duration; pass a burst-mode scheduler hook for hardware-agnostic
-    runs or detailed timings for integrated runs.
+    :meth:`step` processes exactly one event of one rank.  It either
+    advances the rank (returns True) or registers the rank on the wake
+    list of whatever it is blocked on and returns False; the blocking
+    paths are re-entrant, so a spuriously woken rank simply re-blocks
+    without duplicating registrations.  Dependency resolution calls
+    :meth:`wake`, which hands the rank back to the driving engine.
     """
-    n = trace.n_ranks
-    states = [_RankState() for _ in range(n)]
-    matcher = _Matcher()
-    buses = _BusPool(net.n_buses)
-    segments: List[TimelineSegment] = []
 
-    # Collectives: per-kind sequence counters per rank; an occurrence
-    # completes when all ranks have entered it.
-    coll_seq = [defaultdict(int) for _ in range(n)]
-    coll_enter: Dict[Tuple[str, int], Dict[int, float]] = defaultdict(dict)
-    coll_done: Dict[Tuple[str, int], float] = {}
+    def __init__(
+        self,
+        trace: BurstTrace,
+        net: NetworkConfig,
+        phase_duration: PhaseDurationFn,
+        collect_segments: bool,
+    ) -> None:
+        self.trace = trace
+        self.net = net
+        self.phase_duration = phase_duration
+        self.collect_segments = collect_segments
+        self.n = trace.n_ranks
+        self.states = [_RankState() for _ in range(self.n)]
+        self.events = [trace.ranks[r].events for r in range(self.n)]
+        self.matcher = _Matcher()
+        self.buses = _BusPool(net.n_buses)
+        self.segments: List[TimelineSegment] = []
 
-    n_messages = 0
-    bytes_sent = 0
+        # Collectives: per-kind sequence counters per rank; an
+        # occurrence completes when all ranks have entered it.
+        self.coll_seq = [defaultdict(int) for _ in range(self.n)]
+        self.coll_enter: Dict[Tuple[str, int], Dict[int, float]] = \
+            defaultdict(dict)
+        self.coll_done: Dict[Tuple[str, int], float] = {}
+        self.coll_waiters: Dict[Tuple[str, int], List[int]] = \
+            defaultdict(list)
 
-    def try_advance(rank: int) -> bool:
-        """Advance one event of ``rank`` if possible; True on progress."""
-        nonlocal n_messages, bytes_sent
-        st = states[rank]
-        events = trace.ranks[rank].events
-        if st.cursor >= len(events):
-            st.done = True
-            return False
-        ev = events[st.cursor]
+        self.n_steps = 0
+        self.n_wakeups = 0
+        self.n_messages = 0
+        self.bytes_sent = 0
+
+        #: set by the driving engine; receives ranks whose dependency
+        #: resolved and who are runnable again
+        self.on_wake: Callable[[int], None] = lambda rank: None
+
+    # ------------------------------------------------------------ wake lists
+
+    def wake(self, rank: int) -> None:
+        """A dependency of ``rank`` resolved; hand it back to the engine.
+
+        No-op unless the rank is actually parked: resolutions can fire
+        while their consumer is still runnable (e.g. an irecv matched
+        before its wait is reached).
+        """
+        st = self.states[rank]
+        if st.blocked:
+            st.blocked = False
+            self.n_wakeups += 1
+            self.on_wake(rank)
+
+    def _resolver(self, rank: int):
+        """A (slot, resolve) pair: resolving stores the completion time
+        and wakes the owning rank."""
+        slot: List[Optional[float]] = [None]
+
+        def resolve(t_ns: float) -> None:
+            slot[0] = t_ns
+            self.wake(rank)
+
+        return slot, resolve
+
+    # --------------------------------------------------------- transfer cost
+
+    def _rdv_transfer(self, send_ready_ns: float, recv_ready_ns: float,
+                      transfer_ns: float, sender: int) -> Tuple[float, float]:
+        """Price one rendezvous transfer: (start_ns, arrival_ns).
+
+        The single costing path for *both* match directions: the
+        transfer starts once sender and receiver are ready, the
+        sender's outgoing link is idle, and a bus is granted; it then
+        occupies link and bus for the wire time.  Whether the sender or
+        the receiver discovers the match, the numbers are identical.
+        """
+        sst = self.states[sender]
+        start = self.buses.acquire(
+            max(send_ready_ns, recv_ready_ns, sst.link_free), transfer_ns)
+        sst.link_free = start + transfer_ns
+        return start, start + transfer_ns
+
+    def _match_source(self, key: Tuple[int, int, int],
+                      recv_clock: float) -> Optional[float]:
+        """Match a buffered or rendezvous send against a receive posted
+        at ``recv_clock``; returns the receive completion time or None.
+        """
+        sq = self.matcher.sends[key]
+        if sq:
+            arrival_ns, transfer_ns = sq.popleft()
+            return max(arrival_ns, recv_clock + transfer_ns)
+        dq = self.matcher.rdv_sends[key]
+        if dq:
+            ready_ns, transfer_ns, sender_slot, sender = dq.popleft()
+            start, arrival = self._rdv_transfer(ready_ns, recv_clock,
+                                                transfer_ns, sender)
+            sender_slot[0] = start
+            self.wake(sender)
+            return arrival
+        return None
+
+    # ------------------------------------------------------------- stepping
+
+    def step(self, rank: int) -> bool:
+        """Process one event of ``rank``; False means it blocked."""
+        self.n_steps += 1
+        st = self.states[rank]
+        ev = self.events[rank][st.cursor]
+        net = self.net
 
         if isinstance(ev, ComputePhase):
-            dur = phase_duration(rank, ev)
+            dur = self.phase_duration(rank, ev)
             if dur < 0:
                 raise ValueError("phase duration must be non-negative")
-            if collect_segments and dur > 0:
-                segments.append(TimelineSegment(rank, "compute", st.clock,
-                                                st.clock + dur))
+            if self.collect_segments and dur > 0:
+                self.segments.append(TimelineSegment(
+                    rank, "compute", st.clock, st.clock + dur))
             st.clock += dur
             st.compute_ns += dur
             st.cursor += 1
@@ -173,53 +297,62 @@ def replay(
 
         call: MpiCall = ev
         if call.is_collective:
-            key = (call.kind, coll_seq[rank][call.kind])
-            enters = coll_enter[key]
-            if rank not in enters:
+            key = (call.kind, self.coll_seq[rank][call.kind])
+            if key not in self.coll_done:
+                enters = self.coll_enter[key]
+                if rank in enters:
+                    return False  # spurious wake; completion wakes us
                 enters[rank] = st.clock
-            if key not in coll_done:
-                if len(enters) < n:
-                    return False  # blocked until everyone arrives
-                cost = collective_cost_ns(call.kind, n, call.size_bytes, net)
-                coll_done[key] = max(enters.values()) + cost
-            t_done = coll_done[key]
-            if collect_segments:
-                segments.append(TimelineSegment(rank, "collective",
-                                                enters[rank], t_done))
-            st.collective_ns += t_done - enters[rank]
+                if len(enters) < self.n:
+                    self.coll_waiters[key].append(rank)
+                    return False  # parked until everyone arrives
+                # Last arrival: price the collective, wake the others.
+                cost = collective_cost_ns(call.kind, self.n,
+                                          call.size_bytes, net)
+                self.coll_done[key] = max(enters.values()) + cost
+                for waiter in self.coll_waiters.pop(key, ()):
+                    self.wake(waiter)
+            t_done = self.coll_done[key]
+            enter_ns = self.coll_enter[key][rank]
+            if self.collect_segments:
+                self.segments.append(TimelineSegment(
+                    rank, "collective", enter_ns, t_done))
+            st.collective_ns += t_done - enter_ns
             st.clock = t_done
-            coll_seq[rank][call.kind] += 1
+            self.coll_seq[rank][call.kind] += 1
             st.cursor += 1
             return True
 
         if call.kind in ("send", "isend"):
             key = (rank, call.peer, call.tag)
-            eager = net.is_eager(call.size_bytes)
             transfer = net.transfer_ns(call.size_bytes)
-            if eager or call.kind == "isend":
+            if net.is_eager(call.size_bytes) or call.kind == "isend":
                 # Buffered: the sender proceeds immediately, but its
-                # outgoing link serializes transfers (Dimemas node link)
-                # and the global bus pool may delay the wire time.
-                start = buses.acquire(
+                # outgoing link serializes transfers (Dimemas node
+                # link) and the global bus pool may delay the wire
+                # time.  The resulting arrival is buffered with the
+                # message, so a receive matched later charges the same
+                # bus and link cost as one matched now.
+                start = self.buses.acquire(
                     max(st.clock + net.overhead_ns, st.link_free), transfer)
                 st.link_free = start + transfer
                 arrival = start + transfer
-                rq = matcher.recvs[key]
+                rq = self.matcher.recvs[key]
                 if rq:
                     post_ns, resolver = rq.popleft()
                     resolver(max(arrival, post_ns + transfer))
                 else:
-                    matcher.sends[key].append(
-                        (st.clock + net.overhead_ns, call.size_bytes))
+                    self.matcher.sends[key].append((arrival, transfer))
                 t0 = st.clock
                 st.clock += net.overhead_ns
                 st.p2p_ns += net.overhead_ns
                 if call.kind == "isend":
                     st.requests[call.request] = arrival
-                if collect_segments:
-                    segments.append(TimelineSegment(rank, "p2p", t0, st.clock))
-                n_messages += 1
-                bytes_sent += call.size_bytes
+                if self.collect_segments:
+                    self.segments.append(
+                        TimelineSegment(rank, "p2p", t0, st.clock))
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
                 st.cursor += 1
                 return True
             # Rendezvous blocking send: released once the transfer starts.
@@ -227,69 +360,48 @@ def replay(
                 if st.pending_slot[0] is None:
                     return False  # receiver has not matched yet
                 release = max(st.pending_slot[0], st.clock)
-                if collect_segments and release > st.clock:
-                    segments.append(
+                if self.collect_segments and release > st.clock:
+                    self.segments.append(
                         TimelineSegment(rank, "p2p", st.clock, release))
                 st.p2p_ns += release - st.clock
                 st.clock = release
                 st.pending_slot = None
-                n_messages += 1
-                bytes_sent += call.size_bytes
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
                 st.cursor += 1
                 return True
-            rq = matcher.recvs[key]
+            rq = self.matcher.recvs[key]
             if rq:
                 post_ns, resolver = rq.popleft()
-                start = buses.acquire(
-                    max(st.clock + net.overhead_ns, post_ns, st.link_free),
-                    transfer)
-                st.link_free = start + transfer
-                resolver(start + transfer)
-                if collect_segments and start > st.clock:
-                    segments.append(TimelineSegment(rank, "p2p", st.clock, start))
+                start, arrival = self._rdv_transfer(
+                    st.clock + net.overhead_ns, post_ns, transfer, rank)
+                resolver(arrival)
+                if self.collect_segments and start > st.clock:
+                    self.segments.append(
+                        TimelineSegment(rank, "p2p", st.clock, start))
                 st.p2p_ns += start - st.clock
                 st.clock = start
-                n_messages += 1
-                bytes_sent += call.size_bytes
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
                 st.cursor += 1
                 return True
-            # No receiver yet: advertise the rendezvous send and block.
+            # No receiver yet: advertise the rendezvous send and park.
             slot: List[Optional[float]] = [None]
-            matcher.rdv_sends[key].append(
-                (st.clock + net.overhead_ns, call.size_bytes, slot))
+            self.matcher.rdv_sends[key].append(
+                (st.clock + net.overhead_ns, transfer, slot, rank))
             st.pending_slot = slot
             return False
 
         if call.kind in ("recv", "irecv"):
             key = (call.peer, rank, call.tag)
-
-            def match_source() -> Optional[float]:
-                """Try to match a buffered or rendezvous send; returns the
-                receive completion time or None."""
-                sq = matcher.sends[key]
-                if sq:
-                    ready_ns, size = sq.popleft()
-                    return max(ready_ns, st.clock) + net.transfer_ns(size)
-                dq = matcher.rdv_sends[key]
-                if dq:
-                    ready_ns, size, sender_slot = dq.popleft()
-                    start = max(ready_ns, st.clock)
-                    sender_slot[0] = start
-                    return start + net.transfer_ns(size)
-                return None
-
             if call.kind == "irecv":
-                done = match_source()
+                done = self._match_source(key, st.clock)
                 if done is not None:
                     st.requests[call.request] = done
                 else:
-                    completion: List[Optional[float]] = [None]
-
-                    def resolve(t: float, slot=completion) -> None:
-                        slot[0] = t
-
-                    matcher.recvs[key].append((st.clock, resolve))
-                    st.requests[call.request] = completion  # type: ignore
+                    slot, resolver = self._resolver(rank)
+                    self.matcher.recvs[key].append((st.clock, resolver))
+                    st.requests[call.request] = slot
                 st.clock += net.overhead_ns
                 st.p2p_ns += net.overhead_ns
                 st.cursor += 1
@@ -297,23 +409,20 @@ def replay(
             # Blocking recv.
             if st.pending_slot is not None:
                 if st.pending_slot[0] is None:
-                    return False
+                    return False  # spurious wake
                 done = max(st.pending_slot[0], st.clock)
                 st.pending_slot = None
             else:
-                maybe = match_source()
+                maybe = self._match_source(key, st.clock)
                 if maybe is None:
-                    completion = [None]
-
-                    def resolve(t: float, slot=completion) -> None:
-                        slot[0] = t
-
-                    matcher.recvs[key].append((st.clock, resolve))
-                    st.pending_slot = completion
+                    slot, resolver = self._resolver(rank)
+                    self.matcher.recvs[key].append((st.clock, resolver))
+                    st.pending_slot = slot
                     return False
                 done = maybe
-            if collect_segments:
-                segments.append(TimelineSegment(rank, "p2p", st.clock, done))
+            if self.collect_segments:
+                self.segments.append(
+                    TimelineSegment(rank, "p2p", st.clock, done))
             st.p2p_ns += done - st.clock
             st.clock = done
             st.cursor += 1
@@ -326,12 +435,13 @@ def replay(
                     f"rank {rank}: wait on unknown request {call.request}")
             if isinstance(entry, list):  # unresolved irecv slot
                 if entry[0] is None:
-                    return False  # matching send not processed yet
+                    return False  # the resolver wakes us on match
                 done = max(entry[0], st.clock)
             else:
                 done = max(entry, st.clock)
-            if collect_segments and done > st.clock:
-                segments.append(TimelineSegment(rank, "wait", st.clock, done))
+            if self.collect_segments and done > st.clock:
+                self.segments.append(
+                    TimelineSegment(rank, "wait", st.clock, done))
             st.p2p_ns += done - st.clock
             st.clock = done
             del st.requests[call.request]
@@ -340,33 +450,159 @@ def replay(
 
         raise ValueError(f"unhandled MPI call kind {call.kind!r}")
 
-    # Fixed-point sweep.
-    remaining = set(range(n))
-    while remaining:
-        progressed = False
-        finished = []
-        for rank in list(remaining):
-            while try_advance(rank):
-                progressed = True
-            if states[rank].cursor >= len(trace.ranks[rank].events):
-                finished.append(rank)
-        for rank in finished:
-            remaining.discard(rank)
-        if remaining and not progressed:
-            stuck = sorted(remaining)[:8]
-            details = [
-                f"rank {r}@event{states[r].cursor}:"
-                f"{type(trace.ranks[r].events[states[r].cursor]).__name__}"
-                for r in stuck
-            ]
-            raise RuntimeError(f"replay deadlock; stuck: {details}")
+    # ------------------------------------------------------------- finishing
 
-    return ReplayResult(
-        total_ns=max(st.clock for st in states),
-        compute_ns=np.array([st.compute_ns for st in states]),
-        p2p_ns=np.array([st.p2p_ns for st in states]),
-        collective_ns=np.array([st.collective_ns for st in states]),
-        n_messages=n_messages,
-        bytes_sent=bytes_sent,
-        segments=tuple(segments) if collect_segments else None,
-    )
+    def deadlock_error(self) -> RuntimeError:
+        """Diagnostic naming the stuck ranks and their pending events."""
+        stuck = [r for r in range(self.n) if not self.states[r].done]
+        details = []
+        for r in stuck[:8]:
+            ev = self.events[r][self.states[r].cursor]
+            if isinstance(ev, MpiCall):
+                desc = ev.kind
+                if ev.peer is not None:
+                    desc += f"(peer={ev.peer})"
+                elif ev.request is not None:
+                    desc += f"(request={ev.request})"
+            else:
+                desc = type(ev).__name__
+            details.append(f"rank {r}@event{self.states[r].cursor}:{desc}")
+        return RuntimeError(
+            f"replay deadlock; {len(stuck)} rank(s) stuck: {details}")
+
+    def result(self) -> ReplayResult:
+        states = self.states
+        return ReplayResult(
+            total_ns=max(st.clock for st in states),
+            compute_ns=np.array([st.compute_ns for st in states]),
+            p2p_ns=np.array([st.p2p_ns for st in states]),
+            collective_ns=np.array([st.collective_ns for st in states]),
+            n_messages=self.n_messages,
+            bytes_sent=self.bytes_sent,
+            segments=tuple(self.segments) if self.collect_segments else None,
+        )
+
+
+# ----------------------------------------------------------------- engines
+
+def _run_event(core: _ReplayCore, order: Sequence[int]) -> None:
+    """Reactive engine: ready-heap keyed by (clock, rank) + wake lists.
+
+    Each pop advances one rank for as long as it stays the globally
+    earliest runnable one; a rank that blocks is parked and re-enters
+    the heap exactly once, via :meth:`_ReplayCore.wake`, when its
+    dependency resolves.
+    """
+    states = core.states
+    events = core.events
+    heap: List[Tuple[float, int]] = []
+    for r in order:
+        if events[r]:
+            heappush(heap, (states[r].clock, r))
+        else:
+            states[r].done = True
+
+    core.on_wake = lambda rank: heappush(heap, (states[rank].clock, rank))
+
+    step = core.step
+    while heap:
+        _, r = heappop(heap)
+        st = states[r]
+        n_ev = len(events[r])
+        while True:
+            if st.cursor >= n_ev:
+                st.done = True
+                break
+            if not step(r):
+                st.blocked = True
+                break
+            if heap and heap[0] < (st.clock, r):
+                heappush(heap, (st.clock, r))
+                break
+
+    if any(not st.done for st in states):
+        raise core.deadlock_error()
+
+
+def _run_polling(core: _ReplayCore, order: Sequence[int]) -> None:
+    """Reference engine: re-scan every unfinished rank per step.
+
+    Selects the same min-(clock, rank) runnable rank as the event
+    engine — executing the identical step sequence, hence bit-identical
+    results — but pays an O(ranks) scan for every event processed.
+    """
+    states = core.states
+    events = core.events
+    active: List[int] = []
+    for r in order:
+        if events[r]:
+            active.append(r)
+        else:
+            states[r].done = True
+
+    while active:
+        best = -1
+        best_clock = 0.0
+        for r in active:
+            st = states[r]
+            if st.blocked:
+                continue
+            if best < 0 or (st.clock, r) < (best_clock, best):
+                best, best_clock = r, st.clock
+        if best < 0:
+            raise core.deadlock_error()
+        st = states[best]
+        if core.step(best):
+            if st.cursor >= len(events[best]):
+                st.done = True
+                active.remove(best)
+        else:
+            st.blocked = True
+
+
+_ENGINES = {"event": _run_event, "polling": _run_polling}
+
+
+def replay(
+    trace: BurstTrace,
+    net: NetworkConfig,
+    phase_duration: PhaseDurationFn,
+    collect_segments: bool = False,
+    engine: str = "event",
+    rank_order: Optional[Sequence[int]] = None,
+) -> ReplayResult:
+    """Replay ``trace`` through the network model.
+
+    ``phase_duration(rank, phase)`` supplies each compute phase's
+    duration; pass a burst-mode scheduler hook for hardware-agnostic
+    runs or detailed timings for integrated runs.
+
+    ``engine`` selects the reactive event-driven simulator
+    (``'event'``, the default) or the re-scanning reference engine
+    (``'polling'``); both produce bit-identical results.
+    ``rank_order`` permutes the order ranks are seeded/scanned in — it
+    provably cannot change the outcome (ranks always advance in global
+    virtual-time order) and exists so property tests can assert that.
+
+    Counters (``replay.events`` / ``replay.wakeups`` /
+    ``replay.messages`` / ``replay.bus_waits``) and a ``replay.run``
+    span are reported through :mod:`repro.obs`.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown replay engine {engine!r}; choose from {REPLAY_ENGINES}")
+    order: Sequence[int] = (range(trace.n_ranks) if rank_order is None
+                            else list(rank_order))
+    if rank_order is not None and sorted(order) != list(range(trace.n_ranks)):
+        raise ValueError("rank_order must be a permutation of all ranks")
+
+    core = _ReplayCore(trace, net, phase_duration, collect_segments)
+    obs = get_metrics()
+    with obs.span("replay.run"):
+        _ENGINES[engine](core, order)
+    obs.inc("replay.events", core.n_steps)
+    obs.inc("replay.wakeups", core.n_wakeups)
+    obs.inc("replay.messages", core.n_messages)
+    if core.buses.n_waits:
+        obs.inc("replay.bus_waits", core.buses.n_waits)
+    return core.result()

@@ -102,8 +102,14 @@ class MetricsRegistry:
     def delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         """The snapshot difference ``after - before`` (counters and timers).
 
-        ``max_s`` is taken from ``after`` — a conservative upper bound
-        for the interval, exact when the maximum occurred inside it.
+        ``max_s`` is the interval's *contribution to the running
+        maximum*: the new all-time maximum when one was set during the
+        interval (then it is the exact interval max), else ``0.0``.
+        Merging every delta from a registry back into a base therefore
+        reproduces the true maximum; reporting ``after``'s all-time
+        ``max_s`` instead (the old behaviour) inflated intervals that
+        merely *followed* a slow span — e.g. parent-merged worker spans
+        across resumed sweeps.
         """
         counters = {}
         for name, n in after.get("counters", {}).items():
@@ -116,8 +122,11 @@ class MetricsRegistry:
                 name, {"count": 0.0, "total_s": 0.0, "max_s": 0.0})
             dc = t["count"] - b["count"]
             if dc:
-                timers[name] = {"count": dc, "total_s": t["total_s"] - b["total_s"],
-                                "max_s": t["max_s"]}
+                timers[name] = {
+                    "count": dc,
+                    "total_s": t["total_s"] - b["total_s"],
+                    "max_s": t["max_s"] if t["max_s"] > b["max_s"] else 0.0,
+                }
         return {"counters": counters, "timers": timers}
 
 
@@ -171,7 +180,12 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       resume accounting from the sweep scheduler;
     * ``batched_configs`` / ``batch_fallbacks`` — configs that went
       through the column-wise batched evaluator, and batches that had
-      to fall back to scalar per-config simulation.
+      to fall back to scalar per-config simulation;
+    * ``replay_events`` / ``replay_wakeups`` / ``replay_messages`` /
+      ``replay_bus_waits`` — event-driven MPI replay activity
+      (``mode='replay'`` campaigns): trace events processed, blocked
+      ranks re-examined after a dependency resolved, point-to-point
+      messages matched, and transfers delayed by the finite-bus pool.
     """
     snap = snap if snap is not None else _GLOBAL.snapshot()
     c = snap.get("counters", {})
@@ -207,5 +221,9 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
                                      "phase_sim.kernel_memo.miss"),
         "batched_configs": c.get("sweep.batch.configs", 0),
         "batch_fallbacks": c.get("sweep.batch.fallback", 0),
+        "replay_events": c.get("replay.events", 0),
+        "replay_wakeups": c.get("replay.wakeups", 0),
+        "replay_messages": c.get("replay.messages", 0),
+        "replay_bus_waits": c.get("replay.bus_waits", 0),
     }
     return {"derived": derived, "counters": c, "timers": t}

@@ -42,19 +42,25 @@ class TestOccupancyStats:
 
 class TestRankActivityStats:
     def test_lulesh_barrier_waste(self):
-        """LULESH ranks spend big fractions in collectives (Fig. 4)."""
+        """LULESH ranks spend big fractions in collectives (Fig. 4).
+
+        Threshold calibrated with sender-link serialization charged on
+        buffered halo sends (it shifts time from collective wait into
+        p2p); the qualitative contrast with HYDRO below is what Fig. 4
+        shows.
+        """
         musa = Musa(get_app("lulesh"))
         res = musa.simulate_burst_full(n_cores=64, n_ranks=16,
                                        n_iterations=2)
         stats = rank_activity_stats(res)
-        assert stats.mean_collective_fraction > 0.15
+        assert stats.mean_collective_fraction > 0.10
 
     def test_hydro_low_mpi_share(self):
         musa = Musa(get_app("hydro"))
         res = musa.simulate_burst_full(n_cores=64, n_ranks=16,
                                        n_iterations=2)
         stats = rank_activity_stats(res)
-        assert stats.mean_collective_fraction < 0.15
+        assert stats.mean_collective_fraction < 0.10
 
     def test_fractions_bounded(self):
         musa = Musa(get_app("btmz"))

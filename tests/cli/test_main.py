@@ -157,6 +157,36 @@ class TestCommands:
         assert d["tasks_completed"] == 0
         assert d["tasks_skipped"] == 8
 
+    def test_sweep_mode_defaults_to_fast(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.mode == "fast"
+        assert args.ranks == 256
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--mode", "detailed"])
+
+    def test_sweep_replay_mode(self, tmp_path, capsys):
+        """--mode replay runs the event-driven trace replay per point
+        and reports the replay activity in the metrics summary."""
+        out_fast = tmp_path / "fast.json"
+        out_replay = tmp_path / "replay.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--ranks", "8", "--out", str(out_fast)])
+        assert rc == 0
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--mode", "replay", "--ranks", "8",
+                   "--out", str(out_replay), "--metrics-json", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay events processed" in out
+        d = json.loads(metrics.read_text())["derived"]
+        assert d["replay_events"] > 0
+        assert d["replay_messages"] > 0
+        fast = ResultSet.load(out_fast)
+        rep = ResultSet.load(out_replay)
+        assert len(rep) == len(fast) == 8
+        assert rep != fast
+
 
 class TestRecommendAndValidate:
     def test_recommend_from_results(self, plane_results, capsys):

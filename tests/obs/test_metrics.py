@@ -77,6 +77,59 @@ class TestMergeDelta:
             == {"counters": {}, "timers": {}}
 
 
+class TestDeltaIntervalMax:
+    """``delta`` reports the interval's contribution to the running
+    maximum, not the all-time maximum (which inflated parent-merged
+    worker spans across resumed sweeps)."""
+
+    def test_interval_without_new_max_reports_zero(self):
+        reg = MetricsRegistry()
+        reg.observe("sim", 10.0)
+        before = reg.snapshot()
+        reg.observe("sim", 1.0)
+        d = MetricsRegistry.delta(before, reg.snapshot())
+        assert d["timers"]["sim"]["count"] == 1
+        assert d["timers"]["sim"]["total_s"] == pytest.approx(1.0)
+        assert d["timers"]["sim"]["max_s"] == 0.0
+
+    def test_interval_with_new_max_reports_it(self):
+        reg = MetricsRegistry()
+        reg.observe("sim", 1.0)
+        before = reg.snapshot()
+        reg.observe("sim", 5.0)
+        d = MetricsRegistry.delta(before, reg.snapshot())
+        assert d["timers"]["sim"]["max_s"] == pytest.approx(5.0)
+
+    def test_merged_delta_does_not_inflate_parent_max(self):
+        # A worker's slow first interval must not leak into the max of
+        # a later interval merged on its own (the resumed-sweep case).
+        worker = MetricsRegistry()
+        worker.observe("sim", 10.0)         # interval 1 (discarded)
+        before = worker.snapshot()
+        worker.observe("sim", 1.0)          # interval 2
+        worker.observe("sim", 2.0)
+        parent = MetricsRegistry()
+        parent.merge(MetricsRegistry.delta(before, worker.snapshot()))
+        t = parent.snapshot()["timers"]["sim"]
+        assert t["count"] == 2
+        assert t["max_s"] == pytest.approx(0.0)  # 10.0 was pre-interval
+
+    def test_merging_every_delta_reconstructs_true_max(self):
+        worker = MetricsRegistry()
+        parent = MetricsRegistry()
+        snap = worker.snapshot()
+        for interval in ([1.0, 7.0], [2.0], [3.0, 0.5]):
+            for s in interval:
+                worker.observe("sim", s)
+            after = worker.snapshot()
+            parent.merge(MetricsRegistry.delta(snap, after))
+            snap = after
+        t = parent.snapshot()["timers"]["sim"]
+        assert t["count"] == 5
+        assert t["total_s"] == pytest.approx(13.5)
+        assert t["max_s"] == pytest.approx(7.0)
+
+
 class TestSummarize:
     def test_derived_fields(self):
         reg = MetricsRegistry()
@@ -99,6 +152,18 @@ class TestSummarize:
         d = summarize(MetricsRegistry().snapshot())["derived"]
         assert d["memo_hit_rate"] is None
         assert d["tasks_per_second"] is None
+
+    def test_replay_counters_surface(self):
+        reg = MetricsRegistry()
+        reg.inc("replay.events", 100)
+        reg.inc("replay.wakeups", 7)
+        reg.inc("replay.messages", 12)
+        reg.inc("replay.bus_waits", 3)
+        d = summarize(reg.snapshot())["derived"]
+        assert d["replay_events"] == 100
+        assert d["replay_wakeups"] == 7
+        assert d["replay_messages"] == 12
+        assert d["replay_bus_waits"] == 3
 
 
 class TestProgressMeter:
