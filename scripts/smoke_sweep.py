@@ -5,8 +5,10 @@ journal resume, and the batched evaluation engine.
 Asserts that a campaign killed mid-run by an injected fatal fault and
 resumed from its journal is bit-identical to an uninterrupted run, that
 retried faults leave no failure stubs, that the batched (config-major)
-engine produces bit-identical results to scalar per-config evaluation,
-and that the execution metrics report throughput and memoization.
+engine produces bit-identical results to scalar per-config evaluation
+— in fast mode and in replay mode, where the config-vectorized replay
+engine must match per-config scalar replay byte-for-byte — and that
+the execution metrics report throughput and memoization.
 Exits non-zero on any violation.
 
 Run from the repo root:  PYTHONPATH=src python scripts/smoke_sweep.py
@@ -113,9 +115,25 @@ def main() -> int:
         "replay mode produced fast-mode results"
     dr = summarize(reg_r.snapshot())["derived"]
     assert dr["replay_events"] > 0 and dr["replay_messages"] > 0
+    assert dr["replay_lockstep_events"] > 0, \
+        "batched replay sweep never took a lockstep step"
     print(f"  replay mode OK: {len(replay_1)} records identical across "
           f"1 and 2 workers, {int(dr['replay_events'])} events, "
           f"{int(dr['replay_messages'])} messages")
+
+    # 5. Config-vectorized replay (the batched default above) vs the
+    #    per-config scalar replay path: byte-for-byte identical
+    #    ResultSets.
+    reg_rs = MetricsRegistry()
+    replay_scalar = run_sweep(APPS, SPACE, n_ranks=16, processes=1,
+                              mode="replay", batch=False, metrics=reg_rs)
+    assert summarize(reg_rs.snapshot())["derived"][
+        "replay_lockstep_events"] == 0
+    assert json.dumps(list(replay_scalar), sort_keys=True) == replay_ref, \
+        "config-vectorized replay differs from per-config replay"
+    print(f"  replay batching OK: batched == per-config byte-for-byte, "
+          f"{int(dr['replay_lockstep_events'])} lockstep events, "
+          f"{int(dr['replay_peeled_configs'])} peeled")
     print("smoke sweep passed")
     return 0
 

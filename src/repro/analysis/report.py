@@ -64,7 +64,13 @@ def format_metrics_summary(summary: Dict) -> str:
             ["replay wakeups", d.get("replay_wakeups", 0)],
             ["replay messages", d.get("replay_messages", 0)],
             ["replay bus waits", d.get("replay_bus_waits", 0)],
+            ["replay lockstep events", d.get("replay_lockstep_events", 0)],
+            ["replay peeled configs", d.get("replay_peeled_configs", 0)],
         ]
+    if d.get("memo_evictions", 0):
+        rows.append(["memo evictions", d.get("memo_evictions", 0)])
+    if d.get("timeout_unavailable", 0):
+        rows.append(["timeouts unavailable", d.get("timeout_unavailable", 0)])
     out = [format_rows("sweep execution metrics", ["metric", "value"], rows)]
     timers = summary.get("timers", {})
     if timers:

@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--no-batch", action="store_true",
                    help="disable the batched evaluator (one simulation "
                         "per task; results are identical, just slower)")
+    w.add_argument("--profile", type=int, default=None, metavar="N",
+                   help="profile the sweep with cProfile and print the "
+                        "top-N cumulative hotspots; the raw stats are "
+                        "written as a .prof next to --metrics-json (or "
+                        "--out)")
 
     f = sub.add_parser("figure", help="render a paper figure from a sweep")
     f.add_argument("axis", choices=sorted(FIGURE_AXES))
@@ -224,6 +229,33 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _profiled_sweep(run, args) -> "ResultSet":
+    """Run ``run()`` under cProfile, print the top-N cumulative
+    hotspots and dump the raw stats next to ``--metrics-json`` (or, when
+    no metrics path was given, next to ``--out``)."""
+    import cProfile
+    import pstats
+    from pathlib import Path
+
+    if args.profile < 1:
+        raise SystemExit("error: --profile must be >= 1")
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        results = run()
+    finally:
+        prof.disable()
+    anchor = Path(args.metrics_json or args.out)
+    prof_path = anchor.with_suffix(".prof")
+    prof.dump_stats(prof_path)
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    print(f"\ntop {args.profile} hotspots by cumulative time "
+          f"(full stats: {prof_path})")
+    stats.print_stats(args.profile)
+    return results
+
+
 def cmd_sweep(args) -> int:
     import json
 
@@ -245,13 +277,21 @@ def cmd_sweep(args) -> int:
           f"({total} simulations)...", flush=True)
     reg = get_metrics()
     reg.reset()
-    results = run_sweep(args.apps, space, n_ranks=args.ranks,
-                        processes=args.processes,
-                        progress=True, resume=args.resume,
-                        timeout_s=args.timeout, max_retries=args.retries,
-                        chunk_size=args.chunk_size,
-                        batch=not args.no_batch, batch_size=args.batch_size,
-                        mode=args.mode)
+
+    def _run():
+        return run_sweep(args.apps, space, n_ranks=args.ranks,
+                         processes=args.processes,
+                         progress=True, resume=args.resume,
+                         timeout_s=args.timeout, max_retries=args.retries,
+                         chunk_size=args.chunk_size,
+                         batch=not args.no_batch,
+                         batch_size=args.batch_size,
+                         mode=args.mode)
+
+    if args.profile is not None:
+        results = _profiled_sweep(_run, args)
+    else:
+        results = _run()
     results.save(args.out)
     print(f"wrote {len(results)} records to {args.out}")
     n_failed = len(results.failures())

@@ -1,12 +1,14 @@
-"""Batched config-major evaluation of the integrated fast mode.
+"""Batched config-major evaluation of the integrated fast and replay modes.
 
 One sweep task used to be one ``(app, node)`` simulation; this module
 evaluates one app against a whole *batch* of node configurations at
 once.  Trace-derived quantities (imbalance factors, per-task work,
 kernel membership) are invariant across configurations and precomputed
 once per app; the per-kernel hot path then runs column-wise over the
-configuration axis (:mod:`repro.uarch.batch`), and only the
-discrete-event schedule replay remains per-config Python.
+configuration axis (:mod:`repro.uarch.batch`), the MPI trace replay of
+``mode='replay'`` runs column-wise too
+(:mod:`repro.network.replay_batch`), and only the discrete-event
+schedule replay remains per-config Python.
 
 **Exactness contract**: for every configuration the batched evaluator
 produces a :class:`~repro.core.musa.RunResult` bitwise-identical to
@@ -31,6 +33,7 @@ import numpy as np
 
 from ..config.node import NodeConfig
 from ..network.replay import replay
+from ..network.replay_batch import replay_batch
 from ..obs import get_metrics
 from ..runtime.scheduler import PhaseResult, simulate_phase
 from ..trace.events import ComputePhase
@@ -106,16 +109,21 @@ class BatchEvaluator:
         n_iterations: Optional[int] = None,
         include_comm: bool = False,
         mode: str = "fast",
+        batch_replay: bool = True,
     ) -> List[RunResult]:
         """Integrated results for every node, in input order.
 
         Bitwise-equal to ``[musa.simulate_node(n, n_ranks, n_iterations,
         mode=mode, include_comm=include_comm) for n in nodes]``.  With
-        ``mode='replay'`` the per-kernel compute timings are still
-        resolved column-wise over the whole batch; only the
-        Dimemas-style event-driven replay — which splices each config's
-        phase makespans into the ``n_ranks``-rank trace — runs
-        per-config.
+        ``mode='replay'`` the per-kernel compute timings are resolved
+        column-wise over the whole batch and the Dimemas-style
+        event-driven replay also runs *once* for the batch: the
+        config-vectorized lockstep engine
+        (:func:`repro.network.replay_batch.replay_batch`) steps every
+        configuration through one event pass, peeling configs whose
+        step order diverges out to the scalar engine — bit-identical
+        either way.  ``batch_replay=False`` forces the per-config
+        scalar replay splice (the equivalence oracle).
         """
         if mode not in ("fast", "replay"):
             raise ValueError("mode must be 'fast' or 'replay'")
@@ -124,9 +132,10 @@ class BatchEvaluator:
         obs.inc("musa.simulate_node", len(nodes))
         with obs.span("musa.batch_eval"):
             return self._evaluate(nodes, n_ranks, n_iterations, include_comm,
-                                  mode)
+                                  mode, batch_replay)
 
-    def _evaluate(self, nodes, n_ranks, n_iterations, include_comm, mode):
+    def _evaluate(self, nodes, n_ranks, n_iterations, include_comm, mode,
+                  batch_replay=True):
         musa = self.musa
         nb = NodeBatch.from_nodes(nodes)
         n_configs = len(nodes)
@@ -147,12 +156,29 @@ class BatchEvaluator:
 
         trace = (musa._burst_trace(n_ranks, n_iterations)
                  if mode == "replay" else None)
+        replay_totals: Optional[List[float]] = None
+        if mode == "replay" and batch_replay:
+            # One lockstep event-engine pass for the whole batch: the
+            # per-phase makespan columns (exactly the arrays summed
+            # into ``compute_iter`` above) scaled per rank reproduce
+            # the scalar splice's float64 products bit for bit.
+            cols = {id(p): np.array([d.makespan_ns for d in dp])
+                    for p, dp in zip(musa.phases, details_per_phase)}
+
+            def duration_batch(rank, phase, _cols=cols):
+                return _cols[id(phase)] * scales[rank]
+
+            replay_totals = [
+                r.total_ns for r in replay_batch(
+                    trace, musa.network, duration_batch, n_configs)]
         results: List[RunResult] = []
         for i, node in enumerate(nodes):
             details_i = [per_phase[i] for per_phase in details_per_phase]
             ci = float(compute_iter[i])
             if mode == "fast":
                 total_ns = n_iter * (ci * max_scale + comm_iter)
+            elif replay_totals is not None:
+                total_ns = replay_totals[i]
             else:
                 by_id = {id(p): d for p, d in zip(musa.phases, details_i)}
 

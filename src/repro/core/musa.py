@@ -19,6 +19,7 @@ sweep re-simulates only what changes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -37,6 +38,36 @@ from ..trace.events import ComputePhase
 from .phase_sim import PhaseDetail, simulate_phase_detailed
 
 __all__ = ["Musa", "RunResult"]
+
+
+class _LruDict(OrderedDict):
+    """A memo dict bounded to ``maxsize`` entries.
+
+    Reads refresh recency; an insert past the cap evicts the
+    least-recently-used entry and counts it under the obs counter
+    ``musa.memo.evictions``.  Quacks like the plain dicts it replaces
+    (``in`` / ``[]`` / ``[]=`` / ``clear``), so callers — including
+    :func:`~repro.core.phase_sim.simulate_phase_detailed`, which takes
+    the timing cache as an argument — need no changes.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        super().__init__()
+        self.maxsize = maxsize
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+            get_metrics().inc("musa.memo.evictions")
 
 
 @dataclass(frozen=True)
@@ -93,6 +124,7 @@ class Musa:
         network: Optional[NetworkConfig] = None,
         mcpat: Optional[McPatModel] = None,
         drampower: Optional[DramPowerModel] = None,
+        memo_cap: int = 16384,
     ) -> None:
         self.app = app
         self.network = network or marenostrum4_network()
@@ -104,12 +136,16 @@ class Musa:
             self.detailed = app.detailed_trace()
         #: one canonical iteration's phases, shared across ranks/iterations
         self.phases: Tuple[ComputePhase, ...] = app.canonical_phases()
-        self._burst_cache: Dict[Tuple, PhaseResult] = {}
-        self._detail_cache: Dict[Tuple, PhaseDetail] = {}
-        self._trace_cache: Dict[Tuple, BurstTrace] = {}
+        # Memo dicts are LRU-bounded (``memo_cap`` entries each) so a
+        # long multi-app campaign's per-process caches stay flat in
+        # memory; the default cap comfortably holds one app's full
+        # 864-point space (phases x configs) without evicting.
+        self._burst_cache: Dict[Tuple, PhaseResult] = _LruDict(memo_cap)
+        self._detail_cache: Dict[Tuple, PhaseDetail] = _LruDict(memo_cap)
+        self._trace_cache: Dict[Tuple, BurstTrace] = _LruDict(memo_cap)
         #: (kernel, node, share) -> resolved timing; shared across
         #: phases so kernels reused by several phases are timed once
-        self._timing_cache: Dict[Tuple, Tuple] = {}
+        self._timing_cache: Dict[Tuple, Tuple] = _LruDict(memo_cap)
 
     # ------------------------------------------------------------------ burst
 

@@ -64,7 +64,7 @@ from typing import (
 from ..apps.registry import get_app
 from ..config.node import NodeConfig
 from ..config.space import DesignSpace
-from ..obs import MetricsRegistry, ProgressMeter, get_metrics, set_metrics
+from ..obs import MetricsRegistry, ProgressMeter, get_metrics, set_metrics, warn
 from .batch import BatchEvaluator
 from .checkpoint import Journal, replay_journal, task_key
 from .musa import Musa
@@ -163,11 +163,30 @@ def _init_worker(fault_hook, timeout_s, batch: bool = False,
     _WORKER["mode"] = mode
 
 
+def _timeout_unavailable(seconds: float, why: str) -> None:
+    """A timeout was requested but cannot be armed here: degrade to an
+    unbudgeted run (warn once per occurrence, count it) rather than
+    failing the task."""
+    get_metrics().inc("sweep.timeout_unavailable")
+    warn("per-task timeout %.3gs unavailable (%s); running without a "
+         "wall-clock budget", seconds, why)
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]):
     """Raise :class:`TaskTimeout` if the block runs longer than
-    ``seconds`` (POSIX main-thread only; no-op elsewhere)."""
-    if not seconds or not hasattr(signal, "SIGALRM"):
+    ``seconds``.
+
+    SIGALRM-based, so it only works on POSIX and only on the main
+    thread.  Anywhere else a requested timeout degrades gracefully:
+    the block runs without a budget, a warning is logged and the
+    ``sweep.timeout_unavailable`` counter records the degradation.
+    """
+    if not seconds:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):
+        _timeout_unavailable(seconds, "platform lacks signal.SIGALRM")
         yield
         return
 
@@ -177,6 +196,7 @@ def _deadline(seconds: Optional[float]):
     try:
         old = signal.signal(signal.SIGALRM, _alarm)
     except ValueError:  # not in the main thread
+        _timeout_unavailable(seconds, "not on the main thread")
         yield
         return
     signal.setitimer(signal.ITIMER_REAL, seconds)

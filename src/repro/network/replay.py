@@ -36,6 +36,15 @@ the match happens on the sender's or the receiver's side.
 An empty ready set with ranks still outstanding is a genuine
 communication deadlock in the trace and raises, naming the stuck ranks
 and the events they are stuck on.
+
+Design-space sweeps that replay one trace under many node
+configurations should use :func:`repro.network.replay_batch.replay_batch`,
+which carries a NumPy configuration axis through this core's state and
+prices the whole batch in one pass — bit-identically to per-config
+scalar replay.  Its ``_LockstepCore.step`` transliterates
+:meth:`_ReplayCore.step` branch for branch: any change to the stepping
+logic here must be mirrored there (the equivalence property tests in
+``tests/network/test_replay_batch.py`` will catch a drift).
 """
 
 from __future__ import annotations

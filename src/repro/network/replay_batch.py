@@ -1,0 +1,612 @@
+"""Config-vectorized MPI trace replay: one event-engine pass per batch.
+
+The scalar replay (:mod:`repro.network.replay`) walks a trace once per
+node configuration, even though within one design-space batch the trace
+— and therefore almost all of the replay's *control flow* — is shared:
+the network is fixed across the space (as in MUSA, where the Dimemas
+parameters never change), so message sizes, eager/rendezvous protocol
+choices, matching, collective membership and blocking structure are all
+configuration-invariant.  Only the compute-phase durations differ per
+configuration, which perturbs the virtual clocks but usually not the
+global ``(clock, rank)`` step order that both scalar engines follow.
+
+This module exploits that: a :class:`_LockstepCore` carries a NumPy
+*configuration axis* through every quantity the scalar
+``_ReplayCore`` keeps as a float — rank clocks, outgoing-link
+``link_free`` times, bus-pool free slots, buffered eager arrivals,
+rendezvous release slots, request completion times, collective entry
+times — and steps the whole batch in lockstep, one trace event at a
+time.  Two drivers share that columnar core:
+
+**Shared-order driver** (:func:`_run_shared`).  The scalar replay is
+*confluent* whenever no shared resource couples ranks: every message
+cost is computed from endpoint-local dataflow values (the sender's
+clock and ``link_free`` when *it* reaches the send, the receiver's
+clock when *it* posts the receive), collective completion is a
+commutative max over entry times, and FIFO matching per
+``(src, dst, tag)`` pairs the k-th send with the k-th receive under
+any interleaving.  The global ``(clock, rank)`` step order exists
+solely to serialize the finite-bus pool (see
+:mod:`repro.network.replay`'s docstring) — plus one structural corner:
+a key carrying both eager-buffered and rendezvous sends, where
+matching prefers whichever eager send is outstanding at discovery
+time.  :func:`_order_free` checks both conditions (``n_buses == 0``
+and protocol-pure keys, one O(events) scan); when they hold — they do
+for the paper's MareNostrum4-like network, which has an unlimited bus
+pool — *any* structurally valid order yields, per configuration, the
+bit-exact scalar result, so one pass with a trivial run-until-blocked
+worklist steps all configurations at once with **zero** divergence
+checking.
+
+**Lockstep-peel driver** (:func:`_run_lockstep`).  When the bus pool
+is finite (or a key mixes protocols), per-configuration order *does*
+matter.  The next rank to step is then chosen exactly like the scalar
+engines choose it, per configuration, via a vectorized tournament tree
+(min over ranks of ``(clock, rank)``, column-wise).  Wherever every
+configuration in the lockstep group agrees on the choice, one step
+serves the whole group; columns whose min-ready rank differs from the
+group's (a per-config compute duration flipped the order) are
+*peeled*: marked inactive and, after the lockstep pass, re-replayed
+from scratch on the scalar engine.  Peeling at the first disagreement
+means every surviving column executed exactly the step sequence the
+scalar engine would have executed for it.
+
+Either way, every arithmetic operation along a column is the same
+IEEE-754 float64 operation the scalar core performs (element-wise
+instead of one at a time), so results are **bit-identical** to
+per-config scalar replay — peeled columns trivially so, because the
+scalar engine produces them.  The step outcome itself (advance vs
+block, match vs buffer, collective complete vs park) depends only on
+*structural* state — queue occupancy, request bookkeeping, collective
+membership — which is identical across columns that share a step
+history; only the *selection* of which rank steps next reads the
+clocks, and only when a shared resource makes that order observable.
+
+Counters: ``replay.batch.lockstep_events`` (config-events served by
+lockstep steps), ``replay.batch.peeled_configs`` (columns finished on
+the scalar engine), plus the scalar-equivalent ``replay.events`` /
+``replay.messages`` / ``replay.bus_waits`` totals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import get_metrics
+from ..trace.burst import BurstTrace
+from ..trace.events import ComputePhase, MpiCall
+from .collectives import collective_cost_ns
+from .model import NetworkConfig
+from .replay import ReplayResult, replay
+
+__all__ = ["replay_batch", "BatchPhaseDurationFn"]
+
+#: Maps (rank, phase) to a per-configuration duration column (ns).
+BatchPhaseDurationFn = Callable[[int, ComputePhase], np.ndarray]
+
+
+class _MinTree:
+    """Vectorized tournament tree: per-column min of ``(clock, rank)``.
+
+    One leaf per rank holds that rank's clock column (``+inf`` when the
+    rank is blocked or done).  Internal nodes keep the column-wise
+    minimum value and the rank achieving it; ties prefer the left
+    child, and left subtrees hold smaller ranks, so the tie-break is
+    "smallest rank" — exactly the scalar engines' ``(clock, rank)``
+    tuple comparison.  An update touches ``log2(P)`` levels of
+    column-wide vector ops instead of an O(ranks x columns) rescan per
+    step.
+    """
+
+    def __init__(self, n_ranks: int, n_cols: int) -> None:
+        p = 1
+        while p < max(n_ranks, 1):
+            p *= 2
+        self.p = p
+        self.vals = np.full((2 * p, n_cols), np.inf)
+        self.args = np.zeros((2 * p, n_cols), dtype=np.int32)
+        for r in range(p):
+            self.args[p + r, :] = min(r, n_ranks - 1)
+        # Initialize internal args consistently (vals are all inf).
+        for i in range(p - 1, 0, -1):
+            self.args[i] = self.args[2 * i]
+
+    def update(self, rank: int, clock) -> None:
+        """Set ``rank``'s key column (a vector, scalar, or ``inf``)."""
+        i = self.p + rank
+        self.vals[i] = clock
+        i >>= 1
+        vals, args = self.vals, self.args
+        while i:
+            l, r = 2 * i, 2 * i + 1
+            take_r = vals[r] < vals[l]
+            vals[i] = np.where(take_r, vals[r], vals[l])
+            args[i] = np.where(take_r, args[r], args[l])
+            i >>= 1
+
+    def root(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.vals[1], self.args[1]
+
+
+class _BatchBusPool:
+    """Column-wise Dimemas finite-bus pool.
+
+    Semantically the scalar pool is a multiset of per-bus free times
+    with pop-min/push; which physical slot serves a transfer is
+    unobservable, so an argmin over a dense array reproduces the heap's
+    results exactly, column by column.
+    """
+
+    def __init__(self, n_buses: int, n_cols: int) -> None:
+        self.n_buses = n_buses
+        self.n_cols = n_cols
+        self.n_waits = np.zeros(n_cols, dtype=np.int64)
+        if n_buses > 0:
+            self._free = np.zeros((n_buses, n_cols))
+            self._cols = np.arange(n_cols)
+
+    def acquire(self, ready: np.ndarray, duration_ns: float) -> np.ndarray:
+        if self.n_buses <= 0:
+            return ready
+        idx = np.argmin(self._free, axis=0)
+        earliest = self._free[idx, self._cols]
+        start = np.maximum(ready, earliest)
+        self.n_waits += start > ready
+        self._free[idx, self._cols] = start + duration_ns
+        return start
+
+
+class _ColState:
+    """Per-rank state with every float replaced by a config column."""
+
+    __slots__ = ("clock", "cursor", "compute_ns", "p2p_ns", "collective_ns",
+                 "requests", "pending_slot", "link_free", "blocked", "done")
+
+    def __init__(self, n_cols: int) -> None:
+        self.clock = np.zeros(n_cols)
+        self.cursor = 0
+        self.compute_ns = np.zeros(n_cols)
+        self.p2p_ns = np.zeros(n_cols)
+        self.collective_ns = np.zeros(n_cols)
+        self.requests: Dict[int, object] = {}
+        self.pending_slot: Optional[List[Optional[np.ndarray]]] = None
+        self.link_free = np.zeros(n_cols)
+        self.blocked = False
+        self.done = False
+
+
+class _LockstepCore:
+    """The scalar ``_ReplayCore.step`` transliterated onto columns.
+
+    Every float operation becomes the identical element-wise float64
+    operation; every structural decision (queue occupancy, protocol
+    choice, collective membership) is taken once for the whole group.
+    Arrays are never mutated in place once stored, so buffered values
+    (eager arrivals, release slots, request completions) stay frozen at
+    their creation-time columns exactly like the scalar floats they
+    replace.
+    """
+
+    def __init__(self, trace: BurstTrace, net: NetworkConfig,
+                 phase_duration: BatchPhaseDurationFn, n_cols: int) -> None:
+        self.trace = trace
+        self.net = net
+        self.phase_duration = phase_duration
+        self.n_cols = n_cols
+        self.n = trace.n_ranks
+        self.states = [_ColState(n_cols) for _ in range(self.n)]
+        self.events = [trace.ranks[r].events for r in range(self.n)]
+        # FIFO queues per (src, dst, tag), as in the scalar _Matcher.
+        self.sends = defaultdict(list)
+        self.recvs = defaultdict(list)
+        self.rdv_sends = defaultdict(list)
+        self.buses = _BatchBusPool(net.n_buses, n_cols)
+
+        self.coll_seq = [defaultdict(int) for _ in range(self.n)]
+        self.coll_enter: Dict[Tuple[str, int], Dict[int, np.ndarray]] = \
+            defaultdict(dict)
+        self.coll_done: Dict[Tuple[str, int], np.ndarray] = {}
+        self.coll_waiters: Dict[Tuple[str, int], List[int]] = \
+            defaultdict(list)
+
+        self.n_steps = 0
+        self.n_wakeups = 0
+        self.n_messages = 0
+        self.bytes_sent = 0
+        self.n_unfinished = self.n
+        self.lockstep_events = 0
+
+        #: set by the driver; receives ranks whose dependency resolved
+        self.on_wake: Callable[[int], None] = lambda rank: None
+
+    # ------------------------------------------------------------ wake lists
+
+    def wake(self, rank: int) -> None:
+        st = self.states[rank]
+        if st.blocked:
+            st.blocked = False
+            self.n_wakeups += 1
+            self.on_wake(rank)
+
+    def _resolver(self, rank: int):
+        slot: List[Optional[np.ndarray]] = [None]
+
+        def resolve(t_col: np.ndarray) -> None:
+            slot[0] = t_col
+            self.wake(rank)
+
+        return slot, resolve
+
+    # --------------------------------------------------------- transfer cost
+
+    def _rdv_transfer(self, send_ready, recv_ready, transfer_ns: float,
+                      sender: int) -> Tuple[np.ndarray, np.ndarray]:
+        sst = self.states[sender]
+        start = self.buses.acquire(
+            np.maximum(np.maximum(send_ready, recv_ready), sst.link_free),
+            transfer_ns)
+        sst.link_free = start + transfer_ns
+        return start, start + transfer_ns
+
+    def _match_source(self, key, recv_clock) -> Optional[np.ndarray]:
+        sq = self.sends[key]
+        if sq:
+            arrival, transfer_ns = sq.pop(0)
+            return np.maximum(arrival, recv_clock + transfer_ns)
+        dq = self.rdv_sends[key]
+        if dq:
+            ready, transfer_ns, sender_slot, sender = dq.pop(0)
+            start, arrival = self._rdv_transfer(ready, recv_clock,
+                                                transfer_ns, sender)
+            sender_slot[0] = start
+            self.wake(sender)
+            return arrival
+        return None
+
+    # ------------------------------------------------------------- stepping
+
+    def step(self, rank: int) -> bool:
+        """One event of ``rank`` for the whole group; False = blocked.
+
+        Mirrors ``_ReplayCore.step`` branch for branch; the tree leaf
+        for ``rank`` is refreshed by the engine loop, not here.
+        """
+        self.n_steps += 1
+        st = self.states[rank]
+        ev = self.events[rank][st.cursor]
+        net = self.net
+
+        if isinstance(ev, ComputePhase):
+            dur = np.asarray(self.phase_duration(rank, ev), dtype=np.float64)
+            if (dur < 0).any():
+                raise ValueError("phase duration must be non-negative")
+            st.clock = st.clock + dur
+            st.compute_ns = st.compute_ns + dur
+            st.cursor += 1
+            return True
+
+        call: MpiCall = ev
+        if call.is_collective:
+            key = (call.kind, self.coll_seq[rank][call.kind])
+            if key not in self.coll_done:
+                enters = self.coll_enter[key]
+                if rank in enters:
+                    return False  # spurious wake; completion wakes us
+                enters[rank] = st.clock
+                if len(enters) < self.n:
+                    self.coll_waiters[key].append(rank)
+                    return False
+                cost = collective_cost_ns(call.kind, self.n,
+                                          call.size_bytes, net)
+                latest = None
+                for col in enters.values():
+                    latest = col if latest is None else np.maximum(latest, col)
+                self.coll_done[key] = latest + cost
+                for waiter in self.coll_waiters.pop(key, ()):
+                    self.wake(waiter)
+            t_done = self.coll_done[key]
+            enter = self.coll_enter[key][rank]
+            st.collective_ns = st.collective_ns + (t_done - enter)
+            st.clock = t_done
+            self.coll_seq[rank][call.kind] += 1
+            st.cursor += 1
+            return True
+
+        if call.kind in ("send", "isend"):
+            key = (rank, call.peer, call.tag)
+            transfer = net.transfer_ns(call.size_bytes)
+            if net.is_eager(call.size_bytes) or call.kind == "isend":
+                start = self.buses.acquire(
+                    np.maximum(st.clock + net.overhead_ns, st.link_free),
+                    transfer)
+                st.link_free = start + transfer
+                arrival = start + transfer
+                rq = self.recvs[key]
+                if rq:
+                    post, resolver = rq.pop(0)
+                    resolver(np.maximum(arrival, post + transfer))
+                else:
+                    self.sends[key].append((arrival, transfer))
+                st.clock = st.clock + net.overhead_ns
+                st.p2p_ns = st.p2p_ns + net.overhead_ns
+                if call.kind == "isend":
+                    st.requests[call.request] = arrival
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            if st.pending_slot is not None:
+                if st.pending_slot[0] is None:
+                    return False
+                release = np.maximum(st.pending_slot[0], st.clock)
+                st.p2p_ns = st.p2p_ns + (release - st.clock)
+                st.clock = release
+                st.pending_slot = None
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            rq = self.recvs[key]
+            if rq:
+                post, resolver = rq.pop(0)
+                start, arrival = self._rdv_transfer(
+                    st.clock + net.overhead_ns, post, transfer, rank)
+                resolver(arrival)
+                st.p2p_ns = st.p2p_ns + (start - st.clock)
+                st.clock = start
+                self.n_messages += 1
+                self.bytes_sent += call.size_bytes
+                st.cursor += 1
+                return True
+            slot: List[Optional[np.ndarray]] = [None]
+            self.rdv_sends[key].append(
+                (st.clock + net.overhead_ns, transfer, slot, rank))
+            st.pending_slot = slot
+            return False
+
+        if call.kind in ("recv", "irecv"):
+            key = (call.peer, rank, call.tag)
+            if call.kind == "irecv":
+                done = self._match_source(key, st.clock)
+                if done is not None:
+                    st.requests[call.request] = done
+                else:
+                    slot, resolver = self._resolver(rank)
+                    self.recvs[key].append((st.clock, resolver))
+                    st.requests[call.request] = slot
+                st.clock = st.clock + net.overhead_ns
+                st.p2p_ns = st.p2p_ns + net.overhead_ns
+                st.cursor += 1
+                return True
+            if st.pending_slot is not None:
+                if st.pending_slot[0] is None:
+                    return False
+                done = np.maximum(st.pending_slot[0], st.clock)
+                st.pending_slot = None
+            else:
+                maybe = self._match_source(key, st.clock)
+                if maybe is None:
+                    slot, resolver = self._resolver(rank)
+                    self.recvs[key].append((st.clock, resolver))
+                    st.pending_slot = slot
+                    return False
+                done = maybe
+            st.p2p_ns = st.p2p_ns + (done - st.clock)
+            st.clock = done
+            st.cursor += 1
+            return True
+
+        if call.kind == "wait":
+            entry = st.requests.get(call.request)
+            if entry is None:
+                raise ValueError(
+                    f"rank {rank}: wait on unknown request {call.request}")
+            if isinstance(entry, list):
+                if entry[0] is None:
+                    return False
+                done = np.maximum(entry[0], st.clock)
+            else:
+                done = np.maximum(entry, st.clock)
+            st.p2p_ns = st.p2p_ns + (done - st.clock)
+            st.clock = done
+            del st.requests[call.request]
+            st.cursor += 1
+            return True
+
+        raise ValueError(f"unhandled MPI call kind {call.kind!r}")
+
+
+def _order_free(trace: BurstTrace, net: NetworkConfig) -> bool:
+    """True when the replay's values cannot depend on step order.
+
+    Requires an unlimited bus pool (``n_buses == 0``) — the one shared
+    resource whose grant order is observable — and *protocol-pure*
+    point-to-point keys: no ``(src, dst, tag)`` carries both
+    eager/isend-buffered and rendezvous sends, because
+    ``_match_source`` prefers a buffered send over an advertised
+    rendezvous one, making mixed-key pairing depend on what is
+    outstanding at discovery time.
+    """
+    if net.n_buses > 0:
+        return False
+    classes: Dict[Tuple[int, int, int], bool] = {}
+    for rt in trace.ranks:
+        for ev in rt.events:
+            if isinstance(ev, MpiCall) and ev.kind in ("send", "isend"):
+                key = (rt.rank, ev.peer, ev.tag)
+                eager = ev.kind == "isend" or net.is_eager(ev.size_bytes)
+                if classes.setdefault(key, eager) != eager:
+                    return False
+    return True
+
+
+def _run_shared(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
+    """Order-free driver: one shared run-until-blocked worklist pass.
+
+    Valid only under :func:`_order_free`; then any structurally legal
+    order yields each column's bit-exact scalar result, so no clocks
+    are consulted for scheduling and no column ever diverges.  On a
+    structural deadlock every column is handed to the scalar engine,
+    which reproduces the scalar diagnostic.
+    """
+    states = core.states
+    events = core.events
+    ready = deque()
+    for r in range(core.n):
+        if events[r]:
+            ready.append(r)
+        else:
+            states[r].done = True
+            core.n_unfinished -= 1
+    core.on_wake = ready.append
+
+    step = core.step
+    while ready:
+        r = ready.popleft()
+        st = states[r]
+        n_ev = len(events[r])
+        while True:
+            if st.cursor >= n_ev:
+                st.done = True
+                core.n_unfinished -= 1
+                break
+            if not step(r):
+                st.blocked = True
+                break
+            core.lockstep_events += 1
+
+    if core.n_unfinished:
+        return np.zeros_like(active)  # deadlock: scalar engine diagnoses
+    return active
+
+
+def _run_lockstep(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
+    """Drive the lockstep group to completion; returns the surviving
+    active mask (peeled columns cleared).
+
+    Each iteration reads the tournament-tree root: per column, the
+    ready rank with the smallest ``(clock, rank)`` key.  Columns whose
+    choice disagrees with the group's (the modal choice among active
+    columns) are peeled; the group then steps its chosen rank once and
+    refreshes that rank's leaf.  If *every* active column is peeled by
+    a structural dead end (all ranks blocked — a genuine trace
+    deadlock), the survivors are handed to the scalar engine too, which
+    reproduces the scalar diagnostic exactly.
+    """
+    states = core.states
+    events = core.events
+    tree = _MinTree(core.n, core.n_cols)
+    core.on_wake = lambda rank: tree.update(rank, states[rank].clock)
+    for r in range(core.n):
+        if events[r]:
+            tree.update(r, states[r].clock)
+        else:
+            states[r].done = True
+            core.n_unfinished -= 1
+    lockstep_events = 0
+
+    while core.n_unfinished:
+        vals, args = tree.root()
+        act_idx = np.flatnonzero(active)
+        if act_idx.size == 0:
+            break
+        votes = args[act_idx]
+        if np.isinf(vals[act_idx]).all():
+            # Structural: every remaining rank is blocked in every
+            # column.  Peel everyone; the scalar engine raises the
+            # deadlock diagnostic per config.
+            active = np.zeros_like(active)
+            break
+        r = int(votes[0])
+        if not (votes == r).all():
+            counts = np.bincount(votes, minlength=core.n)
+            r = int(np.argmax(counts))
+            peeled = active & (args != r)
+            active = active & ~peeled
+            if not active.any():
+                break
+        st = states[r]
+        if core.step(r):
+            lockstep_events += 1
+            if st.cursor >= len(events[r]):
+                st.done = True
+                core.n_unfinished -= 1
+                tree.update(r, np.inf)
+            else:
+                tree.update(r, st.clock)
+        else:
+            st.blocked = True
+            tree.update(r, np.inf)
+    core.lockstep_events = lockstep_events
+    return active
+
+
+def replay_batch(
+    trace: BurstTrace,
+    net: NetworkConfig,
+    phase_duration: BatchPhaseDurationFn,
+    n_configs: int,
+    scalar_engine: str = "event",
+) -> List[ReplayResult]:
+    """Replay ``trace`` for ``n_configs`` configurations in one pass.
+
+    ``phase_duration(rank, phase)`` returns the phase's duration as a
+    float64 column over the configuration axis.  The result list holds
+    one :class:`~repro.network.replay.ReplayResult` per configuration,
+    bit-identical to ``replay(trace, net, scalar_fn_i, ...)`` with
+    ``scalar_fn_i`` reading column ``i`` — for every configuration,
+    whether it stayed in lockstep or was peeled to the scalar engine
+    (``scalar_engine`` picks which one finishes peeled columns).
+
+    Counters: ``replay.batch.lockstep_events``,
+    ``replay.batch.peeled_configs``, and scalar-equivalent
+    ``replay.events`` / ``replay.messages`` / ``replay.bus_waits``
+    totals for the lockstep columns (peeled columns report through
+    their scalar runs).
+    """
+    if n_configs <= 0:
+        raise ValueError("n_configs must be positive")
+    obs = get_metrics()
+    core = _LockstepCore(trace, net, phase_duration, n_configs)
+    driver = _run_shared if _order_free(trace, net) else _run_lockstep
+    with obs.span("replay.batch.run"):
+        active = driver(core, np.ones(n_configs, dtype=bool))
+
+    n_active = int(active.sum())
+    obs.inc("replay.batch.lockstep_events", core.lockstep_events * n_active)
+    if n_active:
+        obs.inc("replay.events", core.n_steps * n_active)
+        obs.inc("replay.messages", core.n_messages * n_active)
+        bus_waits = int(core.buses.n_waits[active].sum())
+        if bus_waits:
+            obs.inc("replay.bus_waits", bus_waits)
+
+    results: List[Optional[ReplayResult]] = [None] * n_configs
+    if n_active:
+        clock_m = np.stack([st.clock for st in core.states])
+        comp_m = np.stack([st.compute_ns for st in core.states])
+        p2p_m = np.stack([st.p2p_ns for st in core.states])
+        coll_m = np.stack([st.collective_ns for st in core.states])
+        total = clock_m.max(axis=0)
+        for c in np.flatnonzero(active):
+            results[c] = ReplayResult(
+                total_ns=float(total[c]),
+                compute_ns=comp_m[:, c].copy(),
+                p2p_ns=p2p_m[:, c].copy(),
+                collective_ns=coll_m[:, c].copy(),
+                n_messages=core.n_messages,
+                bytes_sent=core.bytes_sent,
+            )
+
+    peeled = np.flatnonzero(~active)
+    if peeled.size:
+        obs.inc("replay.batch.peeled_configs", int(peeled.size))
+        for c in peeled:
+            def column(rank: int, phase: ComputePhase, _c=int(c)) -> float:
+                return phase_duration(rank, phase)[_c]
+
+            results[c] = replay(trace, net, column, engine=scalar_engine)
+    return results  # type: ignore[return-value]

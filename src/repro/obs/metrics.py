@@ -185,7 +185,16 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       ``replay_bus_waits`` — event-driven MPI replay activity
       (``mode='replay'`` campaigns): trace events processed, blocked
       ranks re-examined after a dependency resolved, point-to-point
-      messages matched, and transfers delayed by the finite-bus pool.
+      messages matched, and transfers delayed by the finite-bus pool;
+    * ``replay_lockstep_events`` / ``replay_peeled_configs`` —
+      config-vectorized replay accounting: events priced while a
+      config column rode the shared lockstep pass, and columns whose
+      step order diverged and were peeled to the scalar engine;
+    * ``memo_evictions`` — entries dropped from ``Musa``'s bounded
+      per-process memo caches (burst/detail/trace/kernel-timing);
+    * ``timeout_unavailable`` — tasks that requested a ``timeout_s``
+      budget on a platform or thread without ``SIGALRM`` and ran
+      unbudgeted instead.
     """
     snap = snap if snap is not None else _GLOBAL.snapshot()
     c = snap.get("counters", {})
@@ -225,5 +234,9 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         "replay_wakeups": c.get("replay.wakeups", 0),
         "replay_messages": c.get("replay.messages", 0),
         "replay_bus_waits": c.get("replay.bus_waits", 0),
+        "replay_lockstep_events": c.get("replay.batch.lockstep_events", 0),
+        "replay_peeled_configs": c.get("replay.batch.peeled_configs", 0),
+        "memo_evictions": c.get("musa.memo.evictions", 0),
+        "timeout_unavailable": c.get("sweep.timeout_unavailable", 0),
     }
     return {"derived": derived, "counters": c, "timers": t}

@@ -187,6 +187,50 @@ class TestCommands:
         assert len(rep) == len(fast) == 8
         assert rep != fast
 
+    def test_sweep_replay_batched_matches_scalar(self, tmp_path, capsys):
+        """The config-vectorized replay engine (batched default) and the
+        per-config scalar path must write identical ResultSets."""
+        out_b = tmp_path / "batched.json"
+        out_s = tmp_path / "scalar.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--mode", "replay", "--ranks", "8",
+                   "--out", str(out_b), "--metrics-json", str(metrics)])
+        assert rc == 0
+        d = json.loads(metrics.read_text())["derived"]
+        assert d["replay_lockstep_events"] > 0
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--mode", "replay", "--ranks", "8", "--no-batch",
+                   "--out", str(out_s)])
+        assert rc == 0
+        assert out_b.read_bytes() == out_s.read_bytes()
+
+    def test_sweep_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "out.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--out", str(out_path), "--metrics-json", str(metrics),
+                   "--profile", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top 5 hotspots by cumulative time" in out
+        assert "cumtime" in out  # pstats table actually printed
+        prof = metrics.with_suffix(".prof")
+        assert prof.exists() and prof.stat().st_size > 0
+        assert ResultSet.load(out_path)  # results unaffected
+
+    def test_sweep_profile_defaults_next_to_out(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                   "--out", str(out_path), "--profile", "3"])
+        assert rc == 0
+        assert (tmp_path / "results.prof").exists()
+
+    def test_sweep_profile_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
+                  "--out", str(tmp_path / "o.json"), "--profile", "0"])
+
 
 class TestRecommendAndValidate:
     def test_recommend_from_results(self, plane_results, capsys):

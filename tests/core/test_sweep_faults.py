@@ -212,3 +212,72 @@ class TestAbortDrainsCompletedWork:
         # only redoes the victim.
         rs = load_checkpoint(journal)
         assert len(rs) == 3
+
+
+class TestTimeoutDegradation:
+    """A requested timeout that cannot be armed (no SIGALRM, or not on
+    the main thread) must degrade to an unbudgeted run — warn + count —
+    instead of raising."""
+
+    def test_deadline_on_worker_thread_degrades(self):
+        import threading
+
+        from repro.core.sweep import _deadline
+        from repro.obs import get_metrics
+
+        reg = get_metrics()
+        before = reg.counter("sweep.timeout_unavailable")
+        ran = []
+
+        def body():
+            with _deadline(0.5):
+                ran.append(True)
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert ran == [True]
+        assert reg.counter("sweep.timeout_unavailable") - before == 1
+
+    def test_deadline_without_sigalrm_degrades(self, monkeypatch):
+        import signal
+
+        from repro.core.sweep import _deadline
+        from repro.obs import get_metrics
+
+        monkeypatch.delattr(signal, "SIGALRM")
+        reg = get_metrics()
+        before = reg.counter("sweep.timeout_unavailable")
+        with _deadline(0.5):
+            pass
+        assert reg.counter("sweep.timeout_unavailable") - before == 1
+
+    def test_no_timeout_requested_is_silent(self):
+        from repro.core.sweep import _deadline
+        from repro.obs import get_metrics
+
+        reg = get_metrics()
+        before = reg.counter("sweep.timeout_unavailable")
+        with _deadline(None):
+            pass
+        assert reg.counter("sweep.timeout_unavailable") == before
+
+    def test_sweep_from_worker_thread_completes(self):
+        import threading
+
+        space = DesignSpace(core_labels=("medium",),
+                            cache_labels=("64M:512K",),
+                            memory_labels=("4chDDR4",), frequencies=(2.0,),
+                            vector_widths=(128,), core_counts=(64,))
+        reg = MetricsRegistry()
+        out = {}
+
+        def body():
+            out["rs"] = run_sweep(["spmz"], space, processes=1,
+                                  timeout_s=30.0, metrics=reg)
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert len(out["rs"].failures()) == 0
+        assert reg.counter("sweep.timeout_unavailable") >= 1
