@@ -41,6 +41,10 @@ def main() -> int:
     reference = json.dumps(list(cold), sort_keys=True)
     assert reg_b.counter("sweep.batch.configs") == len(APPS) * len(SPACE)
     assert reg_b.counter("sweep.batch.fallback") == 0
+    assert reg_b.counter("miss.batch.geometries") > 0, \
+        "batched sweep never used the vectorized miss model"
+    assert reg_b.counter("sched.batch.fast") > 0, \
+        "batched sweep never used the vectorized phase scheduler"
 
     reg_s = MetricsRegistry()
     scalar = run_sweep(APPS, SPACE, processes=1, batch=False,
@@ -115,8 +119,8 @@ def main() -> int:
         "replay mode produced fast-mode results"
     dr = summarize(reg_r.snapshot())["derived"]
     assert dr["replay_events"] > 0 and dr["replay_messages"] > 0
-    assert dr["replay_lockstep_events"] > 0, \
-        "batched replay sweep never took a lockstep step"
+    assert dr["replay_array_events"] > 0, \
+        "batched replay sweep never priced an event on the array tape"
     print(f"  replay mode OK: {len(replay_1)} records identical across "
           f"1 and 2 workers, {int(dr['replay_events'])} events, "
           f"{int(dr['replay_messages'])} messages")
@@ -127,12 +131,13 @@ def main() -> int:
     reg_rs = MetricsRegistry()
     replay_scalar = run_sweep(APPS, SPACE, n_ranks=16, processes=1,
                               mode="replay", batch=False, metrics=reg_rs)
-    assert summarize(reg_rs.snapshot())["derived"][
-        "replay_lockstep_events"] == 0
+    drs = summarize(reg_rs.snapshot())["derived"]
+    assert drs["replay_lockstep_events"] == 0
+    assert drs["replay_array_events"] == 0
     assert json.dumps(list(replay_scalar), sort_keys=True) == replay_ref, \
         "config-vectorized replay differs from per-config replay"
     print(f"  replay batching OK: batched == per-config byte-for-byte, "
-          f"{int(dr['replay_lockstep_events'])} lockstep events, "
+          f"{int(dr['replay_array_events'])} array events, "
           f"{int(dr['replay_peeled_configs'])} peeled")
     print("smoke sweep passed")
     return 0

@@ -65,7 +65,16 @@ def format_metrics_summary(summary: Dict) -> str:
             ["replay messages", d.get("replay_messages", 0)],
             ["replay bus waits", d.get("replay_bus_waits", 0)],
             ["replay lockstep events", d.get("replay_lockstep_events", 0)],
+            ["replay array events", d.get("replay_array_events", 0)],
             ["replay peeled configs", d.get("replay_peeled_configs", 0)],
+        ]
+    if d.get("miss_batch_geometries", 0):
+        rows.append(["miss-model geometries evaluated",
+                     d.get("miss_batch_geometries", 0)])
+    if d.get("sched_batch_fast", 0) or d.get("sched_batch_fallbacks", 0):
+        rows += [
+            ["scheduler columns vectorized", d.get("sched_batch_fast", 0)],
+            ["scheduler columns fallback", d.get("sched_batch_fallbacks", 0)],
         ]
     if d.get("memo_evictions", 0):
         rows.append(["memo evictions", d.get("memo_evictions", 0)])

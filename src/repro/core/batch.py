@@ -5,10 +5,13 @@ evaluates one app against a whole *batch* of node configurations at
 once.  Trace-derived quantities (imbalance factors, per-task work,
 kernel membership) are invariant across configurations and precomputed
 once per app; the per-kernel hot path then runs column-wise over the
-configuration axis (:mod:`repro.uarch.batch`), the MPI trace replay of
-``mode='replay'`` runs column-wise too
-(:mod:`repro.network.replay_batch`), and only the discrete-event
-schedule replay remains per-config Python.
+configuration axis (:mod:`repro.uarch.batch`) on the batched cache-miss
+model, the phase schedule replay runs column-wise through
+:func:`~repro.runtime.scheduler.simulate_phase_batch` (falling back to
+per-config scalar scheduling only for general DAGs or unequal
+overhead/duration scales), and the MPI trace replay of ``mode='replay'``
+runs column-wise too (:mod:`repro.network.replay_batch`), with the
+order-free path executed level-batched on a structural tape.
 
 **Exactness contract**: for every configuration the batched evaluator
 produces a :class:`~repro.core.musa.RunResult` bitwise-identical to
@@ -35,7 +38,7 @@ from ..config.node import NodeConfig
 from ..network.replay import replay
 from ..network.replay_batch import replay_batch
 from ..obs import get_metrics
-from ..runtime.scheduler import PhaseResult, simulate_phase
+from ..runtime.scheduler import PhaseResult, simulate_phase_batch
 from ..trace.events import ComputePhase
 from ..uarch.batch import NodeBatch, resolve_contention_batch, time_kernel_batch
 from .musa import Musa, RunResult
@@ -205,8 +208,7 @@ class BatchEvaluator:
 
         if inv.n_tasks == 0:
             out = []
-            for node in nb.nodes:
-                sched = simulate_phase(phase, node.n_cores)
+            for sched in simulate_phase_batch(phase, nb.n_cores):
                 out.append(PhaseDetail(
                     makespan_ns=sched.makespan_ns,
                     busy_core_ns=float(sched.busy_ns.sum()),
@@ -261,18 +263,25 @@ class BatchEvaluator:
             dur_cols = np.stack(
                 [timing_cols[k].duration_ns for k in kernel_names])
             conv = np.zeros(n_configs, dtype=bool)
-            for i in np.flatnonzero(active):
-                durations = (dur_cols[:, i][kidx] * inv.work_arr) * imb
-                sched = simulate_phase(phase, int(nb.n_cores[i]),
-                                       task_durations_ns=durations.tolist())
-                scheds[i] = sched
-                exec_ns = max(sched.makespan_ns - sched.serial_ns, 1e-9)
-                n_busy_new = min(
-                    float(n_cores_f[i]),
-                    max(1.0, float(sched.busy_ns.sum()) / exec_ns),
-                )
-                conv[i] = abs(n_busy_new - n_busy[i]) < 0.5
-                n_busy[i] = n_busy_new
+            act = np.flatnonzero(active)
+            if len(act):
+                # Per-task durations for every active column at once:
+                # the same (gather * work) * imb float64 sequence the
+                # scalar path runs per config, elementwise over columns.
+                durations = ((dur_cols[kidx][:, act]
+                              * inv.work_arr[:, None]) * imb[:, None])
+                batch = simulate_phase_batch(
+                    phase, nb.n_cores[act], task_durations_ns=durations)
+                for j, i in enumerate(act):
+                    sched = batch[j]
+                    scheds[i] = sched
+                    exec_ns = max(sched.makespan_ns - sched.serial_ns, 1e-9)
+                    n_busy_new = min(
+                        float(n_cores_f[i]),
+                        max(1.0, float(sched.busy_ns.sum()) / exec_ns),
+                    )
+                    conv[i] = abs(n_busy_new - n_busy[i]) < 0.5
+                    n_busy[i] = n_busy_new
             active = active & ~conv
             if not active.any():
                 break

@@ -19,7 +19,6 @@ sweep re-simulates only what changes.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -35,39 +34,25 @@ from ..power.mcpat import McPatModel
 from ..runtime.scheduler import PhaseResult, simulate_phase
 from ..trace.burst import BurstTrace
 from ..trace.events import ComputePhase
+from ..util import LruDict
 from .phase_sim import PhaseDetail, simulate_phase_detailed
 
 __all__ = ["Musa", "RunResult"]
 
 
-class _LruDict(OrderedDict):
-    """A memo dict bounded to ``maxsize`` entries.
+class _LruDict(LruDict):
+    """:class:`repro.util.LruDict` counting under ``musa.memo.evictions``.
 
-    Reads refresh recency; an insert past the cap evicts the
-    least-recently-used entry and counts it under the obs counter
-    ``musa.memo.evictions``.  Quacks like the plain dicts it replaces
-    (``in`` / ``[]`` / ``[]=`` / ``clear``), so callers — including
+    The shared implementation lives in :mod:`repro.util`; this alias
+    pins Musa's historical eviction counter name (read by
+    :func:`repro.obs.summarize`) and keeps the import path stable for
+    callers — including
     :func:`~repro.core.phase_sim.simulate_phase_detailed`, which takes
-    the timing cache as an argument — need no changes.
+    the timing cache as an argument.
     """
 
     def __init__(self, maxsize: int) -> None:
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        super().__init__()
-        self.maxsize = maxsize
-
-    def __getitem__(self, key):
-        value = super().__getitem__(key)
-        self.move_to_end(key)
-        return value
-
-    def __setitem__(self, key, value) -> None:
-        super().__setitem__(key, value)
-        self.move_to_end(key)
-        while len(self) > self.maxsize:
-            self.popitem(last=False)
-            get_metrics().inc("musa.memo.evictions")
+        super().__init__(maxsize, eviction_counter="musa.memo.evictions")
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,22 @@ This module exploits that: a :class:`_LockstepCore` carries a NumPy
 ``link_free`` times, bus-pool free slots, buffered eager arrivals,
 rendezvous release slots, request completion times, collective entry
 times — and steps the whole batch in lockstep, one trace event at a
-time.  Two drivers share that columnar core:
+time.  Three drivers share that columnar core:
+
+**Array driver** (:func:`_run_array`).  On the order-free path (see
+below) the event order is not just irrelevant — the whole matching is
+*structural*, so :func:`_build_tape` resolves it once in pure Python
+(no floats), levels the resulting value DAG by dependency depth, and
+:func:`_run_array` executes it level by level with one NumPy pass per
+(level, kind) group: all of a level's eager sends price in one
+vectorized expression over (events-in-level x configs), and likewise
+for receives, rendezvous handshakes, waits and collectives.  The ~one
+Python ``step()`` call per trace event that the worklist driver costs
+collapses into a few hundred array passes, while every float64
+operation along a column stays the identical scalar operation — see
+the tape section below for why dropped clamps are exact no-ops.  Any
+structural snag (would-deadlock, unknown wait request, ragged
+collective) falls back to the shared-order driver.
 
 **Shared-order driver** (:func:`_run_shared`).  The scalar replay is
 *confluent* whenever no shared resource couples ranks: every message
@@ -62,10 +77,11 @@ membership — which is identical across columns that share a step
 history; only the *selection* of which rank steps next reads the
 clocks, and only when a shared resource makes that order observable.
 
-Counters: ``replay.batch.lockstep_events`` (config-events served by
-lockstep steps), ``replay.batch.peeled_configs`` (columns finished on
-the scalar engine), plus the scalar-equivalent ``replay.events`` /
-``replay.messages`` / ``replay.bus_waits`` totals.
+Counters: ``replay.batch.array_events`` (config-events priced by the
+array driver), ``replay.batch.lockstep_events`` (config-events served
+by event-at-a-time batched steps), ``replay.batch.peeled_configs``
+(columns finished on the scalar engine), plus the scalar-equivalent
+``replay.events`` / ``replay.messages`` / ``replay.bus_waits`` totals.
 """
 
 from __future__ import annotations
@@ -78,6 +94,7 @@ import numpy as np
 from ..obs import get_metrics
 from ..trace.burst import BurstTrace
 from ..trace.events import ComputePhase, MpiCall
+from ..util import LruDict
 from .collectives import collective_cost_ns
 from .model import NetworkConfig
 from .replay import ReplayResult, replay
@@ -218,6 +235,7 @@ class _LockstepCore:
         self.bytes_sent = 0
         self.n_unfinished = self.n
         self.lockstep_events = 0
+        self.array_events = 0
 
         #: set by the driver; receives ranks whose dependency resolved
         self.on_wake: Callable[[int], None] = lambda rank: None
@@ -443,6 +461,474 @@ def _order_free(trace: BurstTrace, net: NetworkConfig) -> bool:
     return True
 
 
+# --------------------------------------------------------------------- tape
+#
+# On the order-free path the entire replay is *structural*: with an
+# unlimited bus pool and protocol-pure keys, which send matches which
+# receive (k-th send of a (src, dst, tag) key pairs with its k-th
+# receive — one rank produces each side, in program order), which events
+# a collective joins (all ranks, by per-rank (kind, seq)), and which
+# request a wait consumes are all fixed by the trace alone.  The float
+# values then form a DAG: each event's output depends on the same rank's
+# previous event plus at most one cross-rank value (a message arrival, a
+# receive-post clock, or a collective's entry set).  _build_tape walks
+# the trace once (pure Python, no floats), resolves the matching, and
+# levels the DAG by depth; _run_array then executes it level by level
+# with one NumPy pass per (level, kind) group — the same float64 ops the
+# scalar ``step`` performs, (events-in-level x configs) at a time —
+# instead of ~one Python ``step()`` call per event.  Because an event's
+# depth strictly exceeds its same-rank predecessor's, each rank appears
+# at most once per level, so the fancy-index scatters never collide.
+# Any structural snag (unmatched receive, rendezvous deadlock cycle,
+# unknown wait request, ragged collective, non-uniform collective
+# payload) falls back to the worklist driver, which reproduces the
+# scalar diagnostics.
+
+(_K_COMPUTE, _K_EAGER_SEND, _K_RECV_EAGER, _K_IRECV_POST, _K_RDV_SEND,
+ _K_RDV_POST, _K_RDV_COMPLETE, _K_WAIT_ARR, _K_WAIT_EAGER,
+ _K_COLL) = range(10)
+
+
+class _Tape:
+    __slots__ = ("groups", "n_msgs", "n_events", "n_messages", "bytes_sent")
+
+    def __init__(self, groups, n_msgs, n_events, n_messages, bytes_sent):
+        self.groups = groups
+        self.n_msgs = n_msgs
+        self.n_events = n_events
+        self.n_messages = n_messages
+        self.bytes_sent = bytes_sent
+
+
+def _build_tape(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
+    """Structural pre-pass: match, level, and group the whole replay.
+
+    Returns ``None`` when the trace cannot be fully resolved
+    structurally (it would deadlock, wait on an unknown request, or
+    price a collective whose per-rank payloads disagree) — the caller
+    then falls back to the worklist driver / scalar engine, which owns
+    those diagnostics.
+    """
+    n = trace.n_ranks
+    events = [trace.ranks[r].events for r in range(n)]
+    n_events = sum(len(e) for e in events)
+
+    # Pass 1: per-key protocol (guaranteed pure by _order_free).
+    key_eager: Dict[Tuple[int, int, int], bool] = {}
+    for r in range(n):
+        for ev in events[r]:
+            if isinstance(ev, MpiCall) and ev.kind in ("send", "isend"):
+                key = (r, ev.peer, ev.tag)
+                key_eager[key] = (ev.kind == "isend"
+                                  or net.is_eager(ev.size_bytes))
+
+    # Message registry: FIFO slot i of a key pairs send i with recv i.
+    msg_transfer: List[Optional[float]] = []
+    msg_arrival: List[Optional[int]] = []   # producer node (send)
+    msg_post: List[Optional[int]] = []      # receive-post node
+    key_slots: Dict[Tuple[int, int, int], List[int]] = defaultdict(list)
+
+    def msg_slot(key, i: int) -> int:
+        slots = key_slots[key]
+        while len(slots) <= i:
+            slots.append(len(msg_transfer))
+            msg_transfer.append(None)
+            msg_arrival.append(None)
+            msg_post.append(None)
+        return slots[i]
+
+    # Nodes as parallel lists; dependencies as one flat edge list.  The
+    # walk below runs once per trace event — the structural hot loop —
+    # hence the inlined node construction via bound ``append``s.
+    kinds: List[int] = []
+    ranks: List[int] = []
+    nmsg: List[int] = []
+    payloads: List[object] = []
+    e_src: List[int] = []
+    e_dst: List[int] = []
+    k_ap, r_ap, m_ap, p_ap = (kinds.append, ranks.append, nmsg.append,
+                              payloads.append)
+    es_ap, ed_ap = e_src.append, e_dst.append
+
+    send_i: Dict[Tuple, int] = defaultdict(int)
+    recv_i: Dict[Tuple, int] = defaultdict(int)
+    colls: Dict[Tuple[str, int], int] = {}
+    coll_members: Dict[int, int] = {}
+    n_messages = 0
+    bytes_sent = 0
+
+    for r in range(n):
+        coll_seq: Dict[str, int] = defaultdict(int)
+        requests: Dict[int, Tuple[str, int]] = {}
+        prev = -1
+        for ev in events[r]:
+            if isinstance(ev, ComputePhase):
+                nid = len(kinds)
+                k_ap(_K_COMPUTE), r_ap(r), m_ap(-1), p_ap(ev)
+                if prev >= 0:
+                    es_ap(prev), ed_ap(nid)
+                prev = nid
+                continue
+            call: MpiCall = ev
+            if call.is_collective:
+                ckey = (call.kind, coll_seq[call.kind])
+                coll_seq[call.kind] += 1
+                nid = colls.get(ckey, -1)
+                if nid < 0:
+                    nid = len(kinds)
+                    k_ap(_K_COLL), r_ap(-1), m_ap(-1)
+                    p_ap((call.kind, call.size_bytes))
+                    colls[ckey] = nid
+                    coll_members[nid] = 0
+                elif payloads[nid] != (call.kind, call.size_bytes):
+                    return None  # ragged payload: completion order decides
+                coll_members[nid] += 1
+                if prev >= 0:
+                    es_ap(prev), ed_ap(nid)
+                prev = nid
+            elif call.kind in ("send", "isend"):
+                key = (r, call.peer, call.tag)
+                mid = msg_slot(key, send_i[key])
+                send_i[key] += 1
+                msg_transfer[mid] = net.transfer_ns(call.size_bytes)
+                eager = call.kind == "isend" or net.is_eager(call.size_bytes)
+                nid = len(kinds)
+                k_ap(_K_EAGER_SEND if eager else _K_RDV_SEND)
+                r_ap(r), m_ap(mid), p_ap(None)
+                if prev >= 0:
+                    es_ap(prev), ed_ap(nid)
+                prev = nid
+                msg_arrival[mid] = nid
+                if call.kind == "isend":
+                    requests[call.request] = ("s", mid)
+                n_messages += 1
+                bytes_sent += call.size_bytes
+            elif call.kind == "recv":
+                key = (call.peer, r, call.tag)
+                mid = msg_slot(key, recv_i[key])
+                recv_i[key] += 1
+                eager = key_eager.get(key)
+                if eager is None:
+                    return None  # no sender ever: structural deadlock
+                nid = len(kinds)
+                if eager:
+                    k_ap(_K_RECV_EAGER), r_ap(r), m_ap(mid), p_ap(None)
+                    if prev >= 0:
+                        es_ap(prev), ed_ap(nid)
+                    prev = nid
+                else:
+                    k_ap(_K_RDV_POST), r_ap(r), m_ap(mid), p_ap(None)
+                    if prev >= 0:
+                        es_ap(prev), ed_ap(nid)
+                    msg_post[mid] = nid
+                    k_ap(_K_RDV_COMPLETE), r_ap(r), m_ap(mid), p_ap(None)
+                    es_ap(nid), ed_ap(nid + 1)
+                    prev = nid + 1
+            elif call.kind == "irecv":
+                key = (call.peer, r, call.tag)
+                mid = msg_slot(key, recv_i[key])
+                recv_i[key] += 1
+                eager = key_eager.get(key)
+                nid = len(kinds)
+                k_ap(_K_IRECV_POST), r_ap(r), m_ap(mid), p_ap(None)
+                if prev >= 0:
+                    es_ap(prev), ed_ap(nid)
+                prev = nid
+                msg_post[mid] = nid
+                requests[call.request] = (
+                    "x" if eager is None else ("e" if eager else "r"), mid)
+            elif call.kind == "wait":
+                entry = requests.pop(call.request, None)
+                if entry is None or entry[0] == "x":
+                    return None  # unknown request / unmatched irecv
+                tag, mid = entry
+                nid = len(kinds)
+                k_ap(_K_WAIT_EAGER if tag == "e" else _K_WAIT_ARR)
+                r_ap(r), m_ap(mid), p_ap(None)
+                if prev >= 0:
+                    es_ap(prev), ed_ap(nid)
+                prev = nid
+            else:
+                return None  # unhandled kind: scalar engine raises
+
+    for nid, count in coll_members.items():
+        if count != n:
+            return None  # some rank never joins: structural deadlock
+
+    # Cross-rank value edges, resolved now that every producer exists.
+    for nid, kind in enumerate(kinds):
+        if kind in (_K_RECV_EAGER, _K_RDV_COMPLETE, _K_WAIT_ARR,
+                    _K_WAIT_EAGER):
+            mid = nmsg[nid]
+            arr = msg_arrival[mid]
+            if arr is None:
+                return None  # consumes a message nobody sends
+            es_ap(arr), ed_ap(nid)
+            if kind == _K_WAIT_EAGER:
+                es_ap(msg_post[mid]), ed_ap(nid)
+        elif kind == _K_RDV_SEND:
+            post = msg_post[nmsg[nid]]
+            if post is None:
+                return None  # rendezvous sender blocks forever
+            es_ap(post), ed_ap(nid)
+
+    # Level the DAG (depth = 1 + max over predecessors) with Kahn waves
+    # vectorized over the flat edge list: each wave expands the whole
+    # zero-indegree frontier at once.  Total work is O(edges) spread
+    # over ~levels vector calls instead of O(edges) dict/list hops.
+    n_nodes = len(kinds)
+    depth = np.zeros(n_nodes, dtype=np.int64)
+    if e_src:
+        src = np.asarray(e_src, dtype=np.int64)
+        dst = np.asarray(e_dst, dtype=np.int64)
+        e_order = np.argsort(src, kind="stable")
+        dst_s = dst[e_order]
+        starts = np.searchsorted(src, np.arange(n_nodes + 1),
+                                 sorter=e_order)
+        indeg = np.bincount(dst, minlength=n_nodes)
+        frontier = np.flatnonzero(indeg == 0)
+        processed = 0
+        while frontier.size:
+            processed += int(frontier.size)
+            counts = starts[frontier + 1] - starts[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            offset = np.arange(total, dtype=np.int64) - np.repeat(
+                cum - counts, counts)
+            e_idx = np.repeat(starts[frontier], counts) + offset
+            ds = dst_s[e_idx]
+            np.maximum.at(depth, ds, np.repeat(depth[frontier] + 1, counts))
+            np.subtract.at(indeg, ds, 1)
+            cand = np.unique(ds)
+            frontier = cand[indeg[cand] == 0]
+        if processed != n_nodes:
+            return None  # dependency cycle: a genuine deadlock
+
+    # Group by (depth, kind); groups are rank-disjoint within a level.
+    # Node ids are assigned rank-major and the sort is stable, so
+    # members sort by rank within a group; when a group covers every
+    # rank, the index array is the identity permutation and a full
+    # slice serves instead — the driver then reads/writes state views
+    # in place, skipping the gather and scatter copies (the common
+    # case: bulk-synchronous apps keep all ranks at the same depth).
+    kind_arr = np.asarray(kinds, dtype=np.int64)
+    rank_arr = np.asarray(ranks, dtype=np.int64)
+    nmsg_arr = np.asarray(nmsg, dtype=np.int64)
+    tr_arr = np.asarray([np.nan if t is None else t for t in msg_transfer],
+                        dtype=np.float64)
+    order = np.lexsort((kind_arr, depth))
+    d_s = depth[order]
+    k_s = kind_arr[order]
+    if n_nodes:
+        brk = np.flatnonzero((np.diff(d_s) != 0) | (np.diff(k_s) != 0))
+        bounds = np.concatenate(([0], brk + 1, [n_nodes]))
+    else:
+        bounds = np.zeros(1, dtype=np.int64)
+    identity = np.arange(n, dtype=np.int64)
+    groups = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        members = order[a:b]
+        k = int(k_s[a])
+        if k == _K_COLL:
+            for nid in members:
+                groups.append((k, None, None, None, payloads[nid]))
+            continue
+        rr = rank_arr[members]
+        mm = nmsg_arr[members]
+        tt = (tr_arr[mm] if k in (_K_EAGER_SEND, _K_RECV_EAGER,
+                                  _K_RDV_SEND, _K_WAIT_EAGER) else None)
+        pl = ([(int(rank_arr[e]), payloads[e]) for e in members]
+              if k == _K_COMPUTE else None)
+        if np.array_equal(rr, identity):
+            rr = slice(None)
+        groups.append((k, rr, mm, tt, pl))
+
+    return _Tape(groups, len(msg_transfer), n_events, n_messages, bytes_sent)
+
+
+#: Tapes are structural — they depend only on ``(trace, net)``, never
+#: on configurations — so they are shared across batches.  The key pins
+#: the trace object itself (keeping its ``id`` valid for the entry's
+#: lifetime); a ``None`` tape records that the trace needs the
+#: worklist-driver fallback, so the failed build isn't repeated either.
+#: The :func:`_order_free` scan is cached the same way.
+_TAPE_CACHE: LruDict = LruDict(8, eviction_counter="replay.tape.evictions")
+_ORDER_FREE_CACHE: LruDict = LruDict(
+    64, eviction_counter="replay.tape.evictions")
+
+
+def _order_free_cached(trace: BurstTrace, net: NetworkConfig) -> bool:
+    key = (id(trace), net)
+    entry = _ORDER_FREE_CACHE.get(key)
+    if entry is not None and entry[0] is trace:
+        return entry[1]
+    free = _order_free(trace, net)
+    _ORDER_FREE_CACHE[key] = (trace, free)
+    return free
+
+
+def _tape_for(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
+    key = (id(trace), net)
+    entry = _TAPE_CACHE.get(key)
+    if entry is not None and entry[0] is trace:
+        return entry[1]
+    tape = _build_tape(trace, net)
+    _TAPE_CACHE[key] = (trace, tape)
+    get_metrics().inc("replay.tape.builds")
+    return tape
+
+
+def _run_array(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
+    """Order-free driver: level-batched NumPy execution of the tape.
+
+    Valid only under :func:`_order_free`.  Runs the identical float64
+    operation sequence the scalar core performs per event — the
+    redundant ``max(x, clock)`` clamps the scalar blocked/resumed paths
+    apply are exact no-ops there (``x >= clock`` always holds at those
+    points), so dropping them changes no bits.  Falls back to
+    :func:`_run_shared` whenever the tape cannot be built.
+    """
+    tape = _tape_for(core.trace, core.net)
+    if tape is None:
+        return _run_shared(core, active)
+
+    n, k_cols = core.n, core.n_cols
+    net = core.net
+    ov = net.overhead_ns
+    clock = np.zeros((n, k_cols))
+    link_free = np.zeros((n, k_cols))
+    p2p = np.zeros((n, k_cols))
+    comp = np.zeros((n, k_cols))
+    coll = np.zeros((n, k_cols))
+    arr_buf = np.zeros((tape.n_msgs, k_cols))
+    post_buf = np.zeros((tape.n_msgs, k_cols))
+
+    # Full groups (``rr`` is a whole-axis slice — the common case for
+    # bulk-synchronous traces) *rebind* the state matrices to the fresh
+    # result arrays instead of copying back through ``x[rr] = ...``; an
+    # in-place update would stream every matrix twice (temporary +
+    # write-back).  Rebinding is only valid when the group recomputes
+    # every row, which is exactly what the slice marks.  Partial groups
+    # keep the gather/scatter path; all rebound arrays are freshly
+    # allocated and unshared, so their in-place row writes never alias.
+    for kind, rr, mm, tt, pl in tape.groups:
+        full = type(rr) is slice
+        if kind == _K_COMPUTE:
+            dur = np.empty((len(pl), k_cols))
+            for j, (rank, ph) in enumerate(pl):
+                d = np.asarray(core.phase_duration(rank, ph),
+                               dtype=np.float64)
+                if (d < 0).any():
+                    raise ValueError("phase duration must be non-negative")
+                dur[j] = d
+            if full:
+                clock = clock + dur
+                comp = comp + dur
+            else:
+                clock[rr] = clock[rr] + dur
+                comp[rr] = comp[rr] + dur
+        elif kind == _K_EAGER_SEND:
+            pre = clock[rr]
+            ready = pre + ov
+            start = np.maximum(ready, link_free[rr])
+            arrival = start + tt[:, None]
+            arr_buf[mm] = arrival
+            if full:
+                link_free = arrival
+                clock = ready
+                p2p = p2p + ov
+            else:
+                link_free[rr] = arrival
+                clock[rr] = ready
+                p2p[rr] = p2p[rr] + ov
+        elif kind == _K_RECV_EAGER:
+            pre = clock[rr]
+            done = np.maximum(arr_buf[mm], pre + tt[:, None])
+            if full:
+                p2p = p2p + (done - pre)
+                clock = done
+            else:
+                p2p[rr] = p2p[rr] + (done - pre)
+                clock[rr] = done
+        elif kind == _K_IRECV_POST:
+            pre = clock[rr]
+            post_buf[mm] = pre
+            if full:
+                clock = pre + ov
+                p2p = p2p + ov
+            else:
+                clock[rr] = pre + ov
+                p2p[rr] = p2p[rr] + ov
+        elif kind == _K_RDV_POST:
+            post_buf[mm] = clock[rr]
+        elif kind == _K_RDV_SEND:
+            pre = clock[rr]
+            ready = pre + ov
+            start = np.maximum(np.maximum(ready, post_buf[mm]),
+                               link_free[rr])
+            arrival = start + tt[:, None]
+            arr_buf[mm] = arrival
+            if full:
+                link_free = arrival
+                p2p = p2p + (start - pre)
+                clock = start
+            else:
+                link_free[rr] = arrival
+                p2p[rr] = p2p[rr] + (start - pre)
+                clock[rr] = start
+        elif kind == _K_RDV_COMPLETE:
+            pre = clock[rr]
+            arrival = arr_buf[mm]
+            if full:
+                p2p = p2p + (arrival - pre)
+                clock = arrival
+            else:
+                p2p[rr] = p2p[rr] + (arrival - pre)
+                clock[rr] = arrival
+        elif kind == _K_WAIT_ARR:
+            pre = clock[rr]
+            done = np.maximum(arr_buf[mm], pre)
+            if full:
+                p2p = p2p + (done - pre)
+                clock = done
+            else:
+                p2p[rr] = p2p[rr] + (done - pre)
+                clock[rr] = done
+        elif kind == _K_WAIT_EAGER:
+            pre = clock[rr]
+            value = np.maximum(arr_buf[mm], post_buf[mm] + tt[:, None])
+            done = np.maximum(value, pre)
+            if full:
+                p2p = p2p + (done - pre)
+                clock = done
+            else:
+                p2p[rr] = p2p[rr] + (done - pre)
+                clock[rr] = done
+        else:  # _K_COLL: enter clocks are frozen — every rank is parked
+            ckind, size = pl
+            cost = collective_cost_ns(ckind, n, size, net)
+            done = clock.max(axis=0) + cost
+            coll = coll + (done[None, :] - clock)
+            clock = np.empty_like(clock)
+            clock[:] = done
+
+    for r in range(n):
+        st = core.states[r]
+        st.clock = clock[r]
+        st.compute_ns = comp[r]
+        st.p2p_ns = p2p[r]
+        st.collective_ns = coll[r]
+        st.done = True
+    core.n_unfinished = 0
+    core.n_steps = tape.n_events
+    core.n_messages = tape.n_messages
+    core.bytes_sent = tape.bytes_sent
+    core.array_events = tape.n_events
+    return active
+
+
 def _run_shared(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
     """Order-free driver: one shared run-until-blocked worklist pass.
 
@@ -550,6 +1036,7 @@ def replay_batch(
     phase_duration: BatchPhaseDurationFn,
     n_configs: int,
     scalar_engine: str = "event",
+    array_driver: bool = True,
 ) -> List[ReplayResult]:
     """Replay ``trace`` for ``n_configs`` configurations in one pass.
 
@@ -558,25 +1045,33 @@ def replay_batch(
     one :class:`~repro.network.replay.ReplayResult` per configuration,
     bit-identical to ``replay(trace, net, scalar_fn_i, ...)`` with
     ``scalar_fn_i`` reading column ``i`` — for every configuration,
-    whether it stayed in lockstep or was peeled to the scalar engine
-    (``scalar_engine`` picks which one finishes peeled columns).
+    whether it ran on the array tape, stayed in lockstep, or was peeled
+    to the scalar engine (``scalar_engine`` picks which one finishes
+    peeled columns).  ``array_driver=False`` keeps the order-free path
+    on the event-at-a-time worklist driver — the PR4-era behaviour,
+    retained for benchmarking and cross-checking.
 
-    Counters: ``replay.batch.lockstep_events``,
+    Counters: ``replay.batch.array_events`` (config-events priced by
+    the level-batched array driver), ``replay.batch.lockstep_events``,
     ``replay.batch.peeled_configs``, and scalar-equivalent
     ``replay.events`` / ``replay.messages`` / ``replay.bus_waits``
-    totals for the lockstep columns (peeled columns report through
+    totals for the batched columns (peeled columns report through
     their scalar runs).
     """
     if n_configs <= 0:
         raise ValueError("n_configs must be positive")
     obs = get_metrics()
     core = _LockstepCore(trace, net, phase_duration, n_configs)
-    driver = _run_shared if _order_free(trace, net) else _run_lockstep
+    if _order_free_cached(trace, net):
+        driver = _run_array if array_driver else _run_shared
+    else:
+        driver = _run_lockstep
     with obs.span("replay.batch.run"):
         active = driver(core, np.ones(n_configs, dtype=bool))
 
     n_active = int(active.sum())
     obs.inc("replay.batch.lockstep_events", core.lockstep_events * n_active)
+    obs.inc("replay.batch.array_events", core.array_events * n_active)
     if n_active:
         obs.inc("replay.events", core.n_steps * n_active)
         obs.inc("replay.messages", core.n_messages * n_active)

@@ -190,6 +190,16 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       config-vectorized replay accounting: events priced while a
       config column rode the shared lockstep pass, and columns whose
       step order diverged and were peeled to the scalar engine;
+    * ``replay_array_events`` — config-events priced by the
+      level-batched array replay driver (structural tape, one NumPy
+      pass per level group instead of one Python step per event);
+    * ``miss_batch_geometries`` — distinct cache geometries evaluated
+      by the batched set-associative miss model (one 2-D pass per
+      kernel instead of one scalar call per level per config);
+    * ``sched_batch_fast`` / ``sched_batch_fallbacks`` — config
+      columns served by the vectorized phase scheduler versus columns
+      that fell back to the per-config scalar simulation (e.g.
+      ``overhead_scale != duration_scale``);
     * ``memo_evictions`` — entries dropped from ``Musa``'s bounded
       per-process memo caches (burst/detail/trace/kernel-timing);
     * ``timeout_unavailable`` — tasks that requested a ``timeout_s``
@@ -235,7 +245,11 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         "replay_messages": c.get("replay.messages", 0),
         "replay_bus_waits": c.get("replay.bus_waits", 0),
         "replay_lockstep_events": c.get("replay.batch.lockstep_events", 0),
+        "replay_array_events": c.get("replay.batch.array_events", 0),
         "replay_peeled_configs": c.get("replay.batch.peeled_configs", 0),
+        "miss_batch_geometries": c.get("miss.batch.geometries", 0),
+        "sched_batch_fast": c.get("sched.batch.fast", 0),
+        "sched_batch_fallbacks": c.get("sched.batch.fallbacks", 0),
         "memo_evictions": c.get("musa.memo.evictions", 0),
         "timeout_unavailable": c.get("sweep.timeout_unavailable", 0),
     }

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import get_metrics
 from ..trace.events import ComputePhase
+from ..util import LruDict
 
-__all__ = ["PhaseResult", "simulate_phase"]
+__all__ = ["PhaseResult", "simulate_phase", "simulate_phase_batch"]
 
 
 @dataclass(frozen=True)
@@ -77,12 +79,13 @@ class PhaseResult:
 
 #: id(phase) -> (structure tag or None, phase) — the phase reference is
 #: kept so a garbage-collected phase cannot alias a recycled id().
-_STRUCTURE_CACHE: dict = {}
-
-#: Bound on the structure cache: one entry per distinct phase object;
-#: applications hold a few dozen phases, so this never grows in practice,
-#: but synthetic tests churning phases should not leak.
-_STRUCTURE_CACHE_MAX = 4096
+#: LRU-bounded (one entry per distinct phase object; applications hold a
+#: few dozen phases) so synthetic tests churning phases neither leak nor
+#: — as the old wipe-at-capacity dict did — drop the hot working set and
+#: pin 4096 stale phases alive until the next wipe.  Evictions are
+#: counted under ``sched.structure.evictions``.
+_STRUCTURE_CACHE: LruDict = LruDict(
+    1024, eviction_counter="sched.structure.evictions")
 
 
 def _structure_of(phase: ComputePhase) -> Optional[str]:
@@ -109,8 +112,6 @@ def _structure_of(phase: ComputePhase) -> Optional[str]:
     elif tasks and not tasks[0].deps and all(
             t.deps == (0,) for t in tasks[1:]):
         structure = "fanout0"
-    if len(_STRUCTURE_CACHE) >= _STRUCTURE_CACHE_MAX:
-        _STRUCTURE_CACHE.clear()
     _STRUCTURE_CACHE[key] = (structure, phase)
     return structure
 
@@ -301,3 +302,179 @@ def simulate_phase(
         creation_ns_total=n * creation,
         spans=tuple(spans) if collect_spans else None,
     )
+
+
+def simulate_phase_batch(
+    phase: ComputePhase,
+    n_cores: Sequence[int],
+    duration_scale: Union[float, Sequence[float]] = 1.0,
+    overhead_scale: Union[float, Sequence[float]] = 1.0,
+    task_durations_ns: Optional[np.ndarray] = None,
+) -> List[PhaseResult]:
+    """:func:`simulate_phase` over a configuration axis, vectorized.
+
+    ``n_cores`` / ``duration_scale`` / ``overhead_scale`` give one value
+    (or a broadcastable scalar) per config column; ``task_durations_ns``
+    is an optional ``(n_tasks, n_configs)`` matrix of explicit per-task,
+    per-config durations (or a 1-D shared base, like the scalar call).
+
+    Bitwise-identity argument.  A per-config *result broadcast* — run
+    the schedule once on base durations and multiply the output times by
+    each config's scale — can never be bitwise: float multiplication
+    does not distribute over addition, so ``fl(s*a) + fl(s*b)`` differs
+    from ``s*(a+b)`` in the last ulp for general ``s``.  What *is*
+    exactly config-invariant for the ``nodeps``/``fanout0`` structures
+    is the scheduler's **task visit order**: ready times are
+    nondecreasing in the task index for any non-negative durations and
+    overheads (``nodeps``: ready = creation times, an increasing
+    sequence; ``fanout0``: task 0 first, then
+    ``max(create_time[i], end0)``, nondecreasing in ``i``), and ties
+    break on the index — so every config visits tasks 0..n-1 in index
+    order, exactly as :func:`_simulate_fast` does.  That lets all
+    configs advance through one synchronized per-task loop in which the
+    per-config core state is exact, not broadcast:
+
+    * the core heap's pop (min ``(free_time, core)``, ties to the lowest
+      core index) is an ``argmin`` over a per-config row of core free
+      times (NumPy ``argmin`` returns the first occurrence — the same
+      tie-break);
+    * ``start``/``end``/``busy`` updates are the same float64 operations
+      on the same operands, elementwise across the config axis.
+
+    Each column therefore reproduces the scalar heap schedule float for
+    float.  Phases with any other dependency structure — and columns
+    whose ``overhead_scale`` differs from ``duration_scale``, which the
+    scale-invariance contract of the batched sweep does not cover — fall
+    back to per-config :func:`simulate_phase` calls.  Vectorized columns
+    are counted under ``sched.batch.fast``; fallback columns under
+    ``sched.batch.fallbacks``.
+    """
+    nc = np.asarray(n_cores, dtype=np.int64)
+    if nc.ndim != 1:
+        raise ValueError("n_cores must be 1-D")
+    n_cfg = len(nc)
+    if np.any(nc <= 0):
+        raise ValueError("n_cores must be positive")
+    ds = np.broadcast_to(np.asarray(duration_scale, dtype=np.float64),
+                         (n_cfg,)).copy()
+    os_ = np.broadcast_to(np.asarray(overhead_scale, dtype=np.float64),
+                          (n_cfg,)).copy()
+    if np.any(ds <= 0) or np.any(os_ <= 0):
+        raise ValueError("scales must be positive")
+
+    tasks = phase.tasks
+    n = len(tasks)
+    if task_durations_ns is not None:
+        base = np.asarray(task_durations_ns, dtype=np.float64)
+        if base.ndim == 1:
+            base = base[:, None]
+        if base.shape[0] != n or base.shape[1] not in (1, n_cfg):
+            raise ValueError(
+                f"expected ({n}, {n_cfg}) durations, got {base.shape}")
+    else:
+        base = np.array([t.duration_ns for t in tasks],
+                        dtype=np.float64)[:, None]
+
+    results: List[Optional[PhaseResult]] = [None] * n_cfg
+    structure = _structure_of(phase) if n else None
+    if n == 0:
+        # The scalar path returns before looking at structure or scales.
+        fast = np.ones(n_cfg, dtype=bool)
+    elif structure is None:
+        fast = np.zeros(n_cfg, dtype=bool)
+    else:
+        fast = ds == os_
+
+    slow = np.flatnonzero(~fast)
+    if len(slow):
+        get_metrics().inc("sched.batch.fallbacks", len(slow))
+        for k in slow:
+            col = base[:, 0] if base.shape[1] == 1 else base[:, k]
+            results[k] = simulate_phase(
+                phase, int(nc[k]), duration_scale=float(ds[k]),
+                overhead_scale=float(os_[k]),
+                task_durations_ns=col.tolist())
+
+    cols = np.flatnonzero(fast)
+    if len(cols) == 0:
+        return results  # type: ignore[return-value]
+    get_metrics().inc("sched.batch.fast", len(cols))
+
+    serial = phase.serial_ns * os_[cols]
+    creation = phase.creation_ns * os_[cols]
+    critical_total = phase.critical_ns * os_[cols]
+
+    if n == 0:
+        makespan = serial + critical_total
+        for j, k in enumerate(cols):
+            results[k] = PhaseResult(
+                float(makespan[j]), np.zeros(int(nc[k]), dtype=np.float64),
+                0, float(serial[j]), 0.0, spans=None)
+        return results  # type: ignore[return-value]
+
+    dur = (base if base.shape[1] == 1 else base[:, cols]) * ds[cols]
+    # create_time[i] = serial + (i+1)*creation, per column — the same
+    # float64 ops as the scalar list comprehension, elementwise.
+    create = (np.arange(1, n + 1, dtype=np.float64)[:, None]
+              * creation[None, :]) + serial[None, :]
+    master_done = create[-1, :]
+    nc_f = nc[cols]
+
+    # Process one core-count group at a time so the free/busy matrices
+    # are dense (no +inf padding rows) and slices stay contiguous.
+    makespans = np.empty(len(cols), dtype=np.float64)
+    busy_out: List[Optional[np.ndarray]] = [None] * len(cols)
+    for c in np.unique(nc_f):
+        g = np.flatnonzero(nc_f == c)
+        kg = len(g)
+        rows = np.arange(kg)
+        dur_g = np.ascontiguousarray(dur[:, g])
+        create_g = create[:, g]
+        md = master_done[g]
+
+        free = np.zeros((kg, int(c)), dtype=np.float64)
+        free[:, 0] = md
+        busy = np.zeros((kg, int(c)), dtype=np.float64)
+        busy[:, 0] += md
+        makespan = md.copy()
+
+        start_index = 0
+        end0 = None
+        if structure == "fanout0":
+            idx = np.argmin(free, axis=1)
+            ft = free[rows, idx]
+            rt = create_g[0]
+            start = np.where(rt > ft, rt, ft)
+            end0 = start + dur_g[0]
+            busy[rows, idx] += dur_g[0]
+            free[rows, idx] = end0
+            np.maximum(makespan, end0, out=makespan)
+            start_index = 1
+
+        for i in range(start_index, n):
+            rt = create_g[i]
+            if end0 is not None:
+                rt = np.where(end0 > rt, end0, rt)
+            idx = np.argmin(free, axis=1)
+            ft = free[rows, idx]
+            start = np.where(rt > ft, rt, ft)
+            end = start + dur_g[i]
+            busy[rows, idx] += dur_g[i]
+            free[rows, idx] = end
+            np.maximum(makespan, end, out=makespan)
+
+        np.maximum(makespan, serial[g] + critical_total[g], out=makespan)
+        makespans[g] = makespan
+        for j, gj in enumerate(g):
+            busy_out[gj] = busy[j].copy()
+
+    for j, k in enumerate(cols):
+        results[k] = PhaseResult(
+            makespan_ns=float(makespans[j]),
+            busy_ns=busy_out[j],
+            n_tasks=n,
+            serial_ns=float(serial[j]),
+            creation_ns_total=n * float(creation[j]),
+            spans=None,
+        )
+    return results  # type: ignore[return-value]

@@ -27,6 +27,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..util import LruDict
+
 __all__ = ["InstructionMix", "ReuseProfile", "KernelSignature"]
 
 
@@ -200,6 +202,65 @@ class ReuseProfile:
         return float(np.clip((p_miss * self._weights).sum() + self.cold_fraction,
                              0.0, 1.0))
 
+    def miss_ratio_batch(self, capacities: Sequence[float],
+                         associativities: Sequence[int],
+                         n_sets: Sequence[int]) -> np.ndarray:
+        """:meth:`miss_ratio` over a batch of cache geometries.
+
+        All ``G`` geometries are evaluated against the ``B`` reuse
+        buckets in one ``(G, B)`` NumPy pass and reduced row-wise.
+        Bitwise-identical to ``G`` scalar :meth:`miss_ratio` calls: each
+        element sees the same float64 operation sequence on the same
+        operands (ufuncs are shape-invariant), and the row reduction is
+        a 1-D-length pairwise sum over a C-contiguous row, exactly the
+        reduction order of the scalar ``(p_miss * weights).sum()``.
+        """
+        caps = np.asarray(capacities, dtype=np.float64)
+        assocs = np.asarray(associativities, dtype=np.int64)
+        sets = np.asarray(n_sets, dtype=np.int64)
+        if not (caps.shape == assocs.shape == sets.shape) or caps.ndim != 1:
+            raise ValueError("geometry arrays must be 1-D and aligned")
+        n_geom = len(caps)
+        n_buckets = len(self._weights)
+        out = np.empty(n_geom, dtype=np.float64)
+        empty = caps <= 0
+        out[empty] = 1.0
+        live = ~empty
+        if not live.any():
+            return out
+        mids = np.sqrt(np.maximum(self._edges[:-1], 0.25) * self._edges[1:])
+        p_miss = np.empty((int(live.sum()), n_buckets), dtype=np.float64)
+        caps_l, assocs_l, sets_l = caps[live], assocs[live], sets[live]
+
+        fa = assocs_l <= 0
+        if fa.any():
+            caps_fa = caps_l[fa]
+            pm = (mids[None, :] >= caps_fa[:, None]).astype(np.float64)
+            lo, hi = self._edges[:-1], self._edges[1:]
+            straddle = ((lo[None, :] < caps_fa[:, None])
+                        & (hi[None, :] >= caps_fa[:, None]))
+            if straddle.any():
+                lo_s = np.maximum(lo, 0.5)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    frac = (np.log(caps_fa)[:, None] - np.log(lo_s)[None, :]) / (
+                        np.log(hi)[None, :] - np.log(lo_s)[None, :]
+                    )
+                    pm[straddle] = (1.0 - np.clip(frac, 0.0, 1.0))[straddle]
+            p_miss[fa] = pm
+
+        sa = ~fa
+        if sa.any():
+            # sets <= 0 defaults to capacity/assoc, as in the scalar path
+            sets_eff = np.where(
+                sets_l[sa] > 0, sets_l[sa],
+                np.maximum(1, caps_l[sa].astype(np.int64) // assocs_l[sa]))
+            p_miss[sa] = _setassoc_miss_prob_batch(mids, assocs_l[sa], sets_eff)
+
+        out[live] = np.clip(
+            np.sum(p_miss * self._weights, axis=1) + self.cold_fraction,
+            0.0, 1.0)
+        return out
+
     def scaled(self, factor: float) -> "ReuseProfile":
         """Profile with all distances multiplied by ``factor``.
 
@@ -212,6 +273,57 @@ class ReuseProfile:
                             self.cold_fraction)
 
 
+#: Largest stack distance priced with the exact binomial tail; beyond it
+#: the normal approximation takes over (same threshold scipy-era code used).
+_SMALL_D_MAX = 256
+
+#: Survival tables keyed ``(assoc, n_sets)``.  The design space only has a
+#: handful of associativities x set counts (plus L3 set counts divided by
+#: the few occupancy values), so these are computed once per process.
+_SURVIVAL_TABLES: LruDict = LruDict(512, eviction_counter="miss.table.evictions")
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def _binom_survival_table(assoc: int, n_sets: int) -> np.ndarray:
+    """``tab[d] = P(Binom(d, 1/n_sets) >= assoc)`` for d = 0.._SMALL_D_MAX.
+
+    Built from the exact one-more-trial pmf recurrence
+    ``pmf_{d+1}[k] = pmf_d[k]*q + pmf_d[k-1]*p`` and summed over the
+    upper tail directly, so no scipy is needed and small tail values are
+    not lost to a ``1 - cdf`` cancellation.
+    """
+    key = (int(assoc), int(n_sets))
+    tab = _SURVIVAL_TABLES.get(key)
+    if tab is None:
+        p = 1.0 / key[1]
+        q = 1.0 - p
+        a = max(0, key[0])
+        pmf = np.zeros(_SMALL_D_MAX + 1, dtype=np.float64)
+        pmf[0] = 1.0
+        tab = np.empty(_SMALL_D_MAX + 1, dtype=np.float64)
+        tab[0] = float(pmf[a:].sum())
+        for d in range(1, _SMALL_D_MAX + 1):
+            pmf[1:d + 1] = pmf[1:d + 1] * q + pmf[:d] * p
+            pmf[0] *= q
+            tab[d] = float(pmf[a:d + 1].sum())
+        _SURVIVAL_TABLES[key] = tab
+    return tab
+
+
+def _norm_sf(x: np.ndarray) -> np.ndarray:
+    """Standard normal survival function, ``0.5 * erfc(x / sqrt(2))``.
+
+    NumPy has no ``erfc`` ufunc and scipy is banned from the hot path;
+    ``math.erfc`` per element is fine because the large-d branch only
+    runs on the handful of reuse buckets past ``_SMALL_D_MAX``.
+    """
+    flat = np.asarray(x, dtype=np.float64).ravel()
+    out = np.fromiter((math.erfc(v * _SQRT1_2) for v in flat),
+                      dtype=np.float64, count=flat.size)
+    return 0.5 * out.reshape(np.shape(x))
+
+
 def _setassoc_miss_prob(distances: np.ndarray, assoc: int,
                         n_sets: int) -> np.ndarray:
     """P(miss | stack distance d) for an A-way cache with S sets.
@@ -219,13 +331,68 @@ def _setassoc_miss_prob(distances: np.ndarray, assoc: int,
     An access hits iff fewer than A of the d distinct intervening lines
     map to its set; intervening lines are assumed uniformly spread
     (Hill & Smith, 1989).  A normal approximation is used for large d to
-    keep the sweep fast; the exact binomial tail is used when d is small.
+    keep the sweep fast; the exact binomial tail (precomputed survival
+    table) is used when d is small.  scipy-free: cross-checked against
+    ``scipy.stats`` by :func:`_setassoc_miss_prob_scipy` in the tests.
     """
     d = np.asarray(distances, dtype=np.float64)
     p = 1.0 / n_sets
     mean = d * p
     out = np.empty_like(d)
-    small = d <= 256
+    small = d <= _SMALL_D_MAX
+    if small.any():
+        tab = _binom_survival_table(assoc, n_sets)
+        out[small] = tab[np.maximum(d[small], 0).astype(int)]
+    big = ~small
+    if big.any():
+        sd = np.sqrt(np.maximum(d[big] * p * (1 - p), 1e-12))
+        # continuity-corrected P(X >= assoc)
+        out[big] = _norm_sf((assoc - 0.5 - mean[big]) / sd)
+    return np.clip(out, 0.0, 1.0)
+
+
+def _setassoc_miss_prob_batch(distances: np.ndarray, assocs: np.ndarray,
+                              n_sets: np.ndarray) -> np.ndarray:
+    """:func:`_setassoc_miss_prob` for G geometries at once -> ``(G, B)``.
+
+    Bitwise-identical to stacking G scalar calls: the small-d branch
+    gathers from the same survival tables, and the large-d branch runs
+    the same elementwise float64 sequence with the per-geometry scalars
+    broadcast along the rows.
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    assocs = np.asarray(assocs, dtype=np.int64)
+    sets = np.asarray(n_sets, dtype=np.int64)
+    p = 1.0 / sets.astype(np.float64)
+    mean = d[None, :] * p[:, None]
+    out = np.empty((len(assocs), len(d)), dtype=np.float64)
+    small = d <= _SMALL_D_MAX
+    if small.any():
+        idx = np.maximum(d[small], 0).astype(int)
+        tabs = np.stack([_binom_survival_table(a, s)
+                         for a, s in zip(assocs, sets)])
+        out[:, small] = tabs[:, idx]
+    big = ~small
+    if big.any():
+        sd = np.sqrt(np.maximum((d[None, big] * p[:, None]) * (1 - p)[:, None],
+                                1e-12))
+        out[:, big] = _norm_sf(
+            ((assocs.astype(np.float64) - 0.5)[:, None] - mean[:, big]) / sd)
+    return np.clip(out, 0.0, 1.0)
+
+
+def _setassoc_miss_prob_scipy(distances: np.ndarray, assoc: int,
+                              n_sets: int) -> np.ndarray:
+    """The scipy-based reference implementation, kept for cross-checks.
+
+    Not called by any hot path — only by the test suite (when scipy is
+    installed) to validate the table/erfc rewrite above.
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    p = 1.0 / n_sets
+    mean = d * p
+    out = np.empty_like(d)
+    small = d <= _SMALL_D_MAX
     if small.any():
         from scipy.stats import binom
 
@@ -235,7 +402,6 @@ def _setassoc_miss_prob(distances: np.ndarray, assoc: int,
         from scipy.stats import norm
 
         sd = np.sqrt(np.maximum(d[big] * p * (1 - p), 1e-12))
-        # continuity-corrected P(X >= assoc)
         out[big] = norm.sf((assoc - 0.5 - mean[big]) / sd)
     return np.clip(out, 0.0, 1.0)
 

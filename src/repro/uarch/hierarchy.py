@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config.cache import CacheHierarchy
+from ..obs import get_metrics
 from ..trace.kernel import KernelSignature
 
 __all__ = ["MissProfile", "hierarchy_miss_profile",
@@ -110,29 +113,71 @@ def hierarchy_miss_profile_batch(
 
     Miss ratios depend only on ``(hierarchy, l3_share_cores)``, and a
     sweep batch contains few distinct pairs (3 cache presets x a handful
-    of occupancy values), so the batch evaluates each distinct pair with
-    the exact scalar model once and scatters — bitwise-identical to
-    per-config calls.  ``memo`` — keyed ``(kernel, hierarchy, share)``
-    on the full hashable hierarchy, never a display label — lets a
-    caller share distinct-pair evaluations across batches.
+    of occupancy values).  The distinct pairs' per-level cache
+    geometries are deduplicated (the fixed L1 is shared by every preset)
+    and evaluated in **one** :meth:`~repro.trace.kernel.ReuseProfile.\
+miss_ratio_batch` pass — bitwise-identical to per-config scalar
+    :func:`hierarchy_miss_profile` calls, since the batched miss model
+    is bitwise-identical per geometry and the monotonicity clamp is
+    applied the same way per pair.  The number of geometry rows actually
+    evaluated is counted under ``miss.batch.geometries``.  ``memo`` —
+    keyed ``(kernel, hierarchy, share)`` on the full hashable hierarchy,
+    never a display label — lets a caller share distinct-pair
+    evaluations across batches.
     """
     if len(hierarchies) != len(shares):
         raise ValueError("hierarchies and shares must align")
-    local: Dict[Tuple, MissProfile] = {}
-    out: List[MissProfile] = []
+    local: Dict[Tuple, Optional[MissProfile]] = {}
+    keys: List[Tuple] = []
+    pending: List[Tuple[CacheHierarchy, int]] = []
     for h, s in zip(hierarchies, shares):
         s = int(s)
         lk = (h, s)
-        prof = local.get(lk)
+        keys.append(lk)
+        if lk in local:
+            continue
+        prof = memo.get((sig.name, h, s)) if memo is not None else None
+        local[lk] = prof
         if prof is None:
+            pending.append(lk)
+
+    if pending:
+        # Dedup the (capacity, assoc, n_sets) rows across pairs and levels,
+        # evaluate them in a single 2-D pass, then gather per pair.
+        geom_index: Dict[Tuple[float, int, int], int] = {}
+        rows: List[Tuple[float, int, int]] = []
+
+        def _row(cap: float, assoc: int, n_sets: int) -> int:
+            g = (cap, assoc, n_sets)
+            i = geom_index.get(g)
+            if i is None:
+                i = geom_index[g] = len(rows)
+                rows.append(g)
+            return i
+
+        level_idx = []
+        for h, s in pending:
+            l1, l2, l3 = h.l1, h.l2, h.l3
+            l3_lines = max(1.0, l3.n_lines / s)
+            l3_sets = max(1, int(l3.n_sets // s))
+            level_idx.append((
+                _row(float(l1.n_lines), l1.associativity, l1.n_sets),
+                _row(float(l2.n_lines), l2.associativity, l2.n_sets),
+                _row(l3_lines, l3.associativity, l3_sets),
+            ))
+        geom = np.asarray(rows, dtype=np.float64)
+        miss = sig.reuse.miss_ratio_batch(
+            geom[:, 0], geom[:, 1].astype(np.int64),
+            geom[:, 2].astype(np.int64))
+        get_metrics().inc("miss.batch.geometries", len(rows))
+
+        for (h, s), (i1, i2, i3) in zip(pending, level_idx):
+            m1 = float(miss[i1])
+            m2 = min(float(miss[i2]), m1)
+            m3 = min(float(miss[i3]), m2)
+            prof = MissProfile(miss_l1=m1, miss_l2=m2, miss_l3=m3)
+            local[(h, s)] = prof
             if memo is not None:
-                mk = (sig.name, h, s)
-                prof = memo.get(mk)
-                if prof is None:
-                    prof = hierarchy_miss_profile(sig, h, l3_share_cores=s)
-                    memo[mk] = prof
-            else:
-                prof = hierarchy_miss_profile(sig, h, l3_share_cores=s)
-            local[lk] = prof
-        out.append(prof)
-    return out
+                memo[(sig.name, h, s)] = prof
+
+    return [local[k] for k in keys]

@@ -1,0 +1,57 @@
+"""Small shared utilities with no domain dependencies.
+
+Kept import-light (stdlib + :mod:`repro.obs` only) so every layer —
+trace models, the runtime scheduler, the MUSA facade — can use it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LruDict"]
+
+
+class LruDict(OrderedDict):
+    """A memo dict bounded to ``maxsize`` entries.
+
+    Reads refresh recency; an insert past the cap evicts the
+    least-recently-used entry and counts it under the obs counter named
+    by ``eviction_counter``.  Quacks like the plain dicts it replaces
+    (``in`` / ``[]`` / ``[]=`` / ``.get`` / ``clear``), so callers that
+    receive the cache as an argument need no changes.
+
+    Unlike a wipe-at-capacity cache, eviction is per-entry: the hot
+    working set stays resident and cold entries (and whatever their
+    values pin — e.g. phase objects held to guard against recycled
+    ``id()`` keys) are released incrementally.
+    """
+
+    def __init__(self, maxsize: int,
+                 eviction_counter: str = "util.lru.evictions") -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        super().__init__()
+        self.maxsize = maxsize
+        self.eviction_counter = eviction_counter
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+            # Imported here: repro.obs imports nothing from this module,
+            # but keeping util importable before obs avoids any cycle.
+            from .obs import get_metrics
+            get_metrics().inc(self.eviction_counter)

@@ -198,7 +198,10 @@ class TestCommands:
                    "--out", str(out_b), "--metrics-json", str(metrics)])
         assert rc == 0
         d = json.loads(metrics.read_text())["derived"]
-        assert d["replay_lockstep_events"] > 0
+        # The smoke network has an unlimited bus pool, so the order-free
+        # path takes the array driver; no column rides lockstep.
+        assert d["replay_array_events"] > 0
+        assert d["replay_lockstep_events"] == 0
         rc = main(["sweep", "--apps", "spmz", "--smoke", "--processes", "1",
                    "--mode", "replay", "--ranks", "8", "--no-batch",
                    "--out", str(out_s)])

@@ -129,22 +129,36 @@ class TestForcedDivergence:
                          lambda r, p, _c=c: self.duration(r, p)[_c])
             assert_results_equal(ref, out[c])
 
-    def test_unlimited_buses_take_shared_order_path(self):
-        # Same trace, no bus contention: order-free, so no column peels
-        # even though the step orders differ between configs.
+    def test_unlimited_buses_take_array_path(self):
+        # Same trace, no bus contention: order-free, so the structural
+        # tape prices the whole batch and no column peels even though
+        # the step orders differ between configs.
         net = zero_net(n_buses=0)
         t = self._racing_trace()
         assert _order_free(t, net)
         reg = get_metrics()
         peeled0 = reg.counter("replay.batch.peeled_configs")
-        lock0 = reg.counter("replay.batch.lockstep_events")
+        arr0 = reg.counter("replay.batch.array_events")
         out = replay_batch(t, net, self.duration, 2)
         assert reg.counter("replay.batch.peeled_configs") == peeled0
-        assert reg.counter("replay.batch.lockstep_events") > lock0
+        assert reg.counter("replay.batch.array_events") > arr0
         for c in range(2):
             ref = replay(t, net,
                          lambda r, p, _c=c: self.duration(r, p)[_c])
             assert_results_equal(ref, out[c])
+
+    def test_array_driver_matches_worklist_driver(self):
+        # The PR4-era event-at-a-time worklist driver is retained
+        # behind array_driver=False; both must be bit-identical.
+        net = zero_net(n_buses=0)
+        t = self._racing_trace()
+        reg = get_metrics()
+        lock0 = reg.counter("replay.batch.lockstep_events")
+        out_w = replay_batch(t, net, self.duration, 2, array_driver=False)
+        assert reg.counter("replay.batch.lockstep_events") > lock0
+        out_a = replay_batch(t, net, self.duration, 2)
+        for c in range(2):
+            assert_results_equal(out_w[c], out_a[c])
 
 
 class TestOrderFreeClassification:

@@ -1,0 +1,193 @@
+"""Tests for the batched, scipy-free set-associative miss model.
+
+Three contracts:
+
+* ``ReuseProfile.miss_ratio_batch`` is **bitwise** identical to a loop
+  of scalar ``miss_ratio`` calls — the geometry batch axis never
+  perturbs a miss ratio in the last ulp;
+* the scipy-free binomial-tail / ``erfc`` implementation matches the
+  retained scipy reference to floating-point noise (cross-check runs
+  only when scipy is installed);
+* no simulation hot path imports scipy — a sweep completes with scipy
+  imports hard-blocked.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.config import cache_preset
+from repro.trace import InstructionMix, KernelSignature, ReuseProfile
+from repro.trace.kernel import (_SMALL_D_MAX, _setassoc_miss_prob,
+                                _setassoc_miss_prob_batch,
+                                _setassoc_miss_prob_scipy)
+from repro.uarch import hierarchy_miss_profile
+from repro.uarch.hierarchy import hierarchy_miss_profile_batch
+
+components_st = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+              st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)),
+    min_size=1, max_size=12)
+
+# Capacities include <= 0 (degenerate: miss ratio 1.0), associativity
+# includes 0 (fully associative path) and n_sets includes 0 (derive
+# capacity // assoc, the scalar default).
+geometry_st = st.tuples(
+    st.floats(min_value=-10.0, max_value=1e7, allow_nan=False),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=4096))
+
+
+class TestMissRatioBatchBitwise:
+    @settings(max_examples=150, deadline=None)
+    @given(components=components_st,
+           cold=st.floats(min_value=0.0, max_value=0.9),
+           geoms=st.lists(geometry_st, min_size=1, max_size=10))
+    def test_batch_matches_scalar_bitwise(self, components, cold, geoms):
+        prof = ReuseProfile.from_components(components, cold_fraction=cold)
+        caps = [g[0] for g in geoms]
+        assocs = [g[1] for g in geoms]
+        sets = [g[2] for g in geoms]
+        out = prof.miss_ratio_batch(caps, assocs, sets)
+        for i, (c, a, s) in enumerate(geoms):
+            ref = prof.miss_ratio(c, a, s)
+            assert out[i] == ref, (i, c, a, s)
+
+    def test_all_empty_capacities(self):
+        prof = ReuseProfile.from_components([(100.0, 1.0)])
+        out = prof.miss_ratio_batch([0.0, -5.0], [4, 0], [16, 0])
+        assert np.array_equal(out, [1.0, 1.0])
+
+    def test_geometry_arrays_must_align(self):
+        prof = ReuseProfile.from_components([(100.0, 1.0)])
+        with pytest.raises(ValueError):
+            prof.miss_ratio_batch([100.0, 200.0], [4], [16])
+
+    @settings(max_examples=75, deadline=None)
+    @given(distances=st.lists(
+               st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+               min_size=1, max_size=20),
+           geoms=st.lists(st.tuples(st.integers(1, 32),
+                                    st.integers(1, 4096)),
+                          min_size=1, max_size=6))
+    def test_setassoc_helper_batch_matches_stacked_scalar(self, distances,
+                                                          geoms):
+        d = np.asarray(distances, dtype=np.float64)
+        assocs = np.array([a for a, _ in geoms], dtype=np.int64)
+        sets = np.array([s for _, s in geoms], dtype=np.int64)
+        got = _setassoc_miss_prob_batch(d, assocs, sets)
+        ref = np.stack([_setassoc_miss_prob(d, int(a), int(s))
+                        for a, s in geoms])
+        assert np.array_equal(got, ref)
+
+
+def _sig(components, cold=0.0):
+    return KernelSignature(
+        name="k", instr_per_unit=1000.0,
+        mix=InstructionMix(fp=0.3, int_alu=0.2, load=0.25, store=0.1,
+                           branch=0.1, other=0.05),
+        ilp=2.0, vec_fraction=0.5, trip_count=64, mlp=4.0,
+        reuse=ReuseProfile.from_components(components, cold_fraction=cold),
+    )
+
+
+class TestHierarchyBatchBitwise:
+    def test_batch_matches_scalar_over_presets_and_shares(self):
+        sig = _sig([(100, 0.4), (5000, 0.3), (24_000, 0.2), (5e6, 0.1)],
+                   cold=0.02)
+        hierarchies, shares = [], []
+        for label in ("64M:512K", "96M:1M", "32M:256K"):
+            for share in (1, 16, 64):
+                hierarchies.append(cache_preset(label))
+                shares.append(share)
+        batch = hierarchy_miss_profile_batch(sig, hierarchies, shares)
+        for got, h, s in zip(batch, hierarchies, shares):
+            ref = hierarchy_miss_profile(sig, h, l3_share_cores=s)
+            assert got == ref, (h, s)
+
+    def test_memo_shares_distinct_pairs_across_batches(self):
+        sig = _sig([(2000, 1.0)])
+        h = cache_preset("64M:512K")
+        memo = {}
+        first = hierarchy_miss_profile_batch(sig, [h, h], [1, 1], memo=memo)
+        assert len(memo) == 1
+        again = hierarchy_miss_profile_batch(sig, [h], [1], memo=memo)
+        assert again[0] == first[0] == first[1]
+
+
+class TestScipyCrossCheck:
+    """The scipy-free tail rewrite vs the retained scipy reference."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(distances=st.lists(
+               st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+               min_size=1, max_size=16),
+           assoc=st.integers(min_value=1, max_value=32),
+           n_sets=st.integers(min_value=1, max_value=4096))
+    def test_matches_scipy_reference(self, distances, assoc, n_sets):
+        pytest.importorskip("scipy")
+        d = np.asarray(distances, dtype=np.float64)
+        got = _setassoc_miss_prob(d, assoc, n_sets)
+        ref = _setassoc_miss_prob_scipy(d, assoc, n_sets)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=1e-9)
+
+    def test_both_branches_covered(self):
+        pytest.importorskip("scipy")
+        # Straddle the exact-table / normal-approximation threshold.
+        d = np.array([0.0, 1.0, _SMALL_D_MAX, _SMALL_D_MAX + 1, 1e5])
+        got = _setassoc_miss_prob(d, 8, 512)
+        ref = _setassoc_miss_prob_scipy(d, 8, 512)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=1e-9)
+
+
+class TestScipyFreeHotPath:
+    def test_sweep_runs_with_scipy_import_blocked(self):
+        # A fresh interpreter with scipy imports hard-blocked must run a
+        # fast-mode sweep end to end, including both miss-model branches.
+        # This is the enforcement half of dropping scipy from the
+        # runtime dependencies.
+        code = textwrap.dedent("""
+            import sys
+
+            class _BlockScipy:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "scipy" or name.startswith("scipy."):
+                        raise ImportError("scipy is blocked in this test")
+                    return None
+
+            sys.meta_path.insert(0, _BlockScipy())
+            sys.modules.pop("scipy", None)
+
+            import numpy as np
+            from repro.config import DesignSpace
+            from repro.core import run_sweep
+            from repro.trace.kernel import _SMALL_D_MAX, _setassoc_miss_prob
+
+            # Exercise both the exact-table and the normal-tail branch.
+            d = np.array([1.0, float(_SMALL_D_MAX) + 1, 1e5])
+            p = _setassoc_miss_prob(d, 8, 512)
+            assert np.all((p >= 0.0) & (p <= 1.0))
+
+            space = DesignSpace(core_labels=("medium",),
+                                cache_labels=("64M:512K",),
+                                memory_labels=("4chDDR4",),
+                                frequencies=(2.0,), vector_widths=(128,),
+                                core_counts=(64,))
+            res = run_sweep(["spmz"], space, processes=1)
+            assert len(list(res)) == 1
+            assert "scipy" not in sys.modules
+            print("scipy-free hot path OK")
+        """)
+        src_root = Path(repro.__file__).resolve().parents[1]
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True,
+                              env={"PYTHONPATH": str(src_root)})
+        assert proc.returncode == 0, proc.stderr
+        assert "scipy-free hot path OK" in proc.stdout
