@@ -1,76 +1,38 @@
 #!/usr/bin/env python
-"""Benchmark: batched vs scalar evaluation on the full 864-config
-LULESH sweep.
+"""Thin wrapper: the batched fast-mode sweep benchmark (PR 2 lineage).
 
-Runs the complete single-app campaign twice — scalar per-config
-simulation and the batched config-major engine — verifies the two
-ResultSets are equal, and writes the throughput comparison to
-``BENCH_batch_sweep.json`` at the repo root.
+The scalar-vs-batched comparison, identity assert and env capture this
+script used to implement now live in :mod:`repro.bench`
+(``macro.fast_sweep``, whose oracle checks the batched evaluator
+against scalar ``Musa.simulate_node``).  The historical
+``BENCH_batch_sweep.json`` snapshot was migrated into the trend ledger
+(see ``repro bench --seed-from-snapshots``).
 
-Run from the repo root:  PYTHONPATH=src python scripts/bench_batch_sweep.py
+Run from the repo root:
+    PYTHONPATH=src python scripts/bench_batch_sweep.py [--smoke]
 """
 
-import json
-import platform
+import argparse
 import sys
-import time
-from pathlib import Path
 
-from repro.config import DesignSpace
-from repro.core import run_sweep
-from repro.obs import MetricsRegistry
-
-APP = "lulesh"
-OUT = Path(__file__).resolve().parent.parent / "BENCH_batch_sweep.json"
-
-
-def _campaign(**kw):
-    reg = MetricsRegistry()
-    t0 = time.perf_counter()
-    rs = run_sweep([APP], DesignSpace(), processes=1, metrics=reg, **kw)
-    wall_s = time.perf_counter() - t0
-    return rs, {
-        "wall_s": round(wall_s, 3),
-        "tasks": int(reg.counter("sweep.tasks.completed")),
-        "tasks_per_second": round(
-            reg.counter("sweep.tasks.completed") / wall_s, 2),
-        "batched_configs": int(reg.counter("sweep.batch.configs")),
-        "batch_fallbacks": int(reg.counter("sweep.batch.fallback")),
-    }
+from repro.cli.main import main as repro_main
 
 
 def main() -> int:
-    n = len(DesignSpace())
-    print(f"benchmark: {APP} x {n} configs, scalar vs batched (inline)")
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--out", default="BENCH_batch_sweep.report.json")
+    ap.add_argument("--append", action="store_true")
+    ap.add_argument("--ledger", default="BENCH_LEDGER.jsonl")
+    args = ap.parse_args()
 
-    scalar_rs, scalar = _campaign(batch=False)
-    print(f"  scalar : {scalar['wall_s']:8.2f} s  "
-          f"{scalar['tasks_per_second']:8.1f} tasks/s")
-
-    batched_rs, batched = _campaign(batch=True, batch_size=256)
-    print(f"  batched: {batched['wall_s']:8.2f} s  "
-          f"{batched['tasks_per_second']:8.1f} tasks/s")
-
-    identical = list(scalar_rs) == list(batched_rs)
-    assert identical, "batched ResultSet differs from scalar"
-    speedup = batched["tasks_per_second"] / scalar["tasks_per_second"]
-    print(f"  results bit-identical; speedup {speedup:.2f}x")
-
-    OUT.write_text(json.dumps({
-        "benchmark": "full-space single-app sweep, scalar vs batched",
-        "app": APP,
-        "n_configs": n,
-        "processes": 1,
-        "batch_size": 256,
-        "scalar": scalar,
-        "batched": batched,
-        "speedup": round(speedup, 2),
-        "results_bit_identical": identical,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }, indent=2) + "\n")
-    print(f"wrote {OUT}")
-    return 0
+    argv = ["bench", "--only", "macro.fast_sweep", "--json", args.out,
+            "--ledger", args.ledger]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.append:
+        argv.append("--append")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":

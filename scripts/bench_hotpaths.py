@@ -1,229 +1,46 @@
 #!/usr/bin/env python
-"""Benchmark the vectorized hot paths against the retained scalar paths.
+"""Thin wrapper: the hot-path macro benchmarks via the shared harness.
 
-Three comparisons, every one gated on *bitwise* result identity so a
-speedup can never be bought with a drifting float:
-
-1. **Fast mode** — the config-major :class:`BatchEvaluator` (batched
-   miss model + vectorized phase scheduler) vs the per-config
-   ``Musa.simulate_node`` loop the sweep used before batching.
-2. **Replay mode** — the level-batched array replay driver vs the
-   event-at-a-time worklist driver (``array_driver=False``) on the same
-   config-vectorized engine, plus per-config scalar replay on a sample
-   of configs for identity and a scalar-rate estimate.
-3. **Campaign** — every application over the full design space through
-   ``run_sweep``, batched vs scalar.
-
-Writes a JSON report (``BENCH_hotpaths.json`` by default) with timings,
-speedups and hot-path counters.  ``--smoke`` shrinks the space and rank
-count for CI: identity is still asserted everywhere, speedup floors are
-not (CI machine timing is noisy).
+Historically this script carried its own timing loops, identity asserts
+and env capture; all of that now lives in :mod:`repro.bench` (PR 6).
+This entry point just selects the matching registry ids — the batched
+fast-mode evaluation, the replay-mode evaluation and the all-apps
+campaign, each still gated on bit-identity against the scalar path —
+and delegates to ``repro bench``.
 
 Run from the repo root:
     PYTHONPATH=src python scripts/bench_hotpaths.py [--smoke] [--out F]
 """
 
 import argparse
-import json
-import platform
 import sys
-import time
 
-import numpy as np
+from repro.cli.main import main as repro_main
 
-import repro.core.batch as core_batch
-from repro.apps import APP_NAMES, get_app
-from repro.config import DesignSpace
-from repro.core import run_sweep
-from repro.core.batch import BatchEvaluator
-from repro.core.musa import Musa
-from repro.obs import MetricsRegistry, set_metrics, summarize
-
-FULL_SPACE = DesignSpace()
-SMOKE_SPACE = DesignSpace(core_labels=("medium", "high"),
-                          cache_labels=("64M:512K",),
-                          memory_labels=("4chDDR4", "8chDDR4"),
-                          frequencies=(2.0,), vector_widths=(128, 512),
-                          core_counts=(64,))
-
-
-def _records(results):
-    return json.dumps([r.record() for r in results], sort_keys=True)
-
-
-def _timed(fn):
-    t0 = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - t0
-
-
-def bench_fast_mode(app_name, nodes, min_speedup):
-    """Batched fast-mode evaluation vs the per-config scalar loop."""
-    print(f"[fast] {app_name} x {len(nodes)} configs")
-    scalar_musa = Musa(get_app(app_name))
-    scalar, t_scalar = _timed(
-        lambda: [scalar_musa.simulate_node(n) for n in nodes])
-
-    ev = BatchEvaluator(Musa(get_app(app_name)))
-    batched_cold, t_cold = _timed(lambda: ev.evaluate(nodes))
-    batched_warm, t_warm = _timed(lambda: ev.evaluate(nodes))
-
-    assert _records(batched_cold) == _records(scalar), \
-        "batched fast mode differs from scalar simulate_node"
-    assert _records(batched_warm) == _records(scalar)
-    speedup = t_scalar / t_warm if t_warm > 0 else float("inf")
-    print(f"  scalar loop   {t_scalar:8.3f} s")
-    print(f"  batched cold  {t_cold:8.3f} s")
-    print(f"  batched warm  {t_warm:8.3f} s   ({speedup:.1f}x vs scalar)")
-    if min_speedup is not None:
-        assert speedup >= min_speedup, \
-            f"fast-mode speedup {speedup:.2f}x below floor {min_speedup}x"
-    return {
-        "app": app_name, "n_configs": len(nodes),
-        "scalar_loop_s": t_scalar, "batched_cold_s": t_cold,
-        "batched_warm_s": t_warm, "speedup_warm": speedup,
-    }
-
-
-def bench_replay_mode(app_name, nodes, n_ranks, n_scalar_sample):
-    """Array replay driver vs worklist driver vs per-config scalar."""
-    print(f"[replay] {app_name} x {len(nodes)} configs, {n_ranks} ranks")
-    reg = MetricsRegistry()
-    prev = set_metrics(reg)
-    try:
-        ev = BatchEvaluator(Musa(get_app(app_name)))
-        array_cold, t_array_cold = _timed(
-            lambda: ev.evaluate(nodes, n_ranks=n_ranks, mode="replay"))
-        array_warm, t_array_warm = _timed(
-            lambda: ev.evaluate(nodes, n_ranks=n_ranks, mode="replay"))
-        assert _records(array_cold) == _records(array_warm)
-
-        # Same engine, order-free path pinned to the event-at-a-time
-        # worklist driver (the pre-array behaviour).
-        orig = core_batch.replay_batch
-        core_batch.replay_batch = (
-            lambda *a, **k: orig(*a, array_driver=False, **k))
-        try:
-            ev_w = BatchEvaluator(Musa(get_app(app_name)))
-            ev_w.evaluate(nodes, n_ranks=n_ranks, mode="replay")  # warm
-            worklist, t_worklist = _timed(
-                lambda: ev_w.evaluate(nodes, n_ranks=n_ranks, mode="replay"))
-        finally:
-            core_batch.replay_batch = orig
-        assert _records(worklist) == _records(array_warm), \
-            "array replay driver differs from worklist driver"
-
-        # Per-config scalar replay on a sample: identity + rate estimate.
-        stride = max(1, len(nodes) // n_scalar_sample)
-        sample = list(range(0, len(nodes), stride))[:n_scalar_sample]
-        m = Musa(get_app(app_name))
-        scalar_sample, t_scalar_sample = _timed(lambda: [
-            m.simulate_node(nodes[i], n_ranks=n_ranks, mode="replay")
-            for i in sample])
-        for j, i in enumerate(sample):
-            assert scalar_sample[j].record() == array_warm[i].record(), \
-                f"array replay differs from scalar replay at config {i}"
-
-        d = summarize(reg.snapshot())["derived"]
-        c = reg.snapshot()["counters"]
-    finally:
-        set_metrics(prev)
-
-    scalar_per_config = t_scalar_sample / len(sample)
-    scalar_est = scalar_per_config * len(nodes)
-    speedup = scalar_est / t_array_warm if t_array_warm > 0 else float("inf")
-    print(f"  array cold    {t_array_cold:8.3f} s")
-    print(f"  array warm    {t_array_warm:8.3f} s")
-    print(f"  worklist warm {t_worklist:8.3f} s   "
-          f"({t_worklist / t_array_warm:.1f}x slower than array)"
-          if t_array_warm > 0 else "")
-    print(f"  scalar        {scalar_per_config:8.3f} s/config "
-          f"({len(sample)} sampled; est. {scalar_est:.1f} s for "
-          f"{len(nodes)}; {speedup:.1f}x vs array warm)")
-    assert d["replay_array_events"] > 0, \
-        "replay bench never exercised the array driver"
-    return {
-        "app": app_name, "n_configs": len(nodes), "n_ranks": n_ranks,
-        "array_cold_s": t_array_cold, "array_warm_s": t_array_warm,
-        "worklist_warm_s": t_worklist,
-        "scalar_per_config_s": scalar_per_config,
-        "scalar_estimated_total_s": scalar_est,
-        "n_scalar_sampled": len(sample),
-        "speedup_array_vs_scalar_est": speedup,
-        "speedup_array_vs_worklist": (
-            t_worklist / t_array_warm if t_array_warm > 0 else None),
-        "counters": {
-            "replay_array_events": d["replay_array_events"],
-            "replay_lockstep_events": d["replay_lockstep_events"],
-            "replay_peeled_configs": d["replay_peeled_configs"],
-            "tape_builds": c.get("replay.tape.builds", 0),
-        },
-    }
-
-
-def bench_campaign(apps, space):
-    """Full batched campaign vs the scalar sweep, all apps."""
-    print(f"[campaign] {len(apps)} apps x {len(space)} configs")
-    reg = MetricsRegistry()
-    batched, t_batched = _timed(
-        lambda: run_sweep(apps, space, processes=1, metrics=reg))
-    scalar, t_scalar = _timed(
-        lambda: run_sweep(apps, space, processes=1, batch=False))
-    assert json.dumps(list(batched), sort_keys=True) == \
-        json.dumps(list(scalar), sort_keys=True), \
-        "batched campaign differs from scalar campaign"
-    d = summarize(reg.snapshot())["derived"]
-    assert d["miss_batch_geometries"] > 0
-    assert d["sched_batch_fast"] > 0
-    speedup = t_scalar / t_batched if t_batched > 0 else float("inf")
-    print(f"  batched {t_batched:8.3f} s   scalar {t_scalar:8.3f} s   "
-          f"({speedup:.1f}x)")
-    return {
-        "apps": list(apps), "n_configs": len(space),
-        "batched_s": t_batched, "scalar_s": t_scalar, "speedup": speedup,
-        "counters": {
-            "miss_batch_geometries": d["miss_batch_geometries"],
-            "sched_batch_fast": d["sched_batch_fast"],
-            "sched_batch_fallbacks": d["sched_batch_fallbacks"],
-        },
-    }
+BENCH_IDS = ["macro.fast_sweep", "macro.replay_sweep", "macro.campaign"]
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
-                    help="small CI run: identity asserted, no speedup "
-                         "floors, report written to /tmp")
+                    help="CI-sized workloads (identity still asserted)")
     ap.add_argument("--out", default=None,
-                    help="report path (default BENCH_hotpaths.json, or "
-                         "/tmp/bench_hotpaths_smoke.json with --smoke)")
+                    help="JSON report path (default "
+                         "BENCH_hotpaths.report.json, or /tmp with --smoke)")
+    ap.add_argument("--append", action="store_true",
+                    help="append results to the trend ledger")
+    ap.add_argument("--ledger", default="BENCH_LEDGER.jsonl")
     args = ap.parse_args()
 
+    out = args.out or ("/tmp/bench_hotpaths_smoke.json" if args.smoke
+                       else "BENCH_hotpaths.report.json")
+    argv = ["bench", "--only", *BENCH_IDS, "--json", out,
+            "--ledger", args.ledger]
     if args.smoke:
-        space, apps = SMOKE_SPACE, ["spmz", "hydro"]
-        n_ranks, n_sample, min_speedup = 16, 4, None
-        out = args.out or "/tmp/bench_hotpaths_smoke.json"
-    else:
-        space, apps = FULL_SPACE, list(APP_NAMES)
-        n_ranks, n_sample, min_speedup = 256, 6, 4.0
-        out = args.out or "BENCH_hotpaths.json"
-    nodes = list(space)
-
-    report = {
-        "mode": "smoke" if args.smoke else "full",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "machine": platform.machine(),
-        "fast_mode": bench_fast_mode("lulesh", nodes, min_speedup),
-        "replay_mode": bench_replay_mode("lulesh", nodes, n_ranks,
-                                         n_sample),
-        "campaign": bench_campaign(apps, space),
-    }
-    with open(out, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
-    print(f"report written to {out}")
-    return 0
+        argv.append("--smoke")
+    if args.append:
+        argv.append("--append")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,114 +1,37 @@
 #!/usr/bin/env python
-"""Benchmark: event-driven vs polling MPI replay on a 256-rank trace.
+"""Thin wrapper: the event-engine replay benchmark (PR 3 lineage).
 
-Replays the paper-scale LULESH trace (256 ranks, Sec. II integration)
-through both replay engines — the reactive event-driven simulator and
-the fixed-point polling reference — verifies the ``ReplayResult``s are
-numerically identical, and writes the comparison to
-``BENCH_replay.json`` at the repo root.  Also times a finite-bus
-variant (contended Dimemas bus pool), where the same ordering guarantee
-must hold.
+The event-vs-polling comparison and identity assert now live in
+:mod:`repro.bench` (``micro.event_engine``, whose oracle checks the
+reactive event engine against the polling reference on the 256-rank
+LULESH trace).  The historical ``BENCH_replay.json`` snapshot was
+migrated into the trend ledger.
 
-Run from the repo root:  PYTHONPATH=src python scripts/bench_replay.py
+Run from the repo root:
+    PYTHONPATH=src python scripts/bench_replay.py [--smoke]
 """
 
-import json
-import platform
+import argparse
 import sys
-import time
-from pathlib import Path
 
-import numpy as np
-
-from repro.apps import get_app
-from repro.core.musa import Musa
-from repro.network.model import NetworkConfig
-from repro.network.replay import replay
-
-APP = "lulesh"
-N_RANKS = 256
-N_ITERATIONS = 1
-OUT = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
-
-
-def _results_identical(a, b, rtol=1e-9):
-    if a.n_messages != b.n_messages or a.bytes_sent != b.bytes_sent:
-        return False
-    if not np.isclose(a.total_ns, b.total_ns, rtol=rtol, atol=0.0):
-        return False
-    for field in ("compute_ns", "p2p_ns", "collective_ns"):
-        if not np.allclose(getattr(a, field), getattr(b, field),
-                           rtol=rtol, atol=0.0):
-            return False
-    return True
-
-
-def _bench(trace, net, duration, engine, repeats=3):
-    best, result = None, None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = replay(trace, net, duration, engine=engine)
-        wall = time.perf_counter() - t0
-        best = wall if best is None else min(best, wall)
-    return result, best
+from repro.cli.main import main as repro_main
 
 
 def main() -> int:
-    musa = Musa(get_app(APP))
-    trace = musa._burst_trace(N_RANKS, N_ITERATIONS)
-    n_events = sum(len(rt.events) for rt in trace.ranks)
-    scales = musa.app.rank_scales(N_RANKS)
-    phase_ns = {id(p): musa.burst_phase(p, 64).makespan_ns
-                for p in musa.phases}
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--out", default="BENCH_replay.report.json")
+    ap.add_argument("--append", action="store_true")
+    ap.add_argument("--ledger", default="BENCH_LEDGER.jsonl")
+    args = ap.parse_args()
 
-    def duration(rank, phase):
-        return phase_ns[id(phase)] * scales[rank]
-
-    print(f"benchmark: {APP} replay, {N_RANKS} ranks, {n_events} events")
-    record = {
-        "benchmark": "256-rank trace replay, polling vs event-driven",
-        "app": APP,
-        "n_ranks": N_RANKS,
-        "n_iterations": N_ITERATIONS,
-        "n_events": n_events,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    overall_ok = True
-    min_speedup = None
-    for label, net in [
-        ("unlimited_buses", musa.network),
-        ("finite_buses", NetworkConfig(
-            latency_us=musa.network.latency_us,
-            bandwidth_gbs=musa.network.bandwidth_gbs,
-            cpu_overhead_us=musa.network.cpu_overhead_us,
-            n_buses=8,
-            eager_threshold_bytes=musa.network.eager_threshold_bytes)),
-    ]:
-        r_poll, t_poll = _bench(trace, net, duration, "polling")
-        r_event, t_event = _bench(trace, net, duration, "event")
-        identical = _results_identical(r_poll, r_event)
-        overall_ok &= identical
-        speedup = t_poll / t_event
-        min_speedup = speedup if min_speedup is None else min(min_speedup,
-                                                              speedup)
-        print(f"  {label:16s}: polling {t_poll:7.3f} s, "
-              f"event {t_event:7.3f} s, speedup {speedup:5.1f}x, "
-              f"identical={identical}")
-        record[label] = {
-            "polling_wall_s": round(t_poll, 4),
-            "event_wall_s": round(t_event, 4),
-            "speedup": round(speedup, 2),
-            "results_identical_rtol_1e-9": identical,
-            "total_ns": float(r_event.total_ns),
-            "n_messages": int(r_event.n_messages),
-        }
-    assert overall_ok, "engines disagree"
-    assert min_speedup >= 5.0, f"speedup {min_speedup:.1f}x below 5x floor"
-    record["min_speedup"] = round(min_speedup, 2)
-    OUT.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {OUT}")
-    return 0
+    argv = ["bench", "--only", "micro.event_engine", "--json", args.out,
+            "--ledger", args.ledger]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.append:
+        argv.append("--append")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":

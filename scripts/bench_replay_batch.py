@@ -1,166 +1,40 @@
 #!/usr/bin/env python
-"""Benchmark: config-vectorized vs per-config MPI replay at paper scale.
+"""Thin wrapper: the config-vectorized replay benchmarks (PR 4/5 lineage).
 
-Replays the paper-scale LULESH trace (256 ranks) under every node
-configuration of the full 864-point design space, pricing each
-configuration's detailed per-phase compute makespans — once through the
-per-config scalar event engine (864 separate replays) and once through
-the config-vectorized batch engine (one pass over all 864 columns).
-Verifies every configuration's ``ReplayResult`` is **bit-identical**
-between the two paths, then writes the comparison to
-``BENCH_replay_batch.json`` at the repo root.
-
-A second section exercises the lockstep-peel driver (finite-bus pool,
-where step order is config-dependent) at a smaller scale and verifies
-the same bit-identity contract.
+The batched-vs-scalar replay comparison, the lockstep-peel finite-bus
+section and their bit-identity asserts now live in :mod:`repro.bench`
+(``micro.tape_replay`` — the level-batched array driver on the
+order-free path — and ``micro.bus_arbitration`` — the finite-bus
+lockstep+peel driver).  The historical ``BENCH_replay_batch.json``
+snapshot was migrated into the trend ledger.
 
 Run from the repo root:
-    PYTHONPATH=src python scripts/bench_replay_batch.py
+    PYTHONPATH=src python scripts/bench_replay_batch.py [--smoke]
 """
 
-import json
-import platform
+import argparse
 import sys
-import time
-from pathlib import Path
 
-import numpy as np
+from repro.cli.main import main as repro_main
 
-from repro.apps import get_app
-from repro.config import full_design_space
-from repro.core.musa import Musa
-from repro.network.model import NetworkConfig
-from repro.network.replay import replay
-from repro.network.replay_batch import replay_batch
-from repro.obs import get_metrics
-
-APP = "lulesh"
-N_RANKS = 256
-N_ITERATIONS = 1
-OUT = Path(__file__).resolve().parent.parent / "BENCH_replay_batch.json"
-
-
-def _bit_identical(a, b):
-    if a.n_messages != b.n_messages or a.bytes_sent != b.bytes_sent:
-        return False
-    if float(a.total_ns) != float(b.total_ns):
-        return False
-    for field in ("compute_ns", "p2p_ns", "collective_ns"):
-        if not np.array_equal(np.asarray(getattr(a, field), dtype=float),
-                              np.asarray(getattr(b, field), dtype=float)):
-            return False
-    return True
-
-
-def _duration_columns(musa, nodes, n_ranks):
-    """Per-phase config columns of detailed makespans (ns), and the
-    matching batched/scalar duration functions."""
-    scales = musa.app.rank_scales(n_ranks)
-    cols = {id(p): np.array([musa.phase_detail(p, node).makespan_ns
-                             for node in nodes])
-            for p in musa.phases}
-
-    def dur_batch(rank, phase):
-        return cols[id(phase)] * scales[rank]
-
-    def dur_scalar(c):
-        return lambda rank, phase, _c=c: cols[id(phase)][_c] * scales[rank]
-
-    return dur_batch, dur_scalar
+BENCH_IDS = ["micro.tape_replay", "micro.bus_arbitration"]
 
 
 def main() -> int:
-    musa = Musa(get_app(APP))
-    nodes = list(full_design_space())
-    n_cfg = len(nodes)
-    trace = musa._burst_trace(N_RANKS, N_ITERATIONS)
-    n_events = sum(len(rt.events) for rt in trace.ranks)
-    print(f"benchmark: {APP} replay x {n_cfg} configs, {N_RANKS} ranks, "
-          f"{n_events} events per replay")
-    print("  computing detailed per-phase makespans for every config...")
-    dur_batch, dur_scalar = _duration_columns(musa, nodes, N_RANKS)
-    net = musa.network  # MareNostrum4-like: unlimited bus pool
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--out", default="BENCH_replay_batch.report.json")
+    ap.add_argument("--append", action="store_true")
+    ap.add_argument("--ledger", default="BENCH_LEDGER.jsonl")
+    args = ap.parse_args()
 
-    reg = get_metrics()
-    peeled0 = reg.counter("replay.batch.peeled_configs")
-    t_batch = None
-    for _ in range(3):
-        t0 = time.perf_counter()
-        batched = replay_batch(trace, net, dur_batch, n_cfg)
-        wall = time.perf_counter() - t0
-        t_batch = wall if t_batch is None else min(t_batch, wall)
-    peeled = int(reg.counter("replay.batch.peeled_configs") - peeled0) // 3
-
-    t0 = time.perf_counter()
-    scalar = [replay(trace, net, dur_scalar(c), engine="event")
-              for c in range(n_cfg)]
-    t_scalar = time.perf_counter() - t0
-
-    identical = all(_bit_identical(a, b) for a, b in zip(scalar, batched))
-    speedup = t_scalar / t_batch
-    print(f"  per-config event replay: {t_scalar:7.2f} s "
-          f"({t_scalar / n_cfg * 1e3:6.1f} ms/config)")
-    print(f"  config-vectorized pass:  {t_batch:7.2f} s "
-          f"({t_batch / n_cfg * 1e3:6.1f} ms/config)")
-    print(f"  speedup {speedup:5.1f}x, bit_identical={identical}, "
-          f"peeled={peeled}/{n_cfg}")
-    assert identical, "batched replay diverged from per-config replay"
-    assert speedup >= 5.0, f"speedup {speedup:.1f}x below the 5x floor"
-
-    # Lockstep-peel driver: finite buses make step order config-
-    # dependent; divergent columns must peel and still match exactly.
-    n_small_ranks, n_small_cfg = 16, 32
-    small_trace = musa._burst_trace(n_small_ranks, N_ITERATIONS)
-    dur_b_small, dur_s_small = _duration_columns(
-        musa, nodes[:n_small_cfg], n_small_ranks)
-    finite = NetworkConfig(
-        latency_us=net.latency_us, bandwidth_gbs=net.bandwidth_gbs,
-        cpu_overhead_us=net.cpu_overhead_us, n_buses=8,
-        eager_threshold_bytes=net.eager_threshold_bytes)
-    peeled0 = reg.counter("replay.batch.peeled_configs")
-    t0 = time.perf_counter()
-    b_small = replay_batch(small_trace, finite, dur_b_small, n_small_cfg)
-    t_small = time.perf_counter() - t0
-    s_small = [replay(small_trace, finite, dur_s_small(c), engine="event")
-               for c in range(n_small_cfg)]
-    small_identical = all(_bit_identical(a, b)
-                          for a, b in zip(s_small, b_small))
-    small_peeled = int(reg.counter("replay.batch.peeled_configs") - peeled0)
-    print(f"  finite-bus lockstep ({n_small_ranks} ranks x {n_small_cfg} "
-          f"configs): {t_small:.2f} s, peeled={small_peeled}, "
-          f"bit_identical={small_identical}")
-    assert small_identical, "lockstep-peel driver diverged from scalar"
-
-    record = {
-        "benchmark": "config-vectorized vs per-config MPI replay",
-        "app": APP,
-        "n_ranks": N_RANKS,
-        "n_configs": n_cfg,
-        "n_iterations": N_ITERATIONS,
-        "n_events_per_replay": n_events,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "unlimited_buses": {
-            "per_config_event_wall_s": round(t_scalar, 3),
-            "batched_wall_s": round(t_batch, 3),
-            "speedup": round(speedup, 2),
-            "bit_identical": identical,
-            "peeled_configs": peeled,
-            "driver": "shared-order (order-free network)",
-        },
-        "finite_buses_lockstep": {
-            "n_ranks": n_small_ranks,
-            "n_configs": n_small_cfg,
-            "n_buses": 8,
-            "batched_wall_s": round(t_small, 3),
-            "peeled_configs": small_peeled,
-            "bit_identical": small_identical,
-            "driver": "lockstep-peel (tournament tree + modal vote)",
-        },
-    }
-    OUT.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {OUT}")
-    return 0
+    argv = ["bench", "--only", *BENCH_IDS, "--json", args.out,
+            "--ledger", args.ledger]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.append:
+        argv.append("--append")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":

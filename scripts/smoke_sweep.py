@@ -19,16 +19,12 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.config import DesignSpace
+from repro.config import smoke_design_space
 from repro.core import FailNTimes, SweepAbort, run_sweep
 from repro.obs import MetricsRegistry, summarize
 
 APPS = ["spmz", "hydro"]
-SPACE = DesignSpace(core_labels=("medium", "high"),
-                    cache_labels=("64M:512K",),
-                    memory_labels=("4chDDR4", "8chDDR4"),
-                    frequencies=(2.0,), vector_widths=(128, 512),
-                    core_counts=(64,))  # 8 configurations
+SPACE = smoke_design_space()  # 8 configurations
 
 
 def main() -> int:

@@ -1,0 +1,73 @@
+"""Machine calibration for the trend ledger.
+
+Raw wall-clock times are not comparable across machines, so every
+ledger entry carries a *calibration*: the measured runtime of a fixed
+reference kernel on the machine that produced the entry.  Normalized
+benchmark cost is ``raw_s / calib_s`` — dimensionless "reference-kernel
+units" that factor out uniform machine-speed differences (a machine
+twice as fast runs both the benchmark and the reference kernel twice
+as fast, leaving the ratio unchanged; see the scale-invariance property
+in ``tests/bench/test_ledger_properties.py``).
+
+The reference kernel deliberately mixes the two cost regimes the real
+benchmarks live in — NumPy array passes (the vectorized hot paths) and
+Python interpreter work (the event engines' residual scalar loops) — so
+the normalization tracks the blend a typical benchmark sees rather than
+pure FLOP throughput.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["reference_kernel", "measure_calibration", "calibration_s"]
+
+#: Array length / loop count of the reference kernel.  Sized so one run
+#: takes a few milliseconds on a typical machine: long enough to dwarf
+#: timer resolution, short enough that calibration costs well under a
+#: second.
+_N_ARRAY = 200_000
+_N_LOOP = 25_000
+
+
+def reference_kernel() -> float:
+    """One run of the fixed calibration workload (deterministic)."""
+    x = np.arange(1, _N_ARRAY + 1, dtype=np.float64)
+    total = 0.0
+    for _ in range(3):
+        y = np.sqrt(x) * 1.0000001 + np.log(x)
+        total += float(y.sum())
+    acc = 0.0
+    for i in range(_N_LOOP):
+        acc += math.sin(i & 1023) * 0.5
+    return total + acc
+
+
+def measure_calibration(repeats: int = 7, warmup: int = 2) -> float:
+    """Best-of-``repeats`` reference-kernel time in seconds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        reference_kernel()
+    best: Optional[float] = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reference_kernel()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return float(best)
+
+
+_CACHED: Optional[float] = None
+
+
+def calibration_s(refresh: bool = False) -> float:
+    """Process-cached calibration (measured on first use)."""
+    global _CACHED
+    if _CACHED is None or refresh:
+        _CACHED = measure_calibration()
+    return _CACHED

@@ -1,0 +1,406 @@
+"""The pinned benchmark registry.
+
+Micro benchmarks time one vectorized hot path in isolation; macro
+benchmarks time the integrated engine at paper scale.  Every benchmark
+carries an **identity oracle** against the retained scalar path it
+replaced — bit-identity, not tolerance — so the regression gate can
+never trade correctness for speed, and declares the :mod:`repro.obs`
+counters its hot path must move, so an instrumentation rename is caught
+by the same gate.
+
+Workloads are pinned (fixed app, trace, design space, rank count, and
+deterministic per-config scale vectors) so a ledger trend line measures
+the *code*, not the workload.  The ``smoke`` tier shrinks spaces and
+rank counts for CI; identity oracles stay exhaustive there precisely
+because the workloads are small.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps import APP_NAMES, get_app
+from ..config import CACHE_LABELS, DesignSpace, cache_preset, smoke_design_space
+from ..core import run_sweep
+from ..core.batch import BatchEvaluator
+from ..core.musa import Musa
+from ..network.model import NetworkConfig
+from ..network.replay import replay
+from ..network.replay_batch import replay_batch
+from ..runtime.scheduler import simulate_phase, simulate_phase_batch
+from ..uarch.hierarchy import (
+    hierarchy_miss_profile,
+    hierarchy_miss_profile_batch,
+)
+from .harness import Benchmark, BenchCase
+
+__all__ = ["REGISTRY", "get_benchmarks", "SMOKE_SPACE", "REQUIRED_COUNTERS"]
+
+#: The CI smoke design space (8 configurations), shared by the smoke
+#: tiers and the CLI smoke sweeps.
+SMOKE_SPACE = smoke_design_space()
+
+#: Every obs counter some benchmark's harness contract pins.  A rename
+#: of any of these is a breaking change: the bench gate, the CLI metrics
+#: summary and the CI assertions all read them by name.
+REQUIRED_COUNTERS = (
+    "miss.batch.geometries",
+    "sched.batch.fast",
+    "replay.batch.array_events",
+    "replay.batch.lockstep_events",
+    "replay.batch.peeled_configs",
+    "replay.events",
+    "sweep.batch.configs",
+)
+
+
+def _replay_results_equal(a, b) -> Optional[str]:
+    """Bit-identity check between two ``ReplayResult``s."""
+    if a.n_messages != b.n_messages or a.bytes_sent != b.bytes_sent:
+        return (f"message accounting differs: {a.n_messages}/{a.bytes_sent}"
+                f" vs {b.n_messages}/{b.bytes_sent}")
+    if float(a.total_ns) != float(b.total_ns):
+        return f"total_ns differs: {a.total_ns!r} vs {b.total_ns!r}"
+    for field in ("compute_ns", "p2p_ns", "collective_ns"):
+        if not np.array_equal(np.asarray(getattr(a, field), dtype=float),
+                              np.asarray(getattr(b, field), dtype=float)):
+            return f"{field} columns differ"
+    return None
+
+
+def _records_equal(batched, scalar, what: str) -> Optional[str]:
+    for i, (b, s) in enumerate(zip(batched, scalar)):
+        if b.record() != s.record():
+            return f"{what}: config {i} differs from the scalar path"
+    if len(batched) != len(scalar):
+        return f"{what}: length mismatch"
+    return None
+
+
+def _sample_indices(n: int, k: int) -> List[int]:
+    stride = max(1, n // k)
+    return list(range(0, n, stride))[:k]
+
+
+def _finite_net(net: NetworkConfig, n_buses: int) -> NetworkConfig:
+    return NetworkConfig(
+        latency_us=net.latency_us, bandwidth_gbs=net.bandwidth_gbs,
+        cpu_overhead_us=net.cpu_overhead_us, n_buses=n_buses,
+        eager_threshold_bytes=net.eager_threshold_bytes)
+
+
+def _cfg_scales(n: int) -> np.ndarray:
+    """Deterministic per-config duration perturbation (pinned workload)."""
+    return 1.0 + (np.arange(n, dtype=np.float64) % 97) * 1e-3
+
+
+# -- micro benchmarks --------------------------------------------------------
+
+
+def _build_miss_model(tier: str) -> BenchCase:
+    detailed = get_app("lulesh").detailed_trace()
+    sigs = [detailed[k] for k in detailed.names()]
+    if tier == "smoke":
+        shares = (1, 8, 32, 64)
+    else:
+        shares = tuple(range(1, 65))
+    presets = [cache_preset(lbl) for lbl in CACHE_LABELS]
+    hierarchies = [h for h in presets for _ in shares]
+    share_col = [s for _ in presets for s in shares]
+    # Inner repetition lifts one timed sample well above timer noise
+    # (a single pass over the pairs is ~0.5 ms).
+    inner = 10
+
+    def run():
+        out = None
+        for _ in range(inner):
+            out = [hierarchy_miss_profile_batch(sig, hierarchies, share_col)
+                   for sig in sigs]
+        return out
+
+    def oracle() -> Optional[str]:
+        for sig in sigs:
+            batched = hierarchy_miss_profile_batch(sig, hierarchies,
+                                                   share_col)
+            for i, (h, s) in enumerate(zip(hierarchies, share_col)):
+                ref = hierarchy_miss_profile(sig, h, l3_share_cores=s)
+                got = batched[i]
+                if (got.miss_l1, got.miss_l2, got.miss_l3) != \
+                        (ref.miss_l1, ref.miss_l2, ref.miss_l3):
+                    return (f"kernel {sig.name!r} pair ({i}) differs from "
+                            f"scalar hierarchy_miss_profile")
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_kernels": len(sigs),
+              "n_pairs": len(hierarchies), "inner": inner},
+        required_counters=("miss.batch.geometries",))
+
+
+def _build_phase_sched(tier: str) -> BenchCase:
+    musa = Musa(get_app("lulesh"))
+    phase = musa.app.representative_phase()
+    n_cfg = 32 if tier == "smoke" else 864
+    n_cores = np.where(np.arange(n_cfg) % 2 == 0, 32, 64).astype(np.int64)
+    scales = _cfg_scales(n_cfg)
+    inner = 4 if tier == "smoke" else 3
+
+    def run():
+        out = None
+        for _ in range(inner):
+            out = simulate_phase_batch(phase, n_cores, scales, scales)
+        return out
+
+    def oracle() -> Optional[str]:
+        batched = simulate_phase_batch(phase, n_cores, scales, scales)
+        sample = (range(n_cfg) if tier == "smoke"
+                  else _sample_indices(n_cfg, 32))
+        for i in sample:
+            ref = simulate_phase(phase, int(n_cores[i]), float(scales[i]),
+                                 float(scales[i]))
+            got = batched[i]
+            if (got.makespan_ns != ref.makespan_ns
+                    or got.serial_ns != ref.serial_ns
+                    or not np.array_equal(got.busy_ns, ref.busy_ns)):
+                return f"config {i} differs from scalar simulate_phase"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_configs": n_cfg,
+              "n_tasks": len(phase.tasks), "inner": inner},
+        required_counters=("sched.batch.fast",))
+
+
+def _replay_workload(tier: str, n_ranks_full: int, n_cfg_full: int,
+                     n_ranks_smoke: int, n_cfg_smoke: int):
+    """Shared pinned workload for the replay micro benchmarks."""
+    musa = Musa(get_app("lulesh"))
+    if tier == "smoke":
+        n_ranks, n_cfg = n_ranks_smoke, n_cfg_smoke
+    else:
+        n_ranks, n_cfg = n_ranks_full, n_cfg_full
+    trace = musa._burst_trace(n_ranks, 1)
+    rank_scales = musa.app.rank_scales(n_ranks)
+    phase_ns = {id(p): musa.burst_phase(p, 64).makespan_ns
+                for p in musa.phases}
+    cfg = _cfg_scales(n_cfg)
+
+    def dur_batch(rank, phase):
+        return phase_ns[id(phase)] * rank_scales[rank] * cfg
+
+    def dur_scalar(c):
+        return lambda rank, phase, _c=c: (
+            phase_ns[id(phase)] * rank_scales[rank] * cfg[_c])
+
+    return musa, trace, n_ranks, n_cfg, dur_batch, dur_scalar
+
+
+def _build_tape_replay(tier: str) -> BenchCase:
+    musa, trace, n_ranks, n_cfg, dur_batch, dur_scalar = _replay_workload(
+        tier, 256, 864, 16, 24)
+    net = musa.network  # unlimited bus pool: the order-free array path
+    # The smoke workload is sub-millisecond; repeat it so timer noise
+    # can't swamp a real regression at the gate's 10% threshold.
+    inner = 8 if tier == "smoke" else 1
+
+    def run():
+        out = None
+        for _ in range(inner):
+            out = replay_batch(trace, net, dur_batch, n_cfg)
+        return out
+
+    def oracle() -> Optional[str]:
+        array = replay_batch(trace, net, dur_batch, n_cfg)
+        worklist = replay_batch(trace, net, dur_batch, n_cfg,
+                                array_driver=False)
+        for i, (a, w) in enumerate(zip(array, worklist)):
+            err = _replay_results_equal(a, w)
+            if err:
+                return f"array vs worklist driver, config {i}: {err}"
+        for i in _sample_indices(n_cfg, 4):
+            ref = replay(trace, net, dur_scalar(i), engine="event")
+            err = _replay_results_equal(array[i], ref)
+            if err:
+                return f"array vs scalar replay, config {i}: {err}"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_ranks": n_ranks, "n_configs": n_cfg,
+              "n_events": sum(len(rt.events) for rt in trace.ranks)},
+        required_counters=("replay.batch.array_events",))
+
+
+def _build_bus_arbitration(tier: str) -> BenchCase:
+    musa, trace, n_ranks, n_cfg, dur_batch, dur_scalar = _replay_workload(
+        tier, 16, 32, 8, 8)
+    net = _finite_net(musa.network, n_buses=8)
+
+    def run():
+        return replay_batch(trace, net, dur_batch, n_cfg)
+
+    def oracle() -> Optional[str]:
+        batched = replay_batch(trace, net, dur_batch, n_cfg)
+        for i in range(n_cfg):
+            ref = replay(trace, net, dur_scalar(i), engine="event")
+            err = _replay_results_equal(batched[i], ref)
+            if err:
+                return f"lockstep-peel vs scalar replay, config {i}: {err}"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_ranks": n_ranks, "n_configs": n_cfg,
+              "n_buses": 8},
+        required_counters=("replay.batch.lockstep_events",))
+
+
+def _build_event_engine(tier: str) -> BenchCase:
+    musa, trace, n_ranks, _, _, dur_scalar = _replay_workload(
+        tier, 256, 1, 32, 1)
+    net = musa.network
+    duration = dur_scalar(0)
+
+    def run():
+        return replay(trace, net, duration, engine="event")
+
+    def oracle() -> Optional[str]:
+        event = replay(trace, net, duration, engine="event")
+        polling = replay(trace, net, duration, engine="polling")
+        return _replay_results_equal(event, polling)
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_ranks": n_ranks,
+              "n_events": sum(len(rt.events) for rt in trace.ranks)},
+        required_counters=("replay.events",))
+
+
+# -- macro benchmarks --------------------------------------------------------
+
+
+def _build_fast_sweep(tier: str) -> BenchCase:
+    space = SMOKE_SPACE if tier == "smoke" else DesignSpace()
+    nodes = list(space)
+    ev = BatchEvaluator(Musa(get_app("lulesh")))
+    ev.evaluate(nodes)  # cold pass: memos warm before timing
+
+    def run():
+        return ev.evaluate(nodes)
+
+    def oracle() -> Optional[str]:
+        batched = ev.evaluate(nodes)
+        sample = (range(len(nodes)) if tier == "smoke"
+                  else _sample_indices(len(nodes), 12))
+        scalar_musa = Musa(get_app("lulesh"))
+        scalar = [scalar_musa.simulate_node(nodes[i]) for i in sample]
+        return _records_equal([batched[i] for i in sample], scalar,
+                              "fast-mode eval")
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_configs": len(nodes)},
+        required_counters=("miss.batch.geometries", "sched.batch.fast"))
+
+
+def _build_replay_sweep(tier: str) -> BenchCase:
+    if tier == "smoke":
+        space, n_ranks, n_sample = SMOKE_SPACE, 16, 4
+    else:
+        space, n_ranks, n_sample = DesignSpace(), 256, 3
+    nodes = list(space)
+    ev = BatchEvaluator(Musa(get_app("lulesh")))
+    ev.evaluate(nodes, n_ranks=n_ranks, mode="replay")  # cold pass
+
+    def run():
+        return ev.evaluate(nodes, n_ranks=n_ranks, mode="replay")
+
+    def oracle() -> Optional[str]:
+        batched = ev.evaluate(nodes, n_ranks=n_ranks, mode="replay")
+        sample = _sample_indices(len(nodes), n_sample)
+        scalar_musa = Musa(get_app("lulesh"))
+        scalar = [scalar_musa.simulate_node(nodes[i], n_ranks=n_ranks,
+                                            mode="replay") for i in sample]
+        return _records_equal([batched[i] for i in sample], scalar,
+                              "replay-mode eval")
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_configs": len(nodes), "n_ranks": n_ranks},
+        required_counters=("replay.batch.array_events",))
+
+
+def _build_campaign(tier: str) -> BenchCase:
+    if tier == "smoke":
+        apps, space = ["spmz", "hydro"], SMOKE_SPACE
+    else:
+        apps, space = list(APP_NAMES), DesignSpace()
+
+    def run():
+        return run_sweep(apps, space, processes=1)
+
+    def oracle() -> Optional[str]:
+        batched = run_sweep(apps, space, processes=1)
+        scalar = run_sweep(apps, space, processes=1, batch=False)
+        if json.dumps(list(batched), sort_keys=True) != \
+                json.dumps(list(scalar), sort_keys=True):
+            return "batched campaign differs from the scalar sweep"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"apps": list(apps), "n_configs": len(space)},
+        required_counters=("sweep.batch.configs",))
+
+
+REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
+    Benchmark("micro.miss_model", "micro",
+              "batched set-associative miss model vs scalar "
+              "hierarchy_miss_profile", _build_miss_model),
+    Benchmark("micro.phase_sched", "micro",
+              "config-vectorized phase scheduler vs scalar simulate_phase",
+              _build_phase_sched),
+    Benchmark("micro.tape_replay", "micro",
+              "level-batched array replay driver vs worklist driver and "
+              "scalar replay", _build_tape_replay),
+    Benchmark("micro.bus_arbitration", "micro",
+              "finite-bus lockstep-peel batch replay vs scalar replay",
+              _build_bus_arbitration),
+    Benchmark("micro.event_engine", "micro",
+              "event-driven replay engine vs the polling reference",
+              _build_event_engine),
+    Benchmark("macro.fast_sweep", "macro",
+              "full-space fast-mode batched evaluation (864 configs, warm)",
+              _build_fast_sweep),
+    Benchmark("macro.replay_sweep", "macro",
+              "full-space replay-mode batched evaluation (864x256 ranks)",
+              _build_replay_sweep),
+    Benchmark("macro.campaign", "macro",
+              "all-apps full-space batched campaign through run_sweep",
+              _build_campaign),
+)}
+
+
+def get_benchmarks(ids: Optional[Sequence[str]] = None) -> List[Benchmark]:
+    """Resolve benchmark ids (exact, or ``micro``/``macro`` kind, or a
+    prefix ending in ``.``) to registry entries, preserving registry
+    order and erroring on unknown names."""
+    if not ids:
+        return list(REGISTRY.values())
+    picked: List[Benchmark] = []
+    for want in ids:
+        matches = [b for b in REGISTRY.values()
+                   if b.id == want or b.kind == want
+                   or (want.endswith(".") and b.id.startswith(want))]
+        if not matches:
+            known = ", ".join(REGISTRY)
+            raise KeyError(f"unknown benchmark {want!r}; known: {known}")
+        for b in matches:
+            if b not in picked:
+                picked.append(b)
+    return picked

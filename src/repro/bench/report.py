@@ -1,0 +1,96 @@
+"""Self-contained HTML trend report for the benchmark ledger.
+
+One section per benchmark: an SVG trajectory of normalized cost over
+run sequence (same-host entries highlighted via series split), the
+current baseline as a dashed guide, and a provenance table of the
+underlying entries.  Shares the dependency-free SVG layer with the
+paper figures (:mod:`repro.analysis.svgchart`).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.svgchart import line_chart
+from .ledger import Ledger
+
+__all__ = ["build_trend_report"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       max-width: 70em; color: #222; }
+h1 { border-bottom: 2px solid #4878a8; padding-bottom: 0.2em; }
+h2 { color: #30506e; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eef3f8; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #666; font-size: 0.9em; }
+.bad { color: #a33; font-weight: bold; }
+figure { margin: 1em 0; }
+"""
+
+
+def _bench_section(ledger: Ledger, bench: str,
+                   host_id: Optional[str]) -> str:
+    parts: List[str] = [f"<h2>{html.escape(bench)}</h2>"]
+    entries = ledger.for_bench(bench)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    rows: List[str] = []
+    for seq, e in enumerate(entries):
+        norm = e.get("norm")
+        if not isinstance(norm, (int, float)):
+            continue
+        tier = str(e.get("tier", "full"))
+        label = tier if not e.get("seed") else f"{tier} (seed)"
+        series.setdefault(label, []).append((float(seq), float(norm)))
+        oracle = "ok" if e.get("oracle_ok") else "FAILED"
+        rows.append(
+            "<tr><td>{}</td><td>{}</td><td>{:.4g}</td><td>{:.4g}</td>"
+            "<td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                html.escape(str(e.get("ts", "?"))),
+                html.escape(tier),
+                float(e.get("raw_min_s", float("nan"))),
+                float(norm),
+                html.escape(str(e.get("code_version", "?"))),
+                html.escape(str(e.get("host", {}).get("id", "?"))),
+                (oracle if oracle == "ok"
+                 else f'<span class="bad">{oracle}</span>'),
+                html.escape(str(e.get("source", ""))),
+            ))
+    if not series:
+        parts.append('<p class="note">no usable entries</p>')
+        return "\n".join(parts)
+    baseline = (ledger.baseline(bench, "full", host_id=host_id)
+                or ledger.baseline(bench, "smoke", host_id=host_id))
+    svg = line_chart(
+        series, title=f"{bench} — normalized cost trend",
+        y_label="raw_s / calib_s", x_label="ledger entry sequence",
+        reference_line=baseline)
+    parts.append(f"<figure>{svg}</figure>")
+    parts.append(
+        "<table><tr><th>timestamp</th><th>tier</th><th>raw min [s]</th>"
+        "<th>norm</th><th>code</th><th>host</th><th>oracle</th>"
+        "<th>source</th></tr>" + "".join(rows) + "</table>")
+    return "\n".join(parts)
+
+
+def build_trend_report(ledger: Ledger,
+                       host_id: Optional[str] = None) -> str:
+    """Render the full ledger as one self-contained HTML document."""
+    led = ledger.canonical()
+    benches = led.bench_ids()
+    body = [
+        "<h1>repro bench — performance trend ledger</h1>",
+        f'<p class="note">{len(led)} entries across {len(benches)} '
+        "benchmarks. Normalized cost is wall time divided by the "
+        "reference-kernel calibration measured in the same process; "
+        "the dashed guide is the current regression-gate baseline "
+        "(best prior oracle-clean entry).</p>",
+    ]
+    for bench in benches:
+        body.append(_bench_section(led, bench, host_id))
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>repro bench trends</title><style>{_STYLE}</style>"
+            "</head><body>" + "\n".join(body) + "</body></html>")

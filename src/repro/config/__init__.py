@@ -26,7 +26,13 @@ from .node import (
     NodeConfig,
     baseline_node,
 )
-from .space import AXES, DesignSpace, full_design_space, unconventional_configs
+from .space import (
+    AXES,
+    DesignSpace,
+    full_design_space,
+    smoke_design_space,
+    unconventional_configs,
+)
 
 __all__ = [
     "AXES",
@@ -55,6 +61,7 @@ __all__ = [
     "core_preset",
     "full_design_space",
     "memory_preset",
+    "smoke_design_space",
     "parse_node",
     "unconventional_configs",
 ]

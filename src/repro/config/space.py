@@ -22,7 +22,8 @@ from .core import CORE_LABELS, core_preset
 from .memory import MEMORY_LABELS, memory_preset
 from .node import CORE_COUNTS, FREQUENCIES_GHZ, VECTOR_WIDTHS_BITS, NodeConfig
 
-__all__ = ["DesignSpace", "full_design_space", "unconventional_configs"]
+__all__ = ["DesignSpace", "full_design_space", "smoke_design_space",
+           "unconventional_configs"]
 
 #: Axis names in canonical iteration order (outermost first).
 AXES: Tuple[str, ...] = ("core", "cache", "memory", "frequency", "vector", "cores")
@@ -140,6 +141,20 @@ class DesignSpace:
 def full_design_space() -> DesignSpace:
     """The paper's 864-point space (Table I)."""
     return DesignSpace()
+
+
+def smoke_design_space() -> DesignSpace:
+    """The 8-configuration CI smoke space.
+
+    One definition shared by ``repro sweep --smoke``, the benchmark
+    smoke tiers and the CI smoke scripts, so the smoke assertions
+    (task counts, batched-config counts) can't drift apart.
+    """
+    return DesignSpace(core_labels=("medium", "high"),
+                       cache_labels=("64M:512K",),
+                       memory_labels=("4chDDR4", "8chDDR4"),
+                       frequencies=(2.0,), vector_widths=(128, 512),
+                       core_counts=(64,))
 
 
 def unconventional_configs() -> Dict[str, Dict[str, NodeConfig]]:

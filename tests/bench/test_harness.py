@@ -1,0 +1,119 @@
+"""Harness contract tests on a synthetic benchmark.
+
+The fake workload is deterministic and cheap, so these pin the
+protocol mechanics — sample counts, warmups, the injected-slowdown
+multiplier, oracle propagation, the required-counter contract and the
+paired calibration — without any timing sensitivity.
+"""
+
+import pytest
+
+from repro.bench import BenchCase, Benchmark, TIERS, run_case, run_suite
+from repro.bench.harness import _PROTOCOL
+from repro.obs import get_metrics
+
+
+def _fake_benchmark(oracle_detail=None, counters=(), work=None, calls=None):
+    def build(tier):
+        assert tier in TIERS
+
+        def run():
+            if calls is not None:
+                calls.append(tier)
+            if work is not None:
+                work()
+            return tier
+
+        return BenchCase(run=run, oracle=lambda: oracle_detail,
+                         meta={"tier_seen": tier},
+                         required_counters=tuple(counters))
+
+    return Benchmark("fake.unit", "micro", "synthetic harness probe", build)
+
+
+def test_protocol_sample_counts():
+    calls = []
+    res = run_case(_fake_benchmark(calls=calls), tier="smoke")
+    warmup, repeats = _PROTOCOL[("micro", "smoke")]
+    # warmup runs + timed runs (the oracle does not call run()).
+    assert len(calls) == warmup + repeats
+    assert len(res.samples_s) == repeats
+    assert len(res.calib_samples_s) == repeats
+    assert res.min_s == min(res.samples_s)
+    assert res.calib_min_s == min(res.calib_samples_s)
+    assert res.tier == "smoke"
+    assert res.meta == {"tier_seen": "smoke"}
+
+
+def test_explicit_repeats_and_warmup_override_protocol():
+    calls = []
+    res = run_case(_fake_benchmark(calls=calls), tier="full",
+                   repeats=4, warmup=0)
+    assert len(calls) == 4
+    assert len(res.samples_s) == 4
+
+
+def test_inject_slowdown_multiplies_workload_samples_only():
+    base = run_case(_fake_benchmark(), tier="smoke", repeats=3,
+                    inject_slowdown=1.0)
+    injected = run_case(_fake_benchmark(), tier="smoke", repeats=3,
+                        inject_slowdown=100.0)
+    assert injected.inject_slowdown == 100.0
+    # A 100x multiplier dwarfs scheduling noise on a ~us workload.
+    assert injected.min_s > base.min_s * 10
+    # Calibration samples are never injected: both runs time the same
+    # reference kernel, so they agree to well under the 100x factor.
+    assert injected.calib_min_s < base.calib_min_s * 5
+
+
+def test_oracle_failure_propagates():
+    res = run_case(_fake_benchmark(oracle_detail="mismatch at index 3"),
+                   tier="smoke", repeats=1)
+    assert not res.oracle_ok
+    assert res.oracle_detail == "mismatch at index 3"
+
+
+def test_oracle_success_is_clean():
+    res = run_case(_fake_benchmark(), tier="smoke", repeats=1)
+    assert res.oracle_ok
+    assert res.oracle_detail is None
+
+
+def test_required_counter_never_incremented_fails_oracle():
+    res = run_case(_fake_benchmark(counters=["bench.test.never_bumped"]),
+                   tier="smoke", repeats=1)
+    assert not res.oracle_ok
+    assert "bench.test.never_bumped" in res.oracle_detail
+
+
+def test_required_counter_incremented_in_run_passes():
+    reg = get_metrics()
+    res = run_case(
+        _fake_benchmark(counters=["bench.test.bumped"],
+                        work=lambda: reg.inc("bench.test.bumped")),
+        tier="smoke", repeats=1)
+    assert res.oracle_ok, res.oracle_detail
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        run_case(_fake_benchmark(), tier="nope")
+    with pytest.raises(ValueError):
+        run_case(_fake_benchmark(), tier="smoke", repeats=0)
+    with pytest.raises(ValueError):
+        run_case(_fake_benchmark(), tier="smoke", inject_slowdown=0.0)
+    with pytest.raises(ValueError):
+        Benchmark("bad id", "micro", "spaces", lambda tier: None)
+    with pytest.raises(ValueError):
+        Benchmark("ok.id", "mini", "bad kind", lambda tier: None)
+
+
+def test_run_suite_continues_past_oracle_failure():
+    bad = _fake_benchmark(oracle_detail="broken")
+    good = _fake_benchmark()
+    seen = []
+    results = run_suite([bad, good], tier="smoke", repeats=1,
+                        progress=lambda bid, r: seen.append(bid))
+    assert len(results) == 2
+    assert [r.oracle_ok for r in results] == [False, True]
+    assert seen == ["fake.unit", "fake.unit"]

@@ -1,0 +1,47 @@
+"""Golden-digest pin of the full 864-configuration LULESH sweep.
+
+One SHA-256 over the canonically serialized ResultSet per mode.  Any
+numerical drift anywhere in the pipeline — core model, cache
+hierarchy, memory model, scheduler, replay engine, batched evaluator —
+changes the digest.  An intentional model change must update
+``golden_digests.json`` in the same commit and say why.
+
+Fast mode covers the analytic path; replay mode additionally covers
+the trace-driven network replay (256 ranks/config, the paper's
+machine-scale point).  Both run the default (batched) engine — the
+per-record bit-identity of batched vs scalar is pinned separately by
+the engine test suites, so a digest break here means the *model*
+moved, not just one engine.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.config import full_design_space
+from repro.core import run_sweep
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_digests.json").read_text())
+
+
+def canonical_digest(rs) -> str:
+    blob = json.dumps({"records": list(rs)}, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_fast_mode_digest():
+    rs = run_sweep(["lulesh"], full_design_space(), processes=1)
+    assert len(rs) == 864
+    assert canonical_digest(rs) == GOLDEN["lulesh_fast_864"], (
+        "fast-mode model output drifted; if intentional, regenerate "
+        "tests/integration/golden_digests.json")
+
+
+def test_replay_mode_digest():
+    rs = run_sweep(["lulesh"], full_design_space(), processes=1,
+                   mode="replay", n_ranks=256)
+    assert len(rs) == 864
+    assert canonical_digest(rs) == GOLDEN["lulesh_replay_864_r256"], (
+        "replay-mode model output drifted; if intentional, regenerate "
+        "tests/integration/golden_digests.json")

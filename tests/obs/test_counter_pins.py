@@ -1,0 +1,84 @@
+"""Pin the observability counter names the bench harness contracts on.
+
+The trend dashboards, the ``repro bench`` required-counter checks and
+the CLI metrics summary all key on these exact strings.  Renaming one
+must fail here first, not silently blind the instrumentation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.bench import REQUIRED_COUNTERS
+from repro.config import smoke_design_space
+from repro.core import run_sweep
+from repro.core import sweep as sweep_mod
+from repro.core.musa import Musa
+from repro.network.replay_batch import replay_batch
+from repro.obs import MetricsRegistry, get_metrics, set_metrics, summarize
+
+
+@pytest.fixture(scope="module")
+def workload_counters():
+    """One smoke-scale pass; shared because the miss-profile memo is
+    per-evaluator (a second pass would hit the memo and skip the
+    geometry computation whose counter this suite pins).  The sweep
+    module caches evaluators per process, so evict the app's entry
+    first — earlier suite tests may have warmed its memo."""
+    sweep_mod._BATCH_EVALUATORS.pop("spmz", None)
+    sweep_mod._MUSA_CACHE.pop("spmz", None)
+    reg = MetricsRegistry()
+    prev = get_metrics()
+    set_metrics(reg)
+    try:
+        run_sweep(["spmz"], smoke_design_space(), processes=1, metrics=reg)
+        run_sweep(["spmz"], smoke_design_space(), processes=1, metrics=reg,
+                  mode="replay", n_ranks=8)
+        musa = Musa(get_app("lulesh"))
+        trace = musa._burst_trace(8, 1)
+        scales = musa.app.rank_scales(8)
+        phase_ns = {id(p): musa.burst_phase(p, 64).makespan_ns
+                    for p in musa.phases}
+        cfg = 1.0 + np.arange(4) * 1e-3
+
+        def dur(rank, phase):
+            return phase_ns[id(phase)] * scales[rank] * cfg
+
+        replay_batch(trace, musa.network, dur, 4)
+    finally:
+        set_metrics(prev)
+    yield reg.snapshot()["counters"]
+
+
+def test_pinned_counter_names_emitted(workload_counters):
+    counters = workload_counters
+    for name in ("miss.batch.geometries",
+                 "sched.batch.fast",
+                 "replay.batch.array_events",
+                 "replay.events",
+                 "sweep.batch.configs"):
+        assert counters.get(name, 0) > 0, f"counter {name} never emitted"
+
+
+def test_required_counters_are_real_emitted_names(workload_counters):
+    counters = workload_counters
+    # Every counter the bench registry contracts on must be one the
+    # smoke-scale workloads actually emit (lockstep/peel counters come
+    # from the finite-bus path, exercised by its own benchmark).
+    always = set(REQUIRED_COUNTERS) - {"replay.batch.lockstep_events",
+                                       "replay.batch.peeled_configs"}
+    for name in always:
+        assert counters.get(name, 0) > 0, f"required counter {name} silent"
+
+
+def test_summarize_exposes_pinned_families(workload_counters):
+    counters = workload_counters
+    reg = MetricsRegistry()
+    for k, v in counters.items():
+        reg.inc(k, v)
+    derived = summarize(reg.snapshot())["derived"]
+    assert derived["batched_configs"] > 0
+    assert derived["replay_array_events"] > 0
+    assert derived["miss_batch_geometries"] > 0
+    assert derived["sched_batch_fast"] > 0
+    assert derived["replay_events"] > 0
