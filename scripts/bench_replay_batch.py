@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Thin wrapper: the config-vectorized replay benchmarks (PR 4/5 lineage).
 
-The batched-vs-scalar replay comparison, the lockstep-peel finite-bus
-section and their bit-identity asserts now live in :mod:`repro.bench`
+The batched-vs-scalar replay comparison, the finite-bus sections and
+their bit-identity asserts now live in :mod:`repro.bench`
 (``micro.tape_replay`` — the level-batched array driver on the
-order-free path — and ``micro.bus_arbitration`` — the finite-bus
-lockstep+peel driver).  The historical ``BENCH_replay_batch.json``
-snapshot was migrated into the trend ledger.
+order-free path, ``micro.bus_arbitration`` — the fork-on-divergence
+finite-bus lockstep driver — and ``micro.bus_lockstep`` — the same
+driver on a uniform-scale batch, pinning the zero-divergence pure
+vectorized arbitration cost).  The historical
+``BENCH_replay_batch.json`` snapshot was migrated into the trend
+ledger.
 
 Run from the repo root:
     PYTHONPATH=src python scripts/bench_replay_batch.py [--smoke]
@@ -17,7 +20,8 @@ import sys
 
 from repro.cli.main import main as repro_main
 
-BENCH_IDS = ["micro.tape_replay", "micro.bus_arbitration"]
+BENCH_IDS = ["micro.tape_replay", "micro.bus_arbitration",
+             "micro.bus_lockstep"]
 
 
 def main() -> int:

@@ -79,6 +79,12 @@ class BenchCase:
     oracle: Callable[[], Optional[str]]
     meta: Dict[str, Any] = field(default_factory=dict)
     required_counters: Tuple[str, ...] = ()
+    #: Counters whose run-over-run *delta* is recorded into the result's
+    #: ``meta["counters"]`` — the ledger keeps them, so a measurement
+    #: can prove which driver actually ran (a silent tape bail-out
+    #: increments ``replay.batch.driver.worklist``, not ``.array``, and
+    #: can no longer masquerade as an array-driver number).
+    record_counters: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -203,12 +209,17 @@ def run_case(
         if stale:
             oracle_detail = (f"required obs counters never incremented: "
                              f"{', '.join(stale)}")
+    meta = dict(case.meta)
+    if case.record_counters:
+        meta["counters"] = {
+            name: obs.counter(name) - counters_before.get(name, 0)
+            for name in case.record_counters}
     return BenchResult(
         bench=bench.id, kind=bench.kind, tier=tier,
         samples_s=samples, min_s=min(samples),
         median_s=float(statistics.median(samples)),
         oracle_ok=oracle_detail is None, oracle_detail=oracle_detail,
-        meta=dict(case.meta), inject_slowdown=inject_slowdown,
+        meta=meta, inject_slowdown=inject_slowdown,
         calib_samples_s=calib_samples, calib_min_s=min(calib_samples),
     )
 

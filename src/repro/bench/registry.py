@@ -30,6 +30,7 @@ from ..core.musa import Musa
 from ..network.model import NetworkConfig
 from ..network.replay import replay
 from ..network.replay_batch import replay_batch
+from ..obs import get_metrics
 from ..runtime.scheduler import simulate_phase, simulate_phase_batch
 from ..uarch.hierarchy import (
     hierarchy_miss_profile,
@@ -50,7 +51,10 @@ REQUIRED_COUNTERS = (
     "miss.batch.geometries",
     "sched.batch.fast",
     "replay.batch.array_events",
+    "replay.batch.driver.array",
+    "replay.batch.worklist_events",
     "replay.batch.lockstep_events",
+    "replay.batch.driver.lockstep",
     "replay.batch.peeled_configs",
     "replay.events",
     "sweep.batch.configs",
@@ -233,7 +237,16 @@ def _build_tape_replay(tier: str) -> BenchCase:
         run=run, oracle=oracle,
         meta={"app": "lulesh", "n_ranks": n_ranks, "n_configs": n_cfg,
               "n_events": sum(len(rt.events) for rt in trace.ranks)},
-        required_counters=("replay.batch.array_events",))
+        # driver.array must move: a silent tape bail-out runs the
+        # worklist driver instead, and may not time the path this
+        # benchmark claims to measure (worklist_events moves in the
+        # oracle's cross-check run).
+        required_counters=("replay.batch.array_events",
+                           "replay.batch.driver.array",
+                           "replay.batch.worklist_events"),
+        record_counters=("replay.batch.driver.array",
+                         "replay.batch.driver.worklist",
+                         "replay.batch.array_fallbacks"))
 
 
 def _build_bus_arbitration(tier: str) -> BenchCase:
@@ -245,19 +258,78 @@ def _build_bus_arbitration(tier: str) -> BenchCase:
         return replay_batch(trace, net, dur_batch, n_cfg)
 
     def oracle() -> Optional[str]:
+        obs = get_metrics()
+        peeled0 = obs.counter("replay.batch.peeled_configs")
         batched = replay_batch(trace, net, dur_batch, n_cfg)
+        peeled = obs.counter("replay.batch.peeled_configs") - peeled0
+        if peeled > 2:
+            return (f"peel storm: {peeled}/{n_cfg} configs left the "
+                    f"vectorized lockstep path (bound is 2)")
         for i in range(n_cfg):
             ref = replay(trace, net, dur_scalar(i), engine="event")
             err = _replay_results_equal(batched[i], ref)
             if err:
-                return f"lockstep-peel vs scalar replay, config {i}: {err}"
+                return f"fork-lockstep vs scalar replay, config {i}: {err}"
         return None
 
     return BenchCase(
         run=run, oracle=oracle,
         meta={"app": "lulesh", "n_ranks": n_ranks, "n_configs": n_cfg,
               "n_buses": 8},
-        required_counters=("replay.batch.lockstep_events",))
+        required_counters=("replay.batch.lockstep_events",
+                           "replay.batch.driver.lockstep"),
+        record_counters=("replay.batch.driver.lockstep",
+                         "replay.batch.forked_groups",
+                         "replay.batch.peeled_configs"))
+
+
+def _build_bus_lockstep(tier: str) -> BenchCase:
+    # Uniform per-config scales: every column shares one (clock, rank)
+    # step order, so the whole batch runs as a single zero-divergence
+    # lockstep group — this pins the cost of the pure vectorized
+    # finite-bus arbitration machinery (key-matrix argmin + batched
+    # step), with no forking in the measurement.
+    musa, trace, n_ranks, n_cfg, _, _ = _replay_workload(
+        tier, 16, 32, 8, 8)
+    net = _finite_net(musa.network, n_buses=8)
+    rank_scales = musa.app.rank_scales(n_ranks)
+    phase_ns = {id(p): musa.burst_phase(p, 64).makespan_ns
+                for p in musa.phases}
+    ones = np.ones(n_cfg)
+
+    def dur_batch(rank, phase):
+        return phase_ns[id(phase)] * rank_scales[rank] * ones
+
+    def run():
+        return replay_batch(trace, net, dur_batch, n_cfg)
+
+    def oracle() -> Optional[str]:
+        obs = get_metrics()
+        forked0 = obs.counter("replay.batch.forked_groups")
+        peeled0 = obs.counter("replay.batch.peeled_configs")
+        batched = replay_batch(trace, net, dur_batch, n_cfg)
+        if obs.counter("replay.batch.forked_groups") != forked0:
+            return "uniform-scale batch diverged: lockstep group forked"
+        if obs.counter("replay.batch.peeled_configs") != peeled0:
+            return "uniform-scale batch peeled configs to the scalar engine"
+        ref = replay(trace, net,
+                     lambda r, p: phase_ns[id(p)] * rank_scales[r],
+                     engine="event")
+        for i in (0, n_cfg - 1):
+            err = _replay_results_equal(batched[i], ref)
+            if err:
+                return f"lockstep vs scalar replay, config {i}: {err}"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_ranks": n_ranks, "n_configs": n_cfg,
+              "n_buses": 8, "uniform_scales": True},
+        required_counters=("replay.batch.lockstep_events",
+                           "replay.batch.driver.lockstep"),
+        record_counters=("replay.batch.driver.lockstep",
+                         "replay.batch.forked_groups",
+                         "replay.batch.peeled_configs"))
 
 
 def _build_event_engine(tier: str) -> BenchCase:
@@ -332,7 +404,11 @@ def _build_replay_sweep(tier: str) -> BenchCase:
     return BenchCase(
         run=run, oracle=oracle,
         meta={"app": "lulesh", "n_configs": len(nodes), "n_ranks": n_ranks},
-        required_counters=("replay.batch.array_events",))
+        required_counters=("replay.batch.array_events",
+                           "replay.batch.driver.array"),
+        record_counters=("replay.batch.driver.array",
+                         "replay.batch.driver.worklist",
+                         "replay.batch.array_fallbacks"))
 
 
 def _build_campaign(tier: str) -> BenchCase:
@@ -369,8 +445,11 @@ REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
               "level-batched array replay driver vs worklist driver and "
               "scalar replay", _build_tape_replay),
     Benchmark("micro.bus_arbitration", "micro",
-              "finite-bus lockstep-peel batch replay vs scalar replay",
-              _build_bus_arbitration),
+              "finite-bus fork-on-divergence lockstep batch replay vs "
+              "scalar replay", _build_bus_arbitration),
+    Benchmark("micro.bus_lockstep", "micro",
+              "finite-bus zero-divergence lockstep batch replay "
+              "(uniform scales) vs scalar replay", _build_bus_lockstep),
     Benchmark("micro.event_engine", "micro",
               "event-driven replay engine vs the polling reference",
               _build_event_engine),

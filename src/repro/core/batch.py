@@ -161,10 +161,12 @@ class BatchEvaluator:
                  if mode == "replay" else None)
         replay_totals: Optional[List[float]] = None
         if mode == "replay" and batch_replay:
-            # One lockstep event-engine pass for the whole batch: the
-            # per-phase makespan columns (exactly the arrays summed
-            # into ``compute_iter`` above) scaled per rank reproduce
-            # the scalar splice's float64 products bit for bit.
+            # One config-vectorized replay pass for the whole batch
+            # (array tape when order-free, fork-on-divergence lockstep
+            # under a finite bus pool): the per-phase makespan columns
+            # (exactly the arrays summed into ``compute_iter`` above)
+            # scaled per rank reproduce the scalar splice's float64
+            # products bit for bit.
             cols = {id(p): np.array([d.makespan_ns for d in dp])
                     for p, dp in zip(musa.phases, details_per_phase)}
 

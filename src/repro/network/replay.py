@@ -41,9 +41,16 @@ Design-space sweeps that replay one trace under many node
 configurations should use :func:`repro.network.replay_batch.replay_batch`,
 which carries a NumPy configuration axis through this core's state and
 prices the whole batch in one pass — bit-identically to per-config
-scalar replay.  Its ``_LockstepCore.step`` transliterates
-:meth:`_ReplayCore.step` branch for branch: any change to the stepping
-logic here must be mirrored there (the equivalence property tests in
+scalar replay.  The shared-grant semantics carry over column-wise:
+with unlimited buses the ``(clock, rank)`` order is unobservable and
+any structurally valid order prices identically, so whole batches share
+one pass; with a finite pool the batched driver steps lockstep groups
+in this same minimum-``(clock, rank)`` order per configuration and
+*forks* a group whenever per-config clocks disagree on the next grant,
+so every column still executes exactly this core's step sequence.  Its
+``_LockstepCore.step`` transliterates :meth:`_ReplayCore.step` branch
+for branch: any change to the stepping logic here must be mirrored
+there (the equivalence property tests in
 ``tests/network/test_replay_batch.py`` will catch a drift).
 """
 

@@ -10,30 +10,31 @@ configuration-invariant.  Only the compute-phase durations differ per
 configuration, which perturbs the virtual clocks but usually not the
 global ``(clock, rank)`` step order that both scalar engines follow.
 
-This module exploits that: a :class:`_LockstepCore` carries a NumPy
-*configuration axis* through every quantity the scalar
-``_ReplayCore`` keeps as a float — rank clocks, outgoing-link
-``link_free`` times, bus-pool free slots, buffered eager arrivals,
-rendezvous release slots, request completion times, collective entry
-times — and steps the whole batch in lockstep, one trace event at a
-time.  Three drivers share that columnar core:
+This module exploits that with three drivers, all carrying a NumPy
+*configuration axis* through every quantity the scalar ``_ReplayCore``
+keeps as a float — rank clocks, outgoing-link ``link_free`` times,
+bus-pool free slots, buffered eager arrivals, rendezvous release slots,
+request completion times, collective entry times:
 
-**Array driver** (:func:`_run_array`).  On the order-free path (see
-below) the event order is not just irrelevant — the whole matching is
-*structural*, so :func:`_build_tape` resolves it once in pure Python
+**Array driver** (:func:`_run_array_tape`).  On the order-free path
+(see below) the event order is not just irrelevant — the whole matching
+is *structural*, so :func:`_build_tape` resolves it once in pure Python
 (no floats), levels the resulting value DAG by dependency depth, and
-:func:`_run_array` executes it level by level with one NumPy pass per
+the driver executes it level by level with one NumPy pass per
 (level, kind) group: all of a level's eager sends price in one
 vectorized expression over (events-in-level x configs), and likewise
-for receives, rendezvous handshakes, waits and collectives.  The ~one
-Python ``step()`` call per trace event that the worklist driver costs
-collapses into a few hundred array passes, while every float64
-operation along a column stays the identical scalar operation — see
-the tape section below for why dropped clamps are exact no-ops.  Any
-structural snag (would-deadlock, unknown wait request, ragged
-collective) falls back to the shared-order driver.
+for receives, rendezvous handshakes, waits and collectives.  Full-rank
+groups (the bulk-synchronous common case) run as ``out=``-pipelined
+in-place kernels over two reusable workspace matrices, so a level costs
+stream passes over the state, not allocator round-trips for chained
+temporaries — at paper scale (864 configs x 256 ranks) the temporaries
+were the whole difference between losing and decisively beating the
+worklist driver.  Every float64 operation along a column stays the
+identical scalar operation — see the tape section below for why dropped
+clamps are exact no-ops.  Any structural snag (would-deadlock, unknown
+wait request, ragged collective) falls back to the worklist driver.
 
-**Shared-order driver** (:func:`_run_shared`).  The scalar replay is
+**Worklist driver** (:func:`_run_shared`).  The scalar replay is
 *confluent* whenever no shared resource couples ranks: every message
 cost is computed from endpoint-local dataflow values (the sender's
 clock and ``link_free`` when *it* reaches the send, the receiver's
@@ -51,26 +52,35 @@ for the paper's MareNostrum4-like network, which has an unlimited bus
 pool — *any* structurally valid order yields, per configuration, the
 bit-exact scalar result, so one pass with a trivial run-until-blocked
 worklist steps all configurations at once with **zero** divergence
-checking.
+checking.  It survives as the fallback for tapeless traces and as the
+benchmark reference the array driver is gated against.
 
-**Lockstep-peel driver** (:func:`_run_lockstep`).  When the bus pool
-is finite (or a key mixes protocols), per-configuration order *does*
-matter.  The next rank to step is then chosen exactly like the scalar
-engines choose it, per configuration, via a vectorized tournament tree
-(min over ranks of ``(clock, rank)``, column-wise).  Wherever every
-configuration in the lockstep group agrees on the choice, one step
-serves the whole group; columns whose min-ready rank differs from the
-group's (a per-config compute duration flipped the order) are
-*peeled*: marked inactive and, after the lockstep pass, re-replayed
-from scratch on the scalar engine.  Peeling at the first disagreement
-means every surviving column executed exactly the step sequence the
-scalar engine would have executed for it.
+**Fork-on-divergence lockstep driver** (:func:`_run_lockstep`).  When
+the bus pool is finite (or a key mixes protocols), per-configuration
+order *does* matter.  The next rank to step is then chosen exactly like
+the scalar engines choose it, per configuration: a dense (rank, config)
+key matrix holds each rank's clock column (``+inf`` when blocked or
+done) and one ``argmin(axis=0)`` per step yields every column's choice
+— NumPy's first-minimum tie-break is the scalar ``(clock, rank)`` tuple
+order.
+Wherever every configuration in a lockstep group agrees on the choice,
+one step serves the whole group.  Where they disagree (a per-config
+compute duration flipped the bus-grant order), the group *forks*: its
+columns are partitioned by their chosen rank and the full core state —
+clocks, queues, bus pool, collective bookkeeping — is column-sliced
+into one independent child core per partition, each of which continues
+from the divergence point executing exactly its columns' scalar step
+sequence.  Forking replaces the old modal-vote *peel* (re-replaying
+disagreeing columns from scratch on the scalar engine, which collapsed
+to 29/32 scalar re-runs on bus-contended batches); columns now leave
+the vectorized path only on a genuine structural deadlock, where the
+scalar engine owns the diagnostic.
 
 Either way, every arithmetic operation along a column is the same
 IEEE-754 float64 operation the scalar core performs (element-wise
 instead of one at a time), so results are **bit-identical** to
-per-config scalar replay — peeled columns trivially so, because the
-scalar engine produces them.  The step outcome itself (advance vs
+per-config scalar replay — deadlocked columns trivially so, because
+the scalar engine produces them.  The step outcome itself (advance vs
 block, match vs buffer, collective complete vs park) depends only on
 *structural* state — queue occupancy, request bookkeeping, collective
 membership — which is identical across columns that share a step
@@ -78,9 +88,16 @@ history; only the *selection* of which rank steps next reads the
 clocks, and only when a shared resource makes that order observable.
 
 Counters: ``replay.batch.array_events`` (config-events priced by the
-array driver), ``replay.batch.lockstep_events`` (config-events served
-by event-at-a-time batched steps), ``replay.batch.peeled_configs``
-(columns finished on the scalar engine), plus the scalar-equivalent
+array driver), ``replay.batch.worklist_events`` (config-events served
+by the event-at-a-time worklist pass), ``replay.batch.lockstep_events``
+(config-events served by lockstep groups), ``replay.batch.driver.*``
+(``array`` / ``worklist`` / ``lockstep`` — which driver a
+:func:`replay_batch` call actually ran, so a silent tape bail-out can
+never masquerade as an array-driver run), ``replay.batch.array_fallbacks``
+(order-free batches whose tape could not be built),
+``replay.batch.forked_groups`` (child groups created at divergence
+points), ``replay.batch.peeled_configs`` (columns finished on the
+scalar engine — deadlock diagnostics only), plus the scalar-equivalent
 ``replay.events`` / ``replay.messages`` / ``replay.bus_waits`` totals.
 """
 
@@ -103,49 +120,6 @@ __all__ = ["replay_batch", "BatchPhaseDurationFn"]
 
 #: Maps (rank, phase) to a per-configuration duration column (ns).
 BatchPhaseDurationFn = Callable[[int, ComputePhase], np.ndarray]
-
-
-class _MinTree:
-    """Vectorized tournament tree: per-column min of ``(clock, rank)``.
-
-    One leaf per rank holds that rank's clock column (``+inf`` when the
-    rank is blocked or done).  Internal nodes keep the column-wise
-    minimum value and the rank achieving it; ties prefer the left
-    child, and left subtrees hold smaller ranks, so the tie-break is
-    "smallest rank" — exactly the scalar engines' ``(clock, rank)``
-    tuple comparison.  An update touches ``log2(P)`` levels of
-    column-wide vector ops instead of an O(ranks x columns) rescan per
-    step.
-    """
-
-    def __init__(self, n_ranks: int, n_cols: int) -> None:
-        p = 1
-        while p < max(n_ranks, 1):
-            p *= 2
-        self.p = p
-        self.vals = np.full((2 * p, n_cols), np.inf)
-        self.args = np.zeros((2 * p, n_cols), dtype=np.int32)
-        for r in range(p):
-            self.args[p + r, :] = min(r, n_ranks - 1)
-        # Initialize internal args consistently (vals are all inf).
-        for i in range(p - 1, 0, -1):
-            self.args[i] = self.args[2 * i]
-
-    def update(self, rank: int, clock) -> None:
-        """Set ``rank``'s key column (a vector, scalar, or ``inf``)."""
-        i = self.p + rank
-        self.vals[i] = clock
-        i >>= 1
-        vals, args = self.vals, self.args
-        while i:
-            l, r = 2 * i, 2 * i + 1
-            take_r = vals[r] < vals[l]
-            vals[i] = np.where(take_r, vals[r], vals[l])
-            args[i] = np.where(take_r, args[r], args[l])
-            i >>= 1
-
-    def root(self) -> Tuple[np.ndarray, np.ndarray]:
-        return self.vals[1], self.args[1]
 
 
 class _BatchBusPool:
@@ -174,6 +148,18 @@ class _BatchBusPool:
         self.n_waits += start > ready
         self._free[idx, self._cols] = start + duration_ns
         return start
+
+    def fork(self, idx: np.ndarray) -> "_BatchBusPool":
+        """Column-slice of the pool (``_free`` is mutated in place, so
+        the fancy-index copy is load-bearing, not defensive)."""
+        new = _BatchBusPool.__new__(_BatchBusPool)
+        new.n_buses = self.n_buses
+        new.n_cols = int(idx.size)
+        new.n_waits = self.n_waits[idx]
+        if self.n_buses > 0:
+            new._free = self._free[:, idx]
+            new._cols = np.arange(new.n_cols)
+        return new
 
 
 class _ColState:
@@ -205,14 +191,28 @@ class _LockstepCore:
     (eager arrivals, release slots, request completions) stay frozen at
     their creation-time columns exactly like the scalar floats they
     replace.
+
+    All cross-references between queues and rank state are plain data —
+    a pending receive is ``(post_clock, slot, rank)`` where ``slot`` is
+    a one-element list shared with the blocked rank's ``requests`` /
+    ``pending_slot`` — never a closure, so :func:`_fork_core` can
+    column-slice a whole core (preserving slot sharing via an identity
+    memo) when a lockstep group diverges.
+
+    ``col_idx`` maps this core's local columns to absolute batch
+    columns; the root core covers the whole batch (``None``).  Forked
+    cores always index the *original* ``phase_duration`` output with
+    their absolute ``col_idx``, so repeated forks never stack slices.
     """
 
     def __init__(self, trace: BurstTrace, net: NetworkConfig,
-                 phase_duration: BatchPhaseDurationFn, n_cols: int) -> None:
+                 phase_duration: BatchPhaseDurationFn, n_cols: int,
+                 col_idx: Optional[np.ndarray] = None) -> None:
         self.trace = trace
         self.net = net
         self.phase_duration = phase_duration
         self.n_cols = n_cols
+        self.col_idx = col_idx
         self.n = trace.n_ranks
         self.states = [_ColState(n_cols) for _ in range(self.n)]
         self.events = [trace.ranks[r].events for r in range(self.n)]
@@ -235,7 +235,7 @@ class _LockstepCore:
         self.bytes_sent = 0
         self.n_unfinished = self.n
         self.lockstep_events = 0
-        self.array_events = 0
+        self.worklist_events = 0
 
         #: set by the driver; receives ranks whose dependency resolved
         self.on_wake: Callable[[int], None] = lambda rank: None
@@ -248,15 +248,6 @@ class _LockstepCore:
             st.blocked = False
             self.n_wakeups += 1
             self.on_wake(rank)
-
-    def _resolver(self, rank: int):
-        slot: List[Optional[np.ndarray]] = [None]
-
-        def resolve(t_col: np.ndarray) -> None:
-            slot[0] = t_col
-            self.wake(rank)
-
-        return slot, resolve
 
     # --------------------------------------------------------- transfer cost
 
@@ -299,6 +290,8 @@ class _LockstepCore:
 
         if isinstance(ev, ComputePhase):
             dur = np.asarray(self.phase_duration(rank, ev), dtype=np.float64)
+            if self.col_idx is not None and dur.ndim:
+                dur = dur[self.col_idx]
             if (dur < 0).any():
                 raise ValueError("phase duration must be non-negative")
             st.clock = st.clock + dur
@@ -344,8 +337,9 @@ class _LockstepCore:
                 arrival = start + transfer
                 rq = self.recvs[key]
                 if rq:
-                    post, resolver = rq.pop(0)
-                    resolver(np.maximum(arrival, post + transfer))
+                    post, slot, waiter = rq.pop(0)
+                    slot[0] = np.maximum(arrival, post + transfer)
+                    self.wake(waiter)
                 else:
                     self.sends[key].append((arrival, transfer))
                 st.clock = st.clock + net.overhead_ns
@@ -369,10 +363,11 @@ class _LockstepCore:
                 return True
             rq = self.recvs[key]
             if rq:
-                post, resolver = rq.pop(0)
+                post, slot, waiter = rq.pop(0)
                 start, arrival = self._rdv_transfer(
                     st.clock + net.overhead_ns, post, transfer, rank)
-                resolver(arrival)
+                slot[0] = arrival
+                self.wake(waiter)
                 st.p2p_ns = st.p2p_ns + (start - st.clock)
                 st.clock = start
                 self.n_messages += 1
@@ -392,8 +387,8 @@ class _LockstepCore:
                 if done is not None:
                     st.requests[call.request] = done
                 else:
-                    slot, resolver = self._resolver(rank)
-                    self.recvs[key].append((st.clock, resolver))
+                    slot = [None]
+                    self.recvs[key].append((st.clock, slot, rank))
                     st.requests[call.request] = slot
                 st.clock = st.clock + net.overhead_ns
                 st.p2p_ns = st.p2p_ns + net.overhead_ns
@@ -407,8 +402,8 @@ class _LockstepCore:
             else:
                 maybe = self._match_source(key, st.clock)
                 if maybe is None:
-                    slot, resolver = self._resolver(rank)
-                    self.recvs[key].append((st.clock, resolver))
+                    slot = [None]
+                    self.recvs[key].append((st.clock, slot, rank))
                     st.pending_slot = slot
                     return False
                 done = maybe
@@ -435,6 +430,89 @@ class _LockstepCore:
             return True
 
         raise ValueError(f"unhandled MPI call kind {call.kind!r}")
+
+
+def _fork_core(core: _LockstepCore, idx: np.ndarray) -> _LockstepCore:
+    """Column-slice ``core`` into an independent child covering ``idx``.
+
+    Called at a divergence point, before the disputed step runs, so
+    structural state (cursors, queue membership, collective rosters) is
+    shared by every column and copies as-is; only the float columns are
+    sliced.  One-element ``slot`` lists are shared between a queue
+    entry and the blocked rank's ``requests`` / ``pending_slot`` — the
+    identity memo preserves exactly that sharing in the child, so a
+    later match still wakes the right rank.  The parent is discarded
+    after forking (its children partition its columns), so buffered
+    arrays can be sliced without copy concerns; only the bus pool's
+    ``_free`` matrix is mutated in place, and fancy indexing already
+    copies it.
+    """
+    new = _LockstepCore.__new__(_LockstepCore)
+    new.trace = core.trace
+    new.net = core.net
+    new.phase_duration = core.phase_duration
+    new.n_cols = int(idx.size)
+    new.col_idx = idx if core.col_idx is None else core.col_idx[idx]
+    new.n = core.n
+    new.events = core.events
+
+    memo: Dict[int, List[Optional[np.ndarray]]] = {}
+
+    def fork_slot(slot):
+        forked = memo.get(id(slot))
+        if forked is None:
+            forked = [None if slot[0] is None else slot[0][idx]]
+            memo[id(slot)] = forked
+        return forked
+
+    states = []
+    for st in core.states:
+        ns = _ColState.__new__(_ColState)
+        ns.clock = st.clock[idx]
+        ns.cursor = st.cursor
+        ns.compute_ns = st.compute_ns[idx]
+        ns.p2p_ns = st.p2p_ns[idx]
+        ns.collective_ns = st.collective_ns[idx]
+        ns.requests = {req: (fork_slot(e) if type(e) is list else e[idx])
+                       for req, e in st.requests.items()}
+        ns.pending_slot = (None if st.pending_slot is None
+                           else fork_slot(st.pending_slot))
+        ns.link_free = st.link_free[idx]
+        ns.blocked = st.blocked
+        ns.done = st.done
+        states.append(ns)
+    new.states = states
+
+    new.sends = defaultdict(list, {
+        key: [(arrival[idx], t) for arrival, t in q]
+        for key, q in core.sends.items() if q})
+    new.recvs = defaultdict(list, {
+        key: [(post[idx], fork_slot(slot), waiter)
+              for post, slot, waiter in q]
+        for key, q in core.recvs.items() if q})
+    new.rdv_sends = defaultdict(list, {
+        key: [(ready[idx], t, fork_slot(slot), sender)
+              for ready, t, slot, sender in q]
+        for key, q in core.rdv_sends.items() if q})
+    new.buses = core.buses.fork(idx)
+
+    new.coll_seq = [defaultdict(int, d) for d in core.coll_seq]
+    new.coll_enter = defaultdict(dict, {
+        ckey: {r: col[idx] for r, col in enters.items()}
+        for ckey, enters in core.coll_enter.items()})
+    new.coll_done = {ckey: col[idx] for ckey, col in core.coll_done.items()}
+    new.coll_waiters = defaultdict(list, {
+        ckey: list(w) for ckey, w in core.coll_waiters.items() if w})
+
+    new.n_steps = core.n_steps
+    new.n_wakeups = core.n_wakeups
+    new.n_messages = core.n_messages
+    new.bytes_sent = core.bytes_sent
+    new.n_unfinished = core.n_unfinished
+    new.lockstep_events = core.lockstep_events
+    new.worklist_events = core.worklist_events
+    new.on_wake = lambda rank: None
+    return new
 
 
 def _order_free(trace: BurstTrace, net: NetworkConfig) -> bool:
@@ -473,14 +551,14 @@ def _order_free(trace: BurstTrace, net: NetworkConfig) -> bool:
 # previous event plus at most one cross-rank value (a message arrival, a
 # receive-post clock, or a collective's entry set).  _build_tape walks
 # the trace once (pure Python, no floats), resolves the matching, and
-# levels the DAG by depth; _run_array then executes it level by level
-# with one NumPy pass per (level, kind) group — the same float64 ops the
-# scalar ``step`` performs, (events-in-level x configs) at a time —
-# instead of ~one Python ``step()`` call per event.  Because an event's
-# depth strictly exceeds its same-rank predecessor's, each rank appears
-# at most once per level, so the fancy-index scatters never collide.
-# Any structural snag (unmatched receive, rendezvous deadlock cycle,
-# unknown wait request, ragged collective, non-uniform collective
+# levels the DAG by depth; _run_array_tape then executes it level by
+# level with one NumPy pass per (level, kind) group — the same float64
+# ops the scalar ``step`` performs, (events-in-level x configs) at a
+# time — instead of ~one Python ``step()`` call per event.  Because an
+# event's depth strictly exceeds its same-rank predecessor's, each rank
+# appears at most once per level, so the fancy-index scatters never
+# collide.  Any structural snag (unmatched receive, rendezvous deadlock
+# cycle, unknown wait request, ragged collective, non-uniform collective
 # payload) falls back to the worklist driver, which reproduces the
 # scalar diagnostics.
 
@@ -490,7 +568,12 @@ def _order_free(trace: BurstTrace, net: NetworkConfig) -> bool:
 
 
 class _Tape:
-    __slots__ = ("groups", "n_msgs", "n_events", "n_messages", "bytes_sent")
+    #: ``n_msgs`` holds the (arrival, post) buffer row counts; ``ws``
+    #: caches the driver's workspace matrices between runs (the big
+    #: slot buffers are tens of MB — repaying their first-touch page
+    #: faults on every call costs more than the arithmetic).
+    __slots__ = ("groups", "n_msgs", "n_events", "n_messages",
+                 "bytes_sent", "ws")
 
     def __init__(self, groups, n_msgs, n_events, n_messages, bytes_sent):
         self.groups = groups
@@ -498,6 +581,7 @@ class _Tape:
         self.n_events = n_events
         self.n_messages = n_messages
         self.bytes_sent = bytes_sent
+        self.ws = None
 
 
 def _build_tape(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
@@ -710,9 +794,9 @@ def _build_tape(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
     # Node ids are assigned rank-major and the sort is stable, so
     # members sort by rank within a group; when a group covers every
     # rank, the index array is the identity permutation and a full
-    # slice serves instead — the driver then reads/writes state views
-    # in place, skipping the gather and scatter copies (the common
-    # case: bulk-synchronous apps keep all ranks at the same depth).
+    # slice serves instead — the driver then runs its in-place
+    # whole-matrix kernels (the common case: bulk-synchronous apps keep
+    # all ranks at the same depth).
     kind_arr = np.asarray(kinds, dtype=np.int64)
     rank_arr = np.asarray(ranks, dtype=np.int64)
     nmsg_arr = np.asarray(nmsg, dtype=np.int64)
@@ -726,26 +810,113 @@ def _build_tape(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
         bounds = np.concatenate(([0], brk + 1, [n_nodes]))
     else:
         bounds = np.zeros(1, dtype=np.int64)
+    raw = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        raw.append((int(k_s[a]), order[a:b]))
+
+    # Reader-ordered buffer layout.  An arrival value can have up to
+    # two readers — the receiver-side consumer (recv / wait / rdv
+    # completion) and, for a waited isend, the sender's own wait; a
+    # post value has at most one (the matching wait or rendezvous
+    # send).  Each (slot, reader) pair gets its *own* buffer slot,
+    # assigned walking the groups in execution order, so every reader
+    # group's slots form one contiguous ascending run: the driver
+    # reads plain slices — views it may finish in place and adopt as
+    # the next ``clock``, the slot being dead afterwards — instead of
+    # fancy-index gathers, and only producers pay a scatter (twice,
+    # for the doubly-read slots).  At paper scale the reader gathers
+    # were ~40% of the driver's memory traffic.  Never-read slots
+    # (unreceived sends, unwaited irecvs) get the leftover ids past
+    # every reader's run, keeping producer scatters unconditional.
+    n_msgs = len(msg_transfer)
+    arr_map1 = np.full(n_msgs, -1, dtype=np.int64)
+    arr_map2 = np.full(n_msgs, -1, dtype=np.int64)
+    post_map = np.full(n_msgs, -1, dtype=np.int64)
+    n_arr = n_post = 0
+    arr_blocks: List[Optional[slice]] = []
+    post_blocks: List[Optional[slice]] = []
+    for k, members in raw:
+        ablk = pblk = None
+        if k != _K_COLL:
+            mm = nmsg_arr[members]
+            if k in (_K_RECV_EAGER, _K_RDV_COMPLETE, _K_WAIT_ARR,
+                     _K_WAIT_EAGER):
+                ids = np.arange(n_arr, n_arr + mm.size)
+                ablk = slice(n_arr, n_arr + mm.size)
+                n_arr += mm.size
+                first = arr_map1[mm] < 0
+                arr_map1[mm[first]] = ids[first]
+                second = mm[~first]
+                if (arr_map2[second] >= 0).any():
+                    return None  # >2 readers: bail rather than corrupt
+                arr_map2[second] = ids[~first]
+            if k in (_K_WAIT_EAGER, _K_RDV_SEND):
+                if (post_map[mm] >= 0).any():
+                    return None  # post read twice: bail
+                post_map[mm] = np.arange(n_post, n_post + mm.size)
+                pblk = slice(n_post, n_post + mm.size)
+                n_post += mm.size
+        arr_blocks.append(ablk)
+        post_blocks.append(pblk)
+    for mp, cnt in ((arr_map1, n_arr), (post_map, n_post)):
+        left = np.flatnonzero(mp < 0)
+        mp[left] = np.arange(cnt, cnt + left.size)
+    arr_size = n_arr + int((arr_map1 >= n_arr).sum())
+    post_size = n_post + int((post_map >= n_post).sum())
+
+    def _as_slice(idx: np.ndarray):
+        lo = int(idx[0]) if idx.size else 0
+        if np.array_equal(idx, np.arange(lo, lo + idx.size)):
+            return slice(lo, lo + idx.size)
+        return idx
+
+    # Final group tuples: (kind, rr, widx, rsl, rsl2, tt2, payload).
+    # ``widx``: for arrival producers, a tuple of (target, source-rows)
+    # scatter pairs (source ``None`` = every row; the second pair
+    # covers doubly-read slots); for posts, one plain index.  ``rsl``:
+    # the consumed block (arrivals, or posts for _K_RDV_SEND), a slice
+    # by construction.  ``rsl2``: the post block a _K_WAIT_EAGER
+    # additionally reads.
     identity = np.arange(n, dtype=np.int64)
     groups = []
-    for a, b in zip(bounds[:-1], bounds[1:]):
-        members = order[a:b]
-        k = int(k_s[a])
+    for gi, (k, members) in enumerate(raw):
         if k == _K_COLL:
             for nid in members:
-                groups.append((k, None, None, None, payloads[nid]))
+                groups.append((k, None, None, None, None, None,
+                               payloads[nid]))
             continue
         rr = rank_arr[members]
         mm = nmsg_arr[members]
-        tt = (tr_arr[mm] if k in (_K_EAGER_SEND, _K_RECV_EAGER,
-                                  _K_RDV_SEND, _K_WAIT_EAGER) else None)
+        tt2 = (tr_arr[mm][:, None] if k in (_K_EAGER_SEND, _K_RECV_EAGER,
+                                            _K_RDV_SEND, _K_WAIT_EAGER)
+               else None)
         pl = ([(int(rank_arr[e]), payloads[e]) for e in members]
               if k == _K_COMPUTE else None)
         if np.array_equal(rr, identity):
             rr = slice(None)
-        groups.append((k, rr, mm, tt, pl))
+        widx = rsl = rsl2 = None
+        if k in (_K_EAGER_SEND, _K_RDV_SEND):
+            w2 = arr_map2[mm]
+            has2 = w2 >= 0
+            widx = ((_as_slice(arr_map1[mm]), None),)
+            if has2.all():
+                widx += ((_as_slice(w2), None),)
+            elif has2.any():
+                rows = np.flatnonzero(has2)
+                widx += ((w2[rows], rows),)
+        elif k in (_K_IRECV_POST, _K_RDV_POST):
+            widx = _as_slice(post_map[mm])
+        if k in (_K_RECV_EAGER, _K_RDV_COMPLETE, _K_WAIT_ARR,
+                 _K_WAIT_EAGER):
+            rsl = arr_blocks[gi]
+        elif k == _K_RDV_SEND:
+            rsl = post_blocks[gi]
+        if k == _K_WAIT_EAGER:
+            rsl2 = post_blocks[gi]
+        groups.append((k, rr, widx, rsl, rsl2, tt2, pl))
 
-    return _Tape(groups, len(msg_transfer), n_events, n_messages, bytes_sent)
+    return _Tape(groups, (arr_size, post_size), n_events, n_messages,
+                 bytes_sent)
 
 
 #: Tapes are structural — they depend only on ``(trace, net)``, never
@@ -780,153 +951,191 @@ def _tape_for(trace: BurstTrace, net: NetworkConfig) -> Optional[_Tape]:
     return tape
 
 
-def _run_array(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
+def _run_array_tape(
+    tape: _Tape,
+    net: NetworkConfig,
+    phase_duration: BatchPhaseDurationFn,
+    n: int,
+    n_cols: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Order-free driver: level-batched NumPy execution of the tape.
 
     Valid only under :func:`_order_free`.  Runs the identical float64
     operation sequence the scalar core performs per event — the
     redundant ``max(x, clock)`` clamps the scalar blocked/resumed paths
     apply are exact no-ops there (``x >= clock`` always holds at those
-    points), so dropping them changes no bits.  Falls back to
-    :func:`_run_shared` whenever the tape cannot be built.
+    points), so dropping them changes no bits.  Returns the final
+    ``(clock, compute, p2p, collective)`` state matrices, one row per
+    rank, one column per configuration.
+
+    Full-rank groups run as ``out=``-pipelined kernels over the state
+    matrices plus two scratch workspaces: at paper scale a (256, 864)
+    float64 temporary costs more in allocator and fault traffic than
+    the arithmetic it carries, so expressions that would chain three
+    temporaries are fused into in-place ufunc calls.  The
+    consumer-ordered buffer layout makes every consumed slot block a
+    contiguous slice: the kernel takes the *view*, finishes the value
+    in place (the slots are dead afterwards — each has exactly one
+    reader) and adopts it as the new ``clock``, so receive/wait groups
+    move zero gather bytes; only producers pay a fancy-index scatter.
+    Partial groups — rare outside warmup levels — keep the simpler
+    gather/compute/scatter form over the same views.  In-place ufuncs
+    and buffer adoption do not change results: each kernel applies the
+    same ops, in the same order, with the same operand values,
+    element-wise.
     """
-    tape = _tape_for(core.trace, core.net)
-    if tape is None:
-        return _run_shared(core, active)
-
-    n, k_cols = core.n, core.n_cols
-    net = core.net
     ov = net.overhead_ns
-    clock = np.zeros((n, k_cols))
-    link_free = np.zeros((n, k_cols))
-    p2p = np.zeros((n, k_cols))
-    comp = np.zeros((n, k_cols))
-    coll = np.zeros((n, k_cols))
-    arr_buf = np.zeros((tape.n_msgs, k_cols))
-    post_buf = np.zeros((tape.n_msgs, k_cols))
+    # Workspaces persist on the tape between runs: refaulting the
+    # slot buffers' pages every call costs multiples of the actual
+    # compute.  Only the five state matrices need re-zeroing; every
+    # buffer slot is written by its producer group before any reader
+    # group reads it (the DAG leveling guarantees the order), so the
+    # message buffers carry over uninitialized.  The locals rebind to
+    # adopted views as the run progresses; the cache keeps the
+    # original allocations.
+    if tape.ws is None or tape.ws[0] != n_cols:
+        arr_size, post_size = tape.n_msgs
+        tape.ws = (n_cols,
+                   np.empty((arr_size, n_cols)),
+                   np.empty((post_size, n_cols)),
+                   [np.empty((n, n_cols)) for _ in range(5)],
+                   np.empty((n, n_cols)),
+                   np.empty((n, n_cols)))
+    _, arr_buf, post_buf, state, ws1, ws2 = tape.ws
+    clock, link_free, p2p, comp, coll = state
+    for m in state:
+        m.fill(0.0)
 
-    # Full groups (``rr`` is a whole-axis slice — the common case for
-    # bulk-synchronous traces) *rebind* the state matrices to the fresh
-    # result arrays instead of copying back through ``x[rr] = ...``; an
-    # in-place update would stream every matrix twice (temporary +
-    # write-back).  Rebinding is only valid when the group recomputes
-    # every row, which is exactly what the slice marks.  Partial groups
-    # keep the gather/scatter path; all rebound arrays are freshly
-    # allocated and unshared, so their in-place row writes never alias.
-    for kind, rr, mm, tt, pl in tape.groups:
+    for kind, rr, widx, rsl, rsl2, tt2, pl in tape.groups:
         full = type(rr) is slice
         if kind == _K_COMPUTE:
-            dur = np.empty((len(pl), k_cols))
+            dur = ws1 if full else np.empty((len(pl), n_cols))
             for j, (rank, ph) in enumerate(pl):
-                d = np.asarray(core.phase_duration(rank, ph),
-                               dtype=np.float64)
-                if (d < 0).any():
-                    raise ValueError("phase duration must be non-negative")
-                dur[j] = d
+                dur[j] = phase_duration(rank, ph)
+            if dur.min() < 0:
+                raise ValueError("phase duration must be non-negative")
             if full:
-                clock = clock + dur
-                comp = comp + dur
+                np.add(clock, dur, out=clock)
+                np.add(comp, dur, out=comp)
             else:
-                clock[rr] = clock[rr] + dur
-                comp[rr] = comp[rr] + dur
+                clock[rr] += dur
+                comp[rr] += dur
         elif kind == _K_EAGER_SEND:
-            pre = clock[rr]
-            ready = pre + ov
-            start = np.maximum(ready, link_free[rr])
-            arrival = start + tt[:, None]
-            arr_buf[mm] = arrival
             if full:
-                link_free = arrival
-                clock = ready
-                p2p = p2p + ov
+                np.add(clock, ov, out=clock)                 # ready
+                np.maximum(clock, link_free, out=link_free)  # start
+                np.add(link_free, tt2, out=link_free)        # arrival
+                for tgt, src in widx:
+                    arr_buf[tgt] = link_free if src is None else \
+                        link_free[src]
+                np.add(p2p, ov, out=p2p)
             else:
-                link_free[rr] = arrival
+                ready = clock[rr]
+                np.add(ready, ov, out=ready)
+                lf = link_free[rr]
+                np.maximum(ready, lf, out=lf)
+                np.add(lf, tt2, out=lf)
+                for tgt, src in widx:
+                    arr_buf[tgt] = lf if src is None else lf[src]
+                link_free[rr] = lf
                 clock[rr] = ready
-                p2p[rr] = p2p[rr] + ov
+                p2p[rr] += ov
         elif kind == _K_RECV_EAGER:
-            pre = clock[rr]
-            done = np.maximum(arr_buf[mm], pre + tt[:, None])
+            av = arr_buf[rsl]
             if full:
-                p2p = p2p + (done - pre)
-                clock = done
+                np.add(clock, tt2, out=ws1)      # post + transfer
+                np.maximum(av, ws1, out=av)      # done, finished in place
+                np.subtract(av, clock, out=ws2)
+                np.add(p2p, ws2, out=p2p)
+                clock = av
             else:
-                p2p[rr] = p2p[rr] + (done - pre)
+                pre = clock[rr]
+                done = np.maximum(av, pre + tt2)
+                p2p[rr] += done - pre
                 clock[rr] = done
         elif kind == _K_IRECV_POST:
-            pre = clock[rr]
-            post_buf[mm] = pre
             if full:
-                clock = pre + ov
-                p2p = p2p + ov
+                post_buf[widx] = clock
+                np.add(clock, ov, out=clock)
+                np.add(p2p, ov, out=p2p)
             else:
+                pre = clock[rr]
+                post_buf[widx] = pre
                 clock[rr] = pre + ov
-                p2p[rr] = p2p[rr] + ov
+                p2p[rr] += ov
         elif kind == _K_RDV_POST:
-            post_buf[mm] = clock[rr]
+            post_buf[widx] = clock if full else clock[rr]
         elif kind == _K_RDV_SEND:
-            pre = clock[rr]
-            ready = pre + ov
-            start = np.maximum(np.maximum(ready, post_buf[mm]),
-                               link_free[rr])
-            arrival = start + tt[:, None]
-            arr_buf[mm] = arrival
+            pv = post_buf[rsl]
             if full:
-                link_free = arrival
-                p2p = p2p + (start - pre)
-                clock = start
+                np.add(clock, ov, out=ws1)           # ready
+                np.maximum(ws1, pv, out=ws1)
+                np.maximum(ws1, link_free, out=ws1)  # start
+                np.subtract(ws1, clock, out=ws2)
+                np.add(p2p, ws2, out=p2p)
+                np.add(ws1, tt2, out=link_free)      # arrival
+                for tgt, src in widx:
+                    arr_buf[tgt] = link_free if src is None else \
+                        link_free[src]
+                clock, ws1 = ws1, clock
             else:
+                pre = clock[rr]
+                ready = pre + ov
+                start = np.maximum(np.maximum(ready, pv), link_free[rr])
+                arrival = start + tt2
+                for tgt, src in widx:
+                    arr_buf[tgt] = arrival if src is None else arrival[src]
                 link_free[rr] = arrival
-                p2p[rr] = p2p[rr] + (start - pre)
+                p2p[rr] += start - pre
                 clock[rr] = start
         elif kind == _K_RDV_COMPLETE:
-            pre = clock[rr]
-            arrival = arr_buf[mm]
+            av = arr_buf[rsl]
             if full:
-                p2p = p2p + (arrival - pre)
-                clock = arrival
+                np.subtract(av, clock, out=ws2)
+                np.add(p2p, ws2, out=p2p)
+                clock = av
             else:
-                p2p[rr] = p2p[rr] + (arrival - pre)
-                clock[rr] = arrival
+                pre = clock[rr]
+                p2p[rr] += av - pre
+                clock[rr] = av
         elif kind == _K_WAIT_ARR:
-            pre = clock[rr]
-            done = np.maximum(arr_buf[mm], pre)
+            av = arr_buf[rsl]
             if full:
-                p2p = p2p + (done - pre)
-                clock = done
+                np.maximum(av, clock, out=av)    # done, finished in place
+                np.subtract(av, clock, out=ws2)
+                np.add(p2p, ws2, out=p2p)
+                clock = av
             else:
-                p2p[rr] = p2p[rr] + (done - pre)
+                pre = clock[rr]
+                done = np.maximum(av, pre)
+                p2p[rr] += done - pre
                 clock[rr] = done
         elif kind == _K_WAIT_EAGER:
-            pre = clock[rr]
-            value = np.maximum(arr_buf[mm], post_buf[mm] + tt[:, None])
-            done = np.maximum(value, pre)
+            av = arr_buf[rsl]
+            pv = post_buf[rsl2]
             if full:
-                p2p = p2p + (done - pre)
-                clock = done
+                np.add(pv, tt2, out=pv)
+                np.maximum(av, pv, out=pv)       # buffered value
+                np.maximum(pv, clock, out=pv)    # done, finished in place
+                np.subtract(pv, clock, out=ws2)
+                np.add(p2p, ws2, out=p2p)
+                clock = pv
             else:
-                p2p[rr] = p2p[rr] + (done - pre)
+                pre = clock[rr]
+                value = np.maximum(av, pv + tt2)
+                done = np.maximum(value, pre)
+                p2p[rr] += done - pre
                 clock[rr] = done
         else:  # _K_COLL: enter clocks are frozen — every rank is parked
             ckind, size = pl
             cost = collective_cost_ns(ckind, n, size, net)
-            done = clock.max(axis=0) + cost
-            coll = coll + (done[None, :] - clock)
-            clock = np.empty_like(clock)
-            clock[:] = done
+            done_row = clock.max(axis=0)
+            np.add(done_row, cost, out=done_row)
+            np.subtract(done_row[None, :], clock, out=ws1)
+            np.add(coll, ws1, out=coll)
+            clock[:] = done_row
 
-    for r in range(n):
-        st = core.states[r]
-        st.clock = clock[r]
-        st.compute_ns = comp[r]
-        st.p2p_ns = p2p[r]
-        st.collective_ns = coll[r]
-        st.done = True
-    core.n_unfinished = 0
-    core.n_steps = tape.n_events
-    core.n_messages = tape.n_messages
-    core.bytes_sent = tape.bytes_sent
-    core.array_events = tape.n_events
-    return active
+    return clock, comp, p2p, coll
 
 
 def _run_shared(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
@@ -962,72 +1171,122 @@ def _run_shared(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
             if not step(r):
                 st.blocked = True
                 break
-            core.lockstep_events += 1
+            core.worklist_events += 1
 
     if core.n_unfinished:
         return np.zeros_like(active)  # deadlock: scalar engine diagnoses
     return active
 
 
-def _run_lockstep(core: _LockstepCore, active: np.ndarray) -> np.ndarray:
-    """Drive the lockstep group to completion; returns the surviving
-    active mask (peeled columns cleared).
+def _run_lockstep(
+    trace: BurstTrace,
+    net: NetworkConfig,
+    phase_duration: BatchPhaseDurationFn,
+    n_configs: int,
+) -> Tuple[List[_LockstepCore], np.ndarray, int]:
+    """Fork-on-divergence lockstep driver for order-sensitive batches.
 
-    Each iteration reads the tournament-tree root: per column, the
-    ready rank with the smallest ``(clock, rank)`` key.  Columns whose
-    choice disagrees with the group's (the modal choice among active
-    columns) are peeled; the group then steps its chosen rank once and
-    refreshes that rank's leaf.  If *every* active column is peeled by
-    a structural dead end (all ranks blocked — a genuine trace
-    deadlock), the survivors are handed to the scalar engine too, which
-    reproduces the scalar diagnostic exactly.
+    Runs a work stack of lockstep groups.  Within a group, every column
+    agrees on the next ``(clock, rank)``-minimal rank (one dense
+    ``argmin`` over the (rank, column) key matrix computes all columns'
+    choices at once), so one batched step serves the whole group.  At a divergence point the group's columns
+    are partitioned by their chosen rank and :func:`_fork_core` splits
+    the core into one child per partition; each child re-derives its
+    (now unanimous) choice from its own tree and continues.  Forked
+    work is bounded: a group of one column can never diverge again, so
+    at most ``n_configs - 1`` forks happen over the whole batch, and
+    the per-column step sequence is by construction exactly the scalar
+    engine's.
+
+    Returns ``(groups, peeled, n_forks)``: the finished cores (each
+    covering ``core.col_idx`` absolute columns), the mask of columns
+    that hit a structural deadlock (handed to the scalar engine, which
+    owns the diagnostic), and the number of extra groups divergences
+    created.
     """
-    states = core.states
-    events = core.events
-    tree = _MinTree(core.n, core.n_cols)
-    core.on_wake = lambda rank: tree.update(rank, states[rank].clock)
-    for r in range(core.n):
-        if events[r]:
-            tree.update(r, states[r].clock)
-        else:
-            states[r].done = True
-            core.n_unfinished -= 1
-    lockstep_events = 0
+    stack = [_LockstepCore(trace, net, phase_duration, n_configs)]
+    groups: List[_LockstepCore] = []
+    peeled = np.zeros(n_configs, dtype=bool)
+    n_forks = 0
+    while stack:
+        core = stack.pop()
+        states = core.states
+        events = core.events
+        # Dense (rank, column) key matrix: row r is rank r's clock
+        # column, +inf while r is blocked or done.  argmin(axis=0)
+        # takes the *first* minimum per column, i.e. the smallest rank
+        # among ties — the scalar engines' (clock, rank) comparison.
+        keys = np.full((core.n, core.n_cols), np.inf)
 
-    while core.n_unfinished:
-        vals, args = tree.root()
-        act_idx = np.flatnonzero(active)
-        if act_idx.size == 0:
-            break
-        votes = args[act_idx]
-        if np.isinf(vals[act_idx]).all():
-            # Structural: every remaining rank is blocked in every
-            # column.  Peel everyone; the scalar engine raises the
-            # deadlock diagnostic per config.
-            active = np.zeros_like(active)
-            break
-        r = int(votes[0])
-        if not (votes == r).all():
-            counts = np.bincount(votes, minlength=core.n)
-            r = int(np.argmax(counts))
-            peeled = active & (args != r)
-            active = active & ~peeled
-            if not active.any():
-                break
-        st = states[r]
-        if core.step(r):
-            lockstep_events += 1
-            if st.cursor >= len(events[r]):
+        def _wake(rank: int, _k=keys, _s=states) -> None:
+            _k[rank] = _s[rank].clock
+
+        core.on_wake = _wake
+        for r in range(core.n):
+            st = states[r]
+            if not st.done and st.cursor >= len(events[r]):
                 st.done = True
                 core.n_unfinished -= 1
-                tree.update(r, np.inf)
+            if not st.done and not st.blocked:
+                keys[r] = st.clock
+        diverged = None
+        while core.n_unfinished:
+            args = keys.argmin(axis=0)
+            r = int(args[0])
+            if np.isinf(keys[r, 0]):
+                # Column 0's minimum is inf, so every remaining rank is
+                # blocked — in every column, because blocked/done are
+                # group-level structural state (an all-inf matrix also
+                # makes argmin unanimous, so this check fires first).
+                break
+            if not (args == r).all():
+                diverged = args
+                break
+            st = states[r]
+            if core.step(r):
+                core.lockstep_events += 1
+                if st.cursor >= len(events[r]):
+                    st.done = True
+                    core.n_unfinished -= 1
+                    keys[r] = np.inf
+                else:
+                    keys[r] = st.clock
             else:
-                tree.update(r, st.clock)
+                st.blocked = True
+                keys[r] = np.inf
+        if diverged is not None:
+            choices = np.unique(diverged)
+            n_forks += int(choices.size) - 1
+            for v in choices:
+                stack.append(_fork_core(core, np.flatnonzero(diverged == v)))
+        elif core.n_unfinished:
+            # Structural deadlock: the scalar engine raises the
+            # diagnostic per config.
+            cols = (core.col_idx if core.col_idx is not None
+                    else np.arange(n_configs))
+            peeled[cols] = True
         else:
-            st.blocked = True
-            tree.update(r, np.inf)
-    core.lockstep_events = lockstep_events
-    return active
+            groups.append(core)
+    return groups, peeled, n_forks
+
+
+def _core_results(core: _LockstepCore, cols: np.ndarray,
+                  results: List[Optional[ReplayResult]]) -> None:
+    """Assemble one finished core's columns into ``results``."""
+    clock_m = np.stack([st.clock for st in core.states])
+    comp_m = np.stack([st.compute_ns for st in core.states])
+    p2p_m = np.stack([st.p2p_ns for st in core.states])
+    coll_m = np.stack([st.collective_ns for st in core.states])
+    total = clock_m.max(axis=0)
+    for j, c in enumerate(cols):
+        results[int(c)] = ReplayResult(
+            total_ns=float(total[j]),
+            compute_ns=comp_m[:, j].copy(),
+            p2p_ns=p2p_m[:, j].copy(),
+            collective_ns=coll_m[:, j].copy(),
+            n_messages=core.n_messages,
+            bytes_sent=core.bytes_sent,
+        )
 
 
 def replay_batch(
@@ -1045,14 +1304,18 @@ def replay_batch(
     one :class:`~repro.network.replay.ReplayResult` per configuration,
     bit-identical to ``replay(trace, net, scalar_fn_i, ...)`` with
     ``scalar_fn_i`` reading column ``i`` — for every configuration,
-    whether it ran on the array tape, stayed in lockstep, or was peeled
-    to the scalar engine (``scalar_engine`` picks which one finishes
-    peeled columns).  ``array_driver=False`` keeps the order-free path
-    on the event-at-a-time worklist driver — the PR4-era behaviour,
-    retained for benchmarking and cross-checking.
+    whether it ran on the array tape, the worklist pass, a forked
+    lockstep group, or (only on a structural deadlock) the scalar
+    engine (``scalar_engine`` picks which one raises the diagnostic).
+    ``array_driver=False`` keeps the order-free path on the
+    event-at-a-time worklist driver — the PR4-era behaviour, retained
+    for benchmarking and cross-checking.
 
-    Counters: ``replay.batch.array_events`` (config-events priced by
-    the level-batched array driver), ``replay.batch.lockstep_events``,
+    Counters: ``replay.batch.array_events`` / ``worklist_events`` /
+    ``lockstep_events`` (config-events priced per driver),
+    ``replay.batch.driver.{array,worklist,lockstep}`` (the driver this
+    call actually ran), ``replay.batch.array_fallbacks`` (tape build
+    bail-outs), ``replay.batch.forked_groups``,
     ``replay.batch.peeled_configs``, and scalar-equivalent
     ``replay.events`` / ``replay.messages`` / ``replay.bus_waits``
     totals for the batched columns (peeled columns report through
@@ -1061,42 +1324,73 @@ def replay_batch(
     if n_configs <= 0:
         raise ValueError("n_configs must be positive")
     obs = get_metrics()
-    core = _LockstepCore(trace, net, phase_duration, n_configs)
-    if _order_free_cached(trace, net):
-        driver = _run_array if array_driver else _run_shared
-    else:
-        driver = _run_lockstep
-    with obs.span("replay.batch.run"):
-        active = driver(core, np.ones(n_configs, dtype=bool))
-
-    n_active = int(active.sum())
-    obs.inc("replay.batch.lockstep_events", core.lockstep_events * n_active)
-    obs.inc("replay.batch.array_events", core.array_events * n_active)
-    if n_active:
-        obs.inc("replay.events", core.n_steps * n_active)
-        obs.inc("replay.messages", core.n_messages * n_active)
-        bus_waits = int(core.buses.n_waits[active].sum())
-        if bus_waits:
-            obs.inc("replay.bus_waits", bus_waits)
-
     results: List[Optional[ReplayResult]] = [None] * n_configs
-    if n_active:
-        clock_m = np.stack([st.clock for st in core.states])
-        comp_m = np.stack([st.compute_ns for st in core.states])
-        p2p_m = np.stack([st.p2p_ns for st in core.states])
-        coll_m = np.stack([st.collective_ns for st in core.states])
-        total = clock_m.max(axis=0)
-        for c in np.flatnonzero(active):
-            results[c] = ReplayResult(
-                total_ns=float(total[c]),
-                compute_ns=comp_m[:, c].copy(),
-                p2p_ns=p2p_m[:, c].copy(),
-                collective_ns=coll_m[:, c].copy(),
-                n_messages=core.n_messages,
-                bytes_sent=core.bytes_sent,
-            )
+    peeled_mask = np.zeros(n_configs, dtype=bool)
 
-    peeled = np.flatnonzero(~active)
+    order_free = _order_free_cached(trace, net)
+    tape = None
+    if order_free and array_driver:
+        tape = _tape_for(trace, net)
+        if tape is None:
+            obs.inc("replay.batch.array_fallbacks")
+
+    with obs.span("replay.batch.run"):
+        if tape is not None:
+            n = trace.n_ranks
+            clock, comp, p2p, coll = _run_array_tape(
+                tape, net, phase_duration, n, n_configs)
+            obs.inc("replay.batch.driver.array")
+            obs.inc("replay.batch.array_events", tape.n_events * n_configs)
+            obs.inc("replay.events", tape.n_events * n_configs)
+            obs.inc("replay.messages", tape.n_messages * n_configs)
+            total = clock.max(axis=0)
+            # Config-major copies: one transpose pass instead of
+            # n_configs strided column extractions; rows are disjoint
+            # views, and per-config consumers never share them.
+            comp_t = np.ascontiguousarray(comp.T)
+            p2p_t = np.ascontiguousarray(p2p.T)
+            coll_t = np.ascontiguousarray(coll.T)
+            for c in range(n_configs):
+                results[c] = ReplayResult(
+                    total_ns=float(total[c]),
+                    compute_ns=comp_t[c],
+                    p2p_ns=p2p_t[c],
+                    collective_ns=coll_t[c],
+                    n_messages=tape.n_messages,
+                    bytes_sent=tape.bytes_sent,
+                )
+        elif order_free:
+            core = _LockstepCore(trace, net, phase_duration, n_configs)
+            active = _run_shared(core, np.ones(n_configs, dtype=bool))
+            obs.inc("replay.batch.driver.worklist")
+            n_active = int(active.sum())
+            obs.inc("replay.batch.worklist_events",
+                    core.worklist_events * n_active)
+            if n_active:
+                obs.inc("replay.events", core.n_steps * n_active)
+                obs.inc("replay.messages", core.n_messages * n_active)
+                _core_results(core, np.flatnonzero(active), results)
+            peeled_mask = ~active
+        else:
+            groups, peeled_mask, n_forks = _run_lockstep(
+                trace, net, phase_duration, n_configs)
+            obs.inc("replay.batch.driver.lockstep")
+            if n_forks:
+                obs.inc("replay.batch.forked_groups", n_forks)
+            for core in groups:
+                cols = (core.col_idx if core.col_idx is not None
+                        else np.arange(n_configs))
+                k = int(cols.size)
+                obs.inc("replay.batch.lockstep_events",
+                        core.lockstep_events * k)
+                obs.inc("replay.events", core.n_steps * k)
+                obs.inc("replay.messages", core.n_messages * k)
+                bus_waits = int(core.buses.n_waits.sum())
+                if bus_waits:
+                    obs.inc("replay.bus_waits", bus_waits)
+                _core_results(core, cols, results)
+
+    peeled = np.flatnonzero(peeled_mask)
     if peeled.size:
         obs.inc("replay.batch.peeled_configs", int(peeled.size))
         for c in peeled:

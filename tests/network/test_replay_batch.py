@@ -4,11 +4,12 @@ The batched engine's contract is exact equivalence: for every
 configuration column, ``replay_batch`` must produce the same
 ``ReplayResult`` — down to the float bits — that the scalar engine
 produces when handed that column's duration function.  The property
-test drives both the shared-order confluence driver (unlimited buses)
-and the lockstep-peel driver (finite buses), with per-config compute
-scalings chosen to flip the global ``(clock, rank)`` step order mid-
-replay; the regressions pin the forced-divergence peel path, the
-collective pricing path, and the :func:`_order_free` classification.
+tests drive the array/worklist drivers (unlimited buses) and the
+fork-on-divergence lockstep driver (finite buses), with per-config
+compute scalings chosen to flip the global ``(clock, rank)`` step
+order mid-replay; the regressions pin the forced-divergence fork path,
+the finite-bus fast-path peel bound, the collective pricing path, and
+the :func:`_order_free` classification.
 """
 
 import numpy as np
@@ -67,6 +68,28 @@ class TestPropertyEquivalence:
                             cpu_overhead_us=0.05, n_buses=n_buses)
         assert_batch_equals_scalar(t, net, scales)
 
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=round_traces(),
+           n_buses=st.integers(1, 3),
+           scales=st.lists(st.sampled_from(SCALE_POOL), min_size=2,
+                           max_size=8))
+    def test_finite_bus_lockstep_equals_scalar(self, data, n_buses,
+                                               scales):
+        # Force the fork-on-divergence lockstep driver (a finite bus
+        # pool is never order-free): vectorized bus arbitration must
+        # equal scalar _ReplayCore across bus counts x rank counts x
+        # scale vectors, including scale ties that exercise the
+        # smallest-rank argmin tie-break.
+        t, _, _ = data
+        net = NetworkConfig(latency_us=0.1, bandwidth_gbs=10.0,
+                            cpu_overhead_us=0.05, n_buses=n_buses)
+        assert not _order_free(t, net)
+        reg = get_metrics()
+        peeled0 = reg.counter("replay.batch.peeled_configs")
+        assert_batch_equals_scalar(t, net, scales)
+        assert reg.counter("replay.batch.peeled_configs") == peeled0
+
 
 class TestCollectivePricing:
     """Collectives must price identically in batched and scalar paths."""
@@ -96,8 +119,9 @@ class TestCollectivePricing:
 
 class TestForcedDivergence:
     """Per-config compute scalings that flip the step order mid-replay
-    must peel exactly the disagreeing columns — and still match the
-    scalar engine bit for bit."""
+    must *fork* the lockstep group at the divergence point — no column
+    leaves the vectorized path — and still match the scalar engine bit
+    for bit."""
 
     def _racing_trace(self):
         # Ranks 0 and 2 race for the single bus; whichever reaches its
@@ -118,12 +142,18 @@ class TestForcedDivergence:
         cols = {0: np.array([10.0, 500.0]), 2: np.array([500.0, 10.0])}
         return cols.get(rank, np.zeros(2))
 
-    def test_finite_bus_peels_diverged_column(self):
+    def test_finite_bus_forks_diverged_column(self):
         net = zero_net(n_buses=1)
         reg = get_metrics()
         peeled0 = reg.counter("replay.batch.peeled_configs")
+        forked0 = reg.counter("replay.batch.forked_groups")
+        drv0 = reg.counter("replay.batch.driver.lockstep")
         out = replay_batch(self._racing_trace(), net, self.duration, 2)
-        assert reg.counter("replay.batch.peeled_configs") - peeled0 == 1
+        # The disagreeing column forks into its own lockstep group; the
+        # scalar engine is never consulted (peels are deadlock-only).
+        assert reg.counter("replay.batch.peeled_configs") == peeled0
+        assert reg.counter("replay.batch.forked_groups") - forked0 == 1
+        assert reg.counter("replay.batch.driver.lockstep") - drv0 == 1
         for c in range(2):
             ref = replay(self._racing_trace(), net,
                          lambda r, p, _c=c: self.duration(r, p)[_c])
@@ -153,12 +183,52 @@ class TestForcedDivergence:
         net = zero_net(n_buses=0)
         t = self._racing_trace()
         reg = get_metrics()
+        work0 = reg.counter("replay.batch.worklist_events")
         lock0 = reg.counter("replay.batch.lockstep_events")
+        arr0 = reg.counter("replay.batch.array_events")
         out_w = replay_batch(t, net, self.duration, 2, array_driver=False)
-        assert reg.counter("replay.batch.lockstep_events") > lock0
+        # The worklist run reports worklist events — never lockstep or
+        # array ones (each driver owns exactly one counter).
+        assert reg.counter("replay.batch.worklist_events") > work0
+        assert reg.counter("replay.batch.lockstep_events") == lock0
+        assert reg.counter("replay.batch.array_events") == arr0
         out_a = replay_batch(t, net, self.duration, 2)
+        assert reg.counter("replay.batch.array_events") > arr0
         for c in range(2):
             assert_results_equal(out_w[c], out_a[c])
+
+
+class TestFiniteBusFastPath:
+    """Regression pin for the BENCH_replay_batch finite-bus scenario:
+    16 LULESH ranks x 32 configs x 8 buses must stay on the vectorized
+    lockstep path (the PR4 peel driver collapsed it to 29/32 scalar
+    re-runs)."""
+
+    def test_bench_scenario_peels_at_most_two(self):
+        musa = Musa(get_app("lulesh"))
+        t = musa._burst_trace(16, 1)
+        scales = musa.app.rank_scales(16)
+        base = {id(p): musa.burst_phase(p, 64).makespan_ns
+                for p in musa.phases}
+        cfg = 1.0 + (np.arange(32, dtype=np.float64) % 7) * 0.05
+
+        def dur(rank, ph):
+            return base[id(ph)] * scales[rank] * cfg
+
+        import dataclasses
+        net = dataclasses.replace(musa.network, n_buses=8)
+        reg = get_metrics()
+        peeled0 = reg.counter("replay.batch.peeled_configs")
+        lock0 = reg.counter("replay.batch.lockstep_events")
+        out = replay_batch(t, net, dur, 32)
+        assert len(out) == 32 and all(r is not None for r in out)
+        assert reg.counter("replay.batch.peeled_configs") - peeled0 <= 2
+        assert reg.counter("replay.batch.lockstep_events") > lock0
+        # Spot-check bit-identity on the extreme columns.
+        for c in (0, 6, 31):
+            ref = replay(t, net,
+                         lambda r, p, _c=c: float(dur(r, p)[_c]))
+            assert_results_equal(ref, out[c])
 
 
 class TestOrderFreeClassification:
