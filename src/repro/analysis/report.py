@@ -80,6 +80,20 @@ def format_metrics_summary(summary: Dict) -> str:
         ]
     if d.get("memo_evictions", 0):
         rows.append(["memo evictions", d.get("memo_evictions", 0)])
+    if d.get("batch_memo_evictions", 0):
+        rows.append(["batch memo evictions",
+                     d.get("batch_memo_evictions", 0)])
+    if d.get("store_hits", 0) or d.get("store_misses", 0):
+        rows += [
+            ["result-store hits", d.get("store_hits", 0)],
+            ["result-store misses", d.get("store_misses", 0)],
+            ["result-store hit rate", d.get("store_hit_rate")],
+        ]
+    if d.get("serve_requests", 0):
+        rows += [
+            ["serve requests", d.get("serve_requests", 0)],
+            ["serve queries coalesced", d.get("serve_coalesced", 0)],
+        ]
     if d.get("timeout_unavailable", 0):
         rows.append(["timeouts unavailable", d.get("timeout_unavailable", 0)])
     out = [format_rows("sweep execution metrics", ["metric", "value"], rows)]

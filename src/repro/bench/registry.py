@@ -411,6 +411,50 @@ def _build_replay_sweep(tier: str) -> BenchCase:
                          "replay.batch.array_fallbacks"))
 
 
+def _build_serve_query(tier: str) -> BenchCase:
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from ..core.canon import canonical_dumps
+    from ..core.store import ResultStore
+    from ..serve import ServeState
+
+    space = SMOKE_SPACE if tier == "smoke" else DesignSpace()
+    store = ResultStore(Path(tempfile.mkdtemp()) / "bench_store.jsonl")
+    state = ServeState(store, code_version="bench")
+    query = {"kind": "sweep", "apps": ["lulesh"],
+             "space": "smoke" if tier == "smoke" else "full"}
+    t0 = _time.perf_counter()
+    cold = state.handle(query)  # fills the store; timed runs are warm
+    cold_s = _time.perf_counter() - t0
+
+    def run():
+        return state.handle(query)
+
+    def oracle() -> Optional[str]:
+        warm = state.handle(query)
+        if warm["served"]["evaluated"] != 0:
+            return (f"warm query touched the engine "
+                    f"({warm['served']['evaluated']} evaluations)")
+        if warm["served"]["store_hits"] != len(space):
+            return (f"warm query hit {warm['served']['store_hits']} of "
+                    f"{len(space)} points in the store")
+        if canonical_dumps(warm["result"]) != canonical_dumps(cold["result"]):
+            return "warm store-assembled result differs from the cold run"
+        direct = run_sweep(["lulesh"], space, processes=1)
+        if warm["result"]["records"] != list(direct):
+            return "served records differ from a direct run_sweep"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_configs": len(space), "cold_s": cold_s},
+        required_counters=("store.hit", "serve.requests"),
+        record_counters=("store.hit", "store.miss", "store.put",
+                         "serve.singleflight.coalesced"))
+
+
 def _build_campaign(tier: str) -> BenchCase:
     if tier == "smoke":
         apps, space = ["spmz", "hydro"], SMOKE_SPACE
@@ -462,6 +506,9 @@ REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
     Benchmark("macro.campaign", "macro",
               "all-apps full-space batched campaign through run_sweep",
               _build_campaign),
+    Benchmark("macro.serve_query", "macro",
+              "warm store-backed serve query (pure store assembly) vs "
+              "cold evaluation", _build_serve_query),
 )}
 
 

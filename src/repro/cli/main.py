@@ -8,7 +8,10 @@ Subcommands mirror the paper's workflow:
 * ``repro figure <axis> --results results.json`` — a paper figure
   (text, optionally ``--svg out.svg``);
 * ``repro scaling <app>`` — Fig. 2-style scaling study;
-* ``repro timeline <app>`` — Fig. 3/4-style ASCII timelines.
+* ``repro timeline <app>`` — Fig. 3/4-style ASCII timelines;
+* ``repro serve`` — HTTP query API over a persistent content-addressed
+  result store;
+* ``repro query (sweep|best|delta|...)`` — client for a running server.
 
 Every subcommand prints to stdout; sweeps persist a JSON
 :class:`~repro.core.results.ResultSet` consumable by ``figure``.
@@ -222,6 +225,59 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--merge", nargs="+", metavar="JSONL",
                    help="merge these ledgers into --ledger (content-"
                         "deduplicated) and exit")
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve design-space queries over HTTP from a persistent "
+             "content-addressed result store")
+    sv.add_argument("--store", default="serve_store.jsonl", metavar="JSONL",
+                    help="content-addressed store path "
+                         "(default serve_store.jsonl)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8787)
+    sv.add_argument("--invalidate-stale", action="store_true",
+                    help="on startup, drop store entries produced by a "
+                         "different code version")
+
+    q = sub.add_parser(
+        "query",
+        help="query a running `repro serve` instance")
+    q.add_argument("kind", choices=("sweep", "best", "delta", "health",
+                                    "metrics", "invalidate"))
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=8787)
+    q.add_argument("--apps", nargs="+", default=None, choices=APP_NAMES)
+    q.add_argument("--smoke", action="store_true",
+                   help="query over the 8-configuration smoke space")
+    q.add_argument("--set", dest="subset", nargs="+", default=[],
+                   metavar="AXIS=VALUE",
+                   help="pin axes, e.g. --set frequency=2.0 cores=64 "
+                        "(repeatable values: cores=32,64)")
+    q.add_argument("--mode", default="fast", choices=("fast", "replay"))
+    q.add_argument("--ranks", type=int, default=256)
+    q.add_argument("--objective", default="time_ns",
+                   choices=("time_ns", "energy_j", "power_total_w", "edp"),
+                   help="best-query objective (geomean across apps)")
+    q.add_argument("--power-cap", type=float, default=None, metavar="W")
+    q.add_argument("--area-cap", type=float, default=None, metavar="MM2")
+    q.add_argument("--energy-cap", type=float, default=None, metavar="J")
+    q.add_argument("--min-frequency", type=float, default=None,
+                   metavar="GHZ")
+    q.add_argument("--axis", default=None,
+                   help="delta-query axis (e.g. cache, memory)")
+    q.add_argument("--a", dest="val_a", default=None,
+                   help="delta-query first axis value")
+    q.add_argument("--b", dest="val_b", default=None,
+                   help="delta-query second axis value")
+    q.add_argument("--app", default=None,
+                   help="invalidate: restrict to one app")
+    q.add_argument("--stale", action="store_true",
+                   help="invalidate: drop entries from other code versions")
+    q.add_argument("--all", dest="inv_all", action="store_true",
+                   help="invalidate: drop everything")
+    q.add_argument("--out", default=None, metavar="PATH",
+                   help="write sweep-query records as a ResultSet JSON "
+                        "consumable by `repro figure`")
     return p
 
 
@@ -691,6 +747,134 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from ..bench import code_version
+    from ..core.store import ResultStore
+    from ..serve import ServeState, serve_forever
+
+    store = ResultStore(args.store)
+    state = ServeState(store, code_version=code_version())
+    if args.invalidate_stale:
+        dropped = store.invalidate_stale(state.code_version)
+        if dropped:
+            print(f"invalidated {dropped} stale entr"
+                  f"{'y' if dropped == 1 else 'ies'} "
+                  f"(code version != {state.code_version})")
+    try:
+        serve_forever(state, host=args.host, port=args.port)
+    finally:
+        store.close()
+    return 0
+
+
+def _axis_value(axis: str, text: str):
+    """Coerce a CLI axis value to the type the design space uses."""
+    if axis == "frequency":
+        return float(text)
+    if axis in ("vector", "cores"):
+        return int(text)
+    return text
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from ..serve import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+
+    try:
+        if args.kind == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.kind == "metrics":
+            derived = client.metrics().get("derived", {})
+            print(json.dumps(derived, indent=2, sort_keys=True))
+            return 0
+        if args.kind == "invalidate":
+            criteria = {}
+            if args.app:
+                criteria["app"] = args.app
+            if args.stale:
+                criteria["stale"] = True
+            if args.inv_all:
+                criteria["all"] = True
+            n = client.invalidate(criteria)
+            print(f"invalidated {n} entr{'y' if n == 1 else 'ies'}")
+            return 0
+
+        subset = {}
+        for item in args.subset:
+            axis, _, value = item.partition("=")
+            if not value:
+                print(f"error: --set expects AXIS=VALUE, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            parts = value.split(",")
+            vals = [_axis_value(axis, v) for v in parts]
+            subset[axis] = vals[0] if len(vals) == 1 else vals
+        query = {"kind": args.kind, "mode": args.mode, "ranks": args.ranks,
+                 "space": "smoke" if args.smoke else "full"}
+        if args.apps:
+            query["apps"] = args.apps
+        if subset:
+            query["subset"] = subset
+        if args.kind == "best":
+            query["objective"] = args.objective
+            query["power_cap_w"] = args.power_cap
+            query["area_cap_mm2"] = args.area_cap
+            query["energy_cap_j"] = args.energy_cap
+            query["min_frequency_ghz"] = args.min_frequency
+        elif args.kind == "delta":
+            if not (args.axis and args.val_a and args.val_b):
+                print("error: delta queries need --axis, --a and --b",
+                      file=sys.stderr)
+                return 2
+            query["axis"] = args.axis
+            query["a"] = _axis_value(args.axis, args.val_a)
+            query["b"] = _axis_value(args.axis, args.val_b)
+
+        response = client.query(query)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach repro serve at "
+              f"{args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 1
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    served = response.get("served", {})
+    result = response.get("result", {})
+    if args.kind == "sweep":
+        records = result.get("records", [])
+        print(f"{len(records)} records "
+              f"({served.get('store_hits', 0)} from store, "
+              f"{served.get('evaluated', 0)} evaluated)")
+        if args.out:
+            ResultSet(records).save(args.out)
+            print(f"wrote {args.out}")
+    elif args.kind == "best":
+        print(format_rows(
+            f"best config ({result.get('objective')}, geomean across apps)",
+            ["field", "value"],
+            [["config", result.get("label")],
+             ["score", result.get("score")],
+             ["feasible configs", result.get("n_feasible")]]
+            + [[f"  {app}", v]
+               for app, v in sorted(result.get("per_app", {}).items())]))
+    elif args.kind == "delta":
+        rows = [[app, g] for app, g in
+                sorted(result.get("geomean_speedup_by_app", {}).items())]
+        print(format_rows(
+            f"delta {result.get('axis')}: {result.get('a')} -> "
+            f"{result.get('b')} (speedup b over a, geomean)",
+            ["app", "geomean speedup"], rows))
+        print(f"{len(result.get('pairs', []))} paired points "
+              f"({served.get('store_hits', 0)} from store, "
+              f"{served.get('evaluated', 0)} evaluated)")
+    return 0
+
+
 _COMMANDS = {
     "characterize": cmd_characterize,
     "simulate": cmd_simulate,
@@ -706,6 +890,8 @@ _COMMANDS = {
     "tornado": cmd_tornado,
     "report": cmd_report,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 

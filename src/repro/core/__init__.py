@@ -1,6 +1,7 @@
 """MUSA core: multi-scale orchestration, sweeps, metrics, normalization."""
 
 from .batch import BatchEvaluator
+from .canon import canonical_dumps, canonical_loads, content_digest
 from .checkpoint import (
     Journal,
     JournalReplay,
@@ -22,6 +23,7 @@ from .musa import Musa, RunResult
 from .normalize import AxisBar, axis_table, normalize_axis
 from .phase_sim import PhaseDetail, simulate_phase_detailed
 from .results import CONFIG_KEYS, ResultSet
+from .store import ResultStore, store_key
 from .sweep import (
     FailNTimes,
     InjectedFault,
@@ -46,9 +48,13 @@ __all__ = [
     "NodeComparison",
     "PhaseDetail",
     "ResultSet",
+    "ResultStore",
     "RunResult",
     "axis_table",
+    "canonical_dumps",
+    "canonical_loads",
     "compare_nodes",
+    "content_digest",
     "energy_delay_product",
     "energy_delay_squared",
     "geo_mean",
@@ -61,6 +67,7 @@ __all__ = [
     "run_sweep_checkpointed",
     "simulate_phase_detailed",
     "speedup",
+    "store_key",
     "sweep_configs",
     "task_key",
 ]

@@ -41,6 +41,7 @@ from ..obs import get_metrics
 from ..runtime.scheduler import PhaseResult, simulate_phase_batch
 from ..trace.events import ComputePhase
 from ..uarch.batch import NodeBatch, resolve_contention_batch, time_kernel_batch
+from ..util import LruDict
 from .musa import Musa, RunResult
 from .phase_sim import PhaseDetail, _imbalance_factors
 
@@ -75,11 +76,16 @@ class BatchEvaluator:
     scalar path's ``(kernel, node, share)`` cache.
     """
 
-    def __init__(self, musa: Musa) -> None:
+    def __init__(self, musa: Musa, memo_cap: int = 16384) -> None:
         self.musa = musa
         self._invariants = [self._phase_invariants(p) for p in musa.phases]
-        self._miss_memo: Dict = {}
-        self._vec_memo: Dict = {}
+        # LRU-bounded like Musa's memos (PR 4): a long-lived process
+        # (the sweep service) evaluates unbounded config streams through
+        # one evaluator, and these were the last unbounded memo dicts.
+        self._miss_memo: Dict = LruDict(
+            memo_cap, eviction_counter="batch.memo.evictions")
+        self._vec_memo: Dict = LruDict(
+            memo_cap, eviction_counter="batch.memo.evictions")
 
     @staticmethod
     def _phase_invariants(phase: ComputePhase) -> _PhaseInvariants:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..obs import inc as obs_inc
 from ..obs import warn as obs_warn
 from ..config.space import DesignSpace
+from .canon import canonical_dumps, canonical_loads
 from .results import CONFIG_KEYS, ResultSet
 
 __all__ = [
@@ -67,7 +68,10 @@ class Journal:
         self._since_sync = 0
 
     def append(self, record: Dict) -> None:
-        self._fh.write(json.dumps(record) + "\n")
+        # Canonical serialization: valid interchange JSON even for
+        # non-finite floats (sentinel-encoded, never bare NaN tokens),
+        # key-sorted so identical records are byte-identical lines.
+        self._fh.write(canonical_dumps(record) + "\n")
         self._since_sync += 1
         if self._since_sync >= self.fsync_every:
             self.flush()
@@ -123,8 +127,8 @@ def replay_journal(path: Union[str, Path]) -> JournalReplay:
             if not line:
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
+                record = canonical_loads(line)
+            except (json.JSONDecodeError, ValueError):
                 out.corrupt_lines += 1  # truncated tail of a crashed run
                 continue
             key = task_key(record)

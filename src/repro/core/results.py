@@ -8,11 +8,12 @@ Records are plain dicts so worker processes can ship them cheaply.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .canon import canonical_dumps, canonical_loads
 
 __all__ = ["ResultSet", "CONFIG_KEYS"]
 
@@ -133,11 +134,14 @@ class ResultSet:
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
+        """Write canonical JSON: key-sorted, non-finite floats sentinel-
+        encoded — equal ResultSets produce byte-identical files."""
         p = Path(path)
         p.parent.mkdir(parents=True, exist_ok=True)
-        p.write_text(json.dumps({"records": self._records}), encoding="utf-8")
+        p.write_text(canonical_dumps({"records": self._records}),
+                     encoding="utf-8")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ResultSet":
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        data = canonical_loads(Path(path).read_text(encoding="utf-8"))
         return cls(data["records"])

@@ -1,0 +1,252 @@
+"""Content-addressed, persistent store of design-point results.
+
+The unit of storage is one evaluated design point: the flat record of
+one ``(app, configuration, mode, ranks)`` simulation under one code
+version.  The key is the SHA-256 of the canonical serialization
+(:mod:`repro.core.canon`) of exactly those inputs, so
+
+* equal queries hash to equal keys regardless of dict ordering or the
+  process that computed them;
+* a model change (new code version) can never silently serve stale
+  results — old entries simply stop matching, and can be audited or
+  bulk-invalidated by their recorded provenance.
+
+Entries carry **provenance**: the inputs themselves (auditable without
+re-hashing), the code version, creation time, the engine that produced
+the record, and the engine's :mod:`repro.obs` counter deltas for the
+evaluation that filled them.
+
+Persistence is an append-only JSONL file in the same spirit as the
+sweep journal (:mod:`repro.core.checkpoint`): crash-tolerant (a torn
+final line is dropped and counted), duplicate keys keep their first
+occurrence, and :meth:`ResultStore.invalidate` compacts by atomic
+rewrite.  All operations are thread-safe — the serve worker pool calls
+into one shared store.
+
+Observability: ``store.hit`` / ``store.miss`` / ``store.put`` /
+``store.invalidated`` / ``store.corrupt_lines``, surfaced by
+:func:`repro.obs.summarize`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from ..obs import get_metrics
+from .canon import canonical_dumps, canonical_loads, content_digest
+
+__all__ = ["ResultStore", "store_key", "STORE_KEY_SCHEMA"]
+
+#: Version tag of the key schema.  Bump when the keyed-input structure
+#: changes so old entries can never alias new keys.
+STORE_KEY_SCHEMA = 1
+
+
+def store_key(app: str, config: Dict[str, Any], mode: str, ranks: int,
+              code_version: str) -> str:
+    """Canonical SHA-256 content address of one design-point query.
+
+    ``config`` is the six-axis mapping produced by
+    :meth:`repro.config.node.NodeConfig.axis_values`.
+    """
+    return content_digest({
+        "schema": STORE_KEY_SCHEMA,
+        "app": app,
+        "config": dict(config),
+        "mode": mode,
+        "ranks": int(ranks),
+        "code_version": code_version,
+    })
+
+
+class ResultStore:
+    """Persistent ``key -> entry`` map, content-addressed and audited.
+
+    An entry is a plain dict::
+
+        {
+          "key": <sha256 hex>,
+          "inputs": {"app", "config": {...}, "mode", "ranks",
+                     "code_version"},
+          "record": {<flat ResultSet record>},
+          "provenance": {"engine", "created_s", "obs": {counter: delta}},
+        }
+
+    ``get`` counts hits/misses; ``put`` appends (first occurrence wins,
+    consistent with the journal); ``invalidate`` removes matching
+    entries and compacts the file atomically.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync_every: int = 1) -> None:
+        if fsync_every <= 0:
+            raise ValueError("fsync_every must be positive")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Dict] = {}
+        self._since_sync = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._load()
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    # -- loading --------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        obs = get_metrics()
+        corrupt = duplicates = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = canonical_loads(line)
+                    key = entry["key"]
+                except (json.JSONDecodeError, ValueError, KeyError,
+                        TypeError):
+                    corrupt += 1  # torn tail of a crashed writer
+                    continue
+                if key in self._entries:
+                    duplicates += 1
+                    continue
+                self._entries[key] = entry
+        if corrupt:
+            obs.inc("store.corrupt_lines", corrupt)
+        if duplicates:
+            obs.inc("store.duplicates_dropped", duplicates)
+        obs.inc("store.entries_loaded", len(self._entries))
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def entries(self) -> List[Dict]:
+        """Snapshot of every entry (insertion order)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored entry for ``key``, counting the hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+        get_metrics().inc("store.hit" if entry is not None else "store.miss")
+        return entry
+
+    def put(self, key: str, record: Dict, inputs: Dict,
+            provenance: Dict) -> Dict:
+        """Store one evaluated design point (idempotent per key).
+
+        Returns the stored entry.  A concurrent or repeated put of an
+        existing key keeps the first entry — content addressing makes
+        both byte-equivalent by construction.
+        """
+        entry = {"key": key, "inputs": inputs, "record": record,
+                 "provenance": provenance}
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key]
+            self._entries[key] = entry
+            self._fh.write(canonical_dumps(entry) + "\n")
+            self._since_sync += 1
+            if self._since_sync >= self.fsync_every:
+                self._flush_locked()
+        get_metrics().inc("store.put")
+        return entry
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(
+        self,
+        predicate: Optional[Callable[[Dict], bool]] = None,
+        **input_equals: Any,
+    ) -> int:
+        """Remove entries whose ``inputs`` match and compact the file.
+
+        Selection: every ``input_equals`` field must equal the entry's
+        corresponding ``inputs`` field (``code_version=...``,
+        ``app=...``, ``mode=...``), and ``predicate(entry)``, when
+        given, must hold.  With neither, *everything* is invalidated.
+        Returns the number of entries removed (counted under
+        ``store.invalidated``).
+        """
+        def matches(entry: Dict) -> bool:
+            inputs = entry.get("inputs", {})
+            if any(inputs.get(k) != v for k, v in input_equals.items()):
+                return False
+            return predicate(entry) if predicate is not None else True
+
+        with self._lock:
+            keep = {k: e for k, e in self._entries.items()
+                    if not matches(e)}
+            removed = len(self._entries) - len(keep)
+            if removed:
+                self._entries = keep
+                self._rewrite_locked()
+        if removed:
+            get_metrics().inc("store.invalidated", removed)
+        return removed
+
+    def invalidate_stale(self, current_code_version: str) -> int:
+        """Drop every entry produced by a different code version."""
+        return self.invalidate(
+            lambda e: e.get("inputs", {}).get("code_version")
+            != current_code_version)
+
+    def _rewrite_locked(self) -> None:
+        """Atomic compaction: write a temp file, fsync, rename over."""
+        self._fh.close()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for entry in self._entries.values():
+                fh.write(canonical_dumps(entry) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._since_sync = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._since_sync = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._flush_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._flush_locked()
+                self._fh.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_provenance(engine: str, obs_delta: Dict[str, float]) -> Dict:
+    """Provenance block for a freshly evaluated entry."""
+    return {
+        "engine": engine,
+        "created_s": time.time(),
+        "obs": dict(obs_delta),
+    }

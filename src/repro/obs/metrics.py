@@ -205,6 +205,15 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       ``overhead_scale != duration_scale``);
     * ``memo_evictions`` — entries dropped from ``Musa``'s bounded
       per-process memo caches (burst/detail/trace/kernel-timing);
+    * ``batch_memo_evictions`` — entries dropped from the batched
+      evaluator's bounded miss-profile/vector memos;
+    * ``store_hits`` / ``store_misses`` / ``store_hit_rate`` /
+      ``store_puts`` / ``store_invalidated`` — content-addressed
+      result-store traffic (the serve layer's cache: a hit answers a
+      query point without touching the engine);
+    * ``serve_requests`` / ``serve_coalesced`` — queries handled by the
+      serve front end, and duplicates that coalesced onto an identical
+      in-flight evaluation instead of racing the engine;
     * ``timeout_unavailable`` — tasks that requested a ``timeout_s``
       budget on a platform or thread without ``SIGALRM`` and ran
       unbudgeted instead.
@@ -256,6 +265,14 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         "sched_batch_fast": c.get("sched.batch.fast", 0),
         "sched_batch_fallbacks": c.get("sched.batch.fallbacks", 0),
         "memo_evictions": c.get("musa.memo.evictions", 0),
+        "batch_memo_evictions": c.get("batch.memo.evictions", 0),
+        "store_hits": c.get("store.hit", 0),
+        "store_misses": c.get("store.miss", 0),
+        "store_hit_rate": rate("store.hit", "store.miss"),
+        "store_puts": c.get("store.put", 0),
+        "store_invalidated": c.get("store.invalidated", 0),
+        "serve_requests": c.get("serve.requests", 0),
+        "serve_coalesced": c.get("serve.singleflight.coalesced", 0),
         "timeout_unavailable": c.get("sweep.timeout_unavailable", 0),
     }
     return {"derived": derived, "counters": c, "timers": t}

@@ -1,0 +1,19 @@
+"""Sweep-as-a-service: async HTTP query API over a content-addressed
+result store.
+
+``repro serve`` starts the server; ``repro query`` is the CLI client.
+See :mod:`repro.serve.state` for the query language and the caching /
+singleflight / bit-identity contracts.
+"""
+
+from .client import ServeClient
+from .server import ReproServer, serve_forever
+from .state import QueryError, ServeState
+
+__all__ = [
+    "QueryError",
+    "ReproServer",
+    "ServeClient",
+    "ServeState",
+    "serve_forever",
+]

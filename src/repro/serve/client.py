@@ -1,0 +1,71 @@
+"""Minimal stdlib HTTP client for the serve API.
+
+Used by ``repro query``, the CI smoke script and the tests.  Raw-bytes
+access is deliberate: the server emits canonical JSON, so byte-level
+comparison of two responses is the strongest possible identity check.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One-request-per-call client (the server closes each connection)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout_s: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def raw_query(self, query: Dict) -> Tuple[int, bytes]:
+        """POST /query, returning the exact response bytes."""
+        return self._request("POST", "/query", query)
+
+    def query(self, query: Dict) -> Dict[str, Any]:
+        """POST /query, parsed; raises RuntimeError on a non-200."""
+        status, body = self.raw_query(query)
+        parsed = json.loads(body)
+        if status != 200:
+            raise RuntimeError(
+                f"query failed ({status}): {parsed.get('error', body)}")
+        return parsed
+
+    def invalidate(self, criteria: Dict) -> int:
+        status, body = self._request("POST", "/invalidate", criteria)
+        parsed = json.loads(body)
+        if status != 200:
+            raise RuntimeError(
+                f"invalidate failed ({status}): {parsed.get('error')}")
+        return parsed["invalidated"]
+
+    def health(self) -> Dict[str, Any]:
+        status, body = self._request("GET", "/health")
+        if status != 200:
+            raise RuntimeError(f"health failed ({status})")
+        return json.loads(body)
+
+    def metrics(self) -> Dict[str, Any]:
+        status, body = self._request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"metrics failed ({status})")
+        return json.loads(body)["metrics"]

@@ -1,0 +1,190 @@
+"""Asyncio HTTP front end over :class:`~repro.serve.state.ServeState`.
+
+Stdlib-only: ``asyncio.start_server`` plus a minimal HTTP/1.1 request
+parser — no web framework.  Query evaluation is CPU-bound and runs in a
+thread-pool executor so the event loop keeps accepting connections (and
+so concurrent identical queries actually reach the singleflight logic
+concurrently).
+
+Endpoints (all responses are canonical JSON, so two servings of the
+same content are byte-identical):
+
+* ``GET  /health``     — liveness, uptime, store size, code version;
+* ``GET  /metrics``    — :func:`repro.obs.summarize` of the process;
+* ``POST /query``      — a query dict (see :mod:`repro.serve.state`);
+* ``POST /invalidate`` — selective store invalidation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..core.canon import canonical_dumps
+from ..obs import get_metrics, summarize
+from .state import QueryError, ServeState
+
+__all__ = ["ReproServer", "serve_forever"]
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: (method, path, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise _BadRequest("empty request")
+    try:
+        method, target, _version = request_line.decode("ascii").split()
+    except ValueError:
+        raise _BadRequest(f"malformed request line {request_line!r}")
+    content_length = 0
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _BadRequest("bad Content-Length")
+    else:
+        raise _BadRequest("too many headers")
+    if content_length > _MAX_BODY:
+        raise _BadRequest(f"body exceeds {_MAX_BODY} bytes")
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return method, target.split("?", 1)[0], body
+
+
+def _response(status: int, payload: Dict) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed",
+              500: "Internal Server Error"}.get(status, "OK")
+    body = (canonical_dumps(payload) + "\n").encode("utf-8")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("ascii")
+    return head + body
+
+
+class ReproServer:
+    """The asyncio server: owns the listening socket, delegates to a
+    shared :class:`ServeState`."""
+
+    def __init__(self, state: ServeState, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.state = state
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port set by start()
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def serve_until(self,
+                          stop: Optional[asyncio.Event] = None) -> None:
+        await self.start()
+        try:
+            if stop is None:
+                await asyncio.Event().wait()  # run forever
+            else:
+                await stop.wait()
+        finally:
+            await self.close()
+
+    # -- request handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError,
+                    UnicodeDecodeError) as exc:
+                writer.write(_response(400, {"ok": False,
+                                             "error": str(exc)}))
+                return
+            status, payload = await self._dispatch(method, path, body)
+            writer.write(_response(status, payload))
+        except ConnectionError:  # client went away mid-response
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict]:
+        if path == "/health" and method == "GET":
+            import time
+            return 200, {"ok": True,
+                         "uptime_s": time.time() - self.state.started_s,
+                         "store_entries": len(self.state.store),
+                         "code_version": self.state.code_version}
+        if path == "/metrics" and method == "GET":
+            return 200, {"ok": True, "metrics": summarize()}
+        if path in ("/query", "/invalidate"):
+            if method != "POST":
+                return 405, {"ok": False,
+                             "error": f"{path} requires POST"}
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"ok": False, "error": f"bad JSON body: {exc}"}
+            loop = asyncio.get_running_loop()
+            try:
+                if path == "/query":
+                    # CPU-bound; off the event loop so the server keeps
+                    # accepting (singleflight coalesces the duplicates).
+                    response = await loop.run_in_executor(
+                        None, self.state.handle, payload)
+                    return 200, response
+                removed = await loop.run_in_executor(
+                    None, self.state.invalidate, payload)
+                return 200, {"ok": True, "invalidated": removed}
+            except QueryError as exc:
+                return 400, {"ok": False, "error": str(exc)}
+            except Exception as exc:  # engine bug: report, don't die
+                get_metrics().inc("serve.errors")
+                return 500, {"ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+        return 404, {"ok": False, "error": f"no route {method} {path}"}
+
+
+def serve_forever(state: ServeState, host: str = "127.0.0.1",
+                  port: int = 8787) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    server = ReproServer(state, host=host, port=port)
+
+    async def _run():
+        await server.start()
+        print(f"repro serve: listening on http://{server.host}:"
+              f"{server.port} (store: {state.store.path}, "
+              f"{len(state.store)} entries, code {state.code_version})",
+              flush=True)
+        await asyncio.Event().wait()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)

@@ -8,8 +8,26 @@ without cycles.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable, Optional
 
 __all__ = ["LruDict"]
+
+#: Lazily-resolved :func:`repro.obs.get_metrics`.  The import runs once
+#: per process (on the first eviction) instead of once per evicted
+#: entry: even a cached ``import`` statement is an import-machinery
+#: round-trip (sys.modules lookup, lock, attribute fetch), which used
+#: to sit inside the per-entry eviction loop of a hot memo path.
+_get_metrics: Optional[Callable] = None
+
+
+def _metrics():
+    global _get_metrics
+    if _get_metrics is None:
+        # Deferred: repro.obs imports nothing from this module, but
+        # keeping util importable before obs avoids any cycle.
+        from .obs import get_metrics
+        _get_metrics = get_metrics
+    return _get_metrics()
 
 
 class LruDict(OrderedDict):
@@ -49,9 +67,9 @@ class LruDict(OrderedDict):
     def __setitem__(self, key, value) -> None:
         super().__setitem__(key, value)
         self.move_to_end(key)
+        evicted = 0
         while len(self) > self.maxsize:
             self.popitem(last=False)
-            # Imported here: repro.obs imports nothing from this module,
-            # but keeping util importable before obs avoids any cycle.
-            from .obs import get_metrics
-            get_metrics().inc(self.eviction_counter)
+            evicted += 1
+        if evicted:
+            _metrics().inc(self.eviction_counter, evicted)

@@ -25,7 +25,7 @@ def test_registry_covers_the_issue_workloads():
     assert {"micro.miss_model", "micro.phase_sched", "micro.tape_replay",
             "micro.bus_arbitration", "micro.event_engine",
             "macro.fast_sweep", "macro.replay_sweep",
-            "macro.campaign"} <= have
+            "macro.campaign", "macro.serve_query"} <= have
 
 
 def test_get_benchmarks_selection():
@@ -68,3 +68,14 @@ def test_macro_fast_sweep_smoke_oracle_green():
     res = run_case(bench, tier="smoke", repeats=1, warmup=0)
     assert res.oracle_ok, res.oracle_detail
     assert res.meta["n_configs"] == len(SMOKE_SPACE)
+
+
+def test_macro_serve_query_smoke_oracle_green():
+    bench = get_benchmarks(["macro.serve_query"])[0]
+    res = run_case(bench, tier="smoke", repeats=1, warmup=0)
+    assert res.oracle_ok, res.oracle_detail
+    assert res.meta["n_configs"] == len(SMOKE_SPACE)
+    # The timed path is pure store assembly; the builder's cold
+    # evaluation time is recorded for the warm-vs-cold comparison.
+    assert res.meta["cold_s"] > 0
+    assert res.min_s < res.meta["cold_s"]

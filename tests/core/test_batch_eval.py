@@ -127,3 +127,27 @@ class TestSweepBatching:
     def test_batch_size_validation(self, tiny_space):
         with pytest.raises(ValueError):
             run_sweep(["spmz"], tiny_space, batch_size=0)
+
+
+class TestBoundedMemos:
+    """PR 8 regression: the evaluator's miss/vec memos were the last
+    unbounded plain dicts — a leak in any long-lived process."""
+
+    def test_small_cap_evicts_and_stays_bounded(self, tiny_space):
+        reg = get_metrics()
+        before = reg.counter("batch.memo.evictions")
+        ev = BatchEvaluator(Musa(get_app("spmz")), memo_cap=2)
+        nodes = list(tiny_space)
+        res = ev.evaluate(nodes)
+        assert len(ev._miss_memo) <= 2
+        assert len(ev._vec_memo) <= 2
+        assert reg.counter("batch.memo.evictions") > before
+        # Eviction changes memory behaviour only, never results.
+        ref = BatchEvaluator(Musa(get_app("spmz"))).evaluate(nodes)
+        assert [r.record() for r in res] == [r.record() for r in ref]
+
+    def test_default_cap_never_evicts_on_tiny_space(self, tiny_space):
+        reg = get_metrics()
+        before = reg.counter("batch.memo.evictions")
+        BatchEvaluator(Musa(get_app("spmz"))).evaluate(list(tiny_space))
+        assert reg.counter("batch.memo.evictions") == before
