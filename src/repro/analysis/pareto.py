@@ -10,11 +10,11 @@ paper-style best points under several objectives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.results import CONFIG_KEYS, ResultSet
 
-__all__ = ["ParetoPoint", "pareto_front", "best_configs"]
+__all__ = ["ParetoPoint", "front_indices", "pareto_front", "best_configs"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,27 @@ class ParetoPoint:
         c = self.config
         return (f"{c['core']}/{c['cache']}/{c['memory']}/"
                 f"{c['vector']}b/{c['frequency']}GHz")
+
+
+def front_indices(xs: Sequence[float], ys: Sequence[float]) -> List[int]:
+    """Indices of the non-dominated (minimize x, minimize y) points.
+
+    The shared dominance kernel of :func:`pareto_front` and the active
+    search layer (:mod:`repro.analysis.search`): points are visited in
+    ``(x, y)`` order and kept only when they strictly improve the best
+    ``y`` seen so far (beyond a 1e-12 tolerance, so float noise cannot
+    manufacture front points).  Returned in ``x``-ascending order; ties
+    in ``(x, y)`` keep the lowest input index, making the selection
+    deterministic for any input order.
+    """
+    order = sorted(range(len(xs)), key=lambda i: (xs[i], ys[i], i))
+    front: List[int] = []
+    best_y = float("inf")
+    for i in order:
+        if ys[i] < best_y - 1e-12:
+            best_y = ys[i]
+            front.append(i)
+    return front
 
 
 def pareto_front(
@@ -54,15 +75,12 @@ def pareto_front(
         points.append((float(x), float(y), rec))
     if not points:
         raise ValueError(f"no records with {x_metric}/{y_metric} for {app}")
-    points.sort(key=lambda p: (p[0], p[1]))
-    front: List[ParetoPoint] = []
-    best_y = float("inf")
-    for x, y, rec in points:
-        if y < best_y - 1e-12:
-            best_y = y
-            front.append(ParetoPoint(
-                config={k: rec[k] for k in CONFIG_KEYS}, x=x, y=y))
-    return front
+    return [
+        ParetoPoint(config={k: points[i][2][k] for k in CONFIG_KEYS},
+                    x=points[i][0], y=points[i][1])
+        for i in front_indices([p[0] for p in points],
+                               [p[1] for p in points])
+    ]
 
 
 def best_configs(

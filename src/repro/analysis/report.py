@@ -96,6 +96,27 @@ def format_metrics_summary(summary: Dict) -> str:
         ]
     if d.get("timeout_unavailable", 0):
         rows.append(["timeouts unavailable", d.get("timeout_unavailable", 0)])
+    if d.get("sweep_shards", 0):
+        rows += [
+            ["work shards dealt", d.get("sweep_shards", 0)],
+            ["shards stolen", d.get("sweep_steals", 0)],
+        ]
+        if d.get("sweep_workers_lost", 0):
+            rows.append(["workers lost", d.get("sweep_workers_lost", 0)])
+        if d.get("sweep_ctx_spawn", 0):
+            rows.append(["spawn-context fallbacks",
+                         d.get("sweep_ctx_spawn", 0)])
+    if d.get("search_evaluated", 0):
+        rows += [
+            ["search points evaluated", d.get("search_evaluated", 0)],
+            ["search rounds", d.get("search_rounds", 0)],
+            ["search front size", d.get("search_front_size", 0)],
+        ]
+        if d.get("search_surrogate_rank_calls", 0):
+            rows.append(["surrogate ranking fits",
+                         d.get("search_surrogate_rank_calls", 0)])
+    if d.get("sched_jit_calls", 0):
+        rows.append(["JIT-scheduled phases", d.get("sched_jit_calls", 0)])
     out = [format_rows("sweep execution metrics", ["metric", "value"], rows)]
     timers = summary.get("timers", {})
     if timers:

@@ -1,0 +1,395 @@
+"""Pareto-guided active design-space exploration.
+
+Exhaustive sweeps stop scaling once range axes push the space past
+10^5 points: even at ~10^4 configs/s, a million-point space per app is
+minutes of compute spent mostly on dominated points.  This module
+replaces exhaustion with an **active search loop** in the spirit of
+gem5 Co-Pilot's guided DSE (see PAPERS.md), built from three parts the
+engine already guarantees to be exact:
+
+* the **batched evaluator** (:class:`repro.core.batch.BatchEvaluator`)
+  as the inner loop — every evaluated point is bitwise-identical to
+  what the exhaustive sweep would have produced, so a recovered front
+  *is* the exhaustive front restricted to evaluated points;
+* the **dominance kernel** (:func:`repro.analysis.pareto.front_indices`)
+  shared with :func:`pareto_front`, so "front" means exactly the same
+  thing here as in the exhaustive analysis;
+* the **content-addressed store** (:class:`repro.core.store.ResultStore`)
+  as the optional output sink — evaluated points stream into the same
+  store the serve layer answers from, so a search warms the cache for
+  later queries.
+
+The loop itself is epsilon-greedy neighborhood descent over axis
+coordinates:
+
+1. **seed** with the space's corner points plus an axis cross through
+   the center (every per-axis marginal through one interior point) —
+   cheap, deterministic coverage of the monotone trade-off extremes
+   where Pareto fronts live;
+2. each round, propose the unevaluated **axis neighbors** (+-1 per
+   axis) of the current front; with probability ``epsilon`` a batch
+   slot takes a uniformly random unevaluated point instead
+   (exploration, so a disconnected front component is still found);
+3. optionally rank the neighbor pool with a **quadratic surrogate**
+   (per-axis quadratic least squares on log metrics, NumPy ``lstsq``;
+   ``search.surrogate_rank_calls`` counts fits) so likely-front
+   candidates are evaluated first under a tight budget;
+4. stop when the front has been stable for ``patience`` rounds *and*
+   every neighbor of every front point has been evaluated (the
+   neighborhood-closure certificate), or when the evaluation budget /
+   the space is exhausted.
+
+On spaces where the front's axis-coordinate graph is connected —
+ which holds for the monotone performance/power trade-offs this model
+produces — neighborhood closure recovers the exhaustive front exactly;
+the property suite pins this on the full 864-point paper space and the
+``macro.search_dse`` benchmark gates it in CI.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.registry import get_app
+from ..config.space import DesignSpace
+from ..core.batch import BatchEvaluator
+from ..core.musa import Musa
+from ..core.results import ResultSet
+from ..core.store import ResultStore, store_key
+from ..obs import MetricsRegistry, get_metrics, set_metrics
+from .pareto import ParetoPoint, front_indices, pareto_front
+
+__all__ = ["SearchResult", "search_front", "search_fronts"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one per-app active search."""
+
+    app: str
+    front: List[ParetoPoint]
+    results: ResultSet            # every evaluated record, canonical order
+    n_evaluated: int
+    n_space: int
+    rounds: int
+    converged: bool               # neighborhood closure reached (vs budget)
+    front_point_indices: List[int] = field(default_factory=list)
+
+    @property
+    def evaluated_fraction(self) -> float:
+        return self.n_evaluated / self.n_space if self.n_space else 0.0
+
+
+def _neighbors(space: DesignSpace, lengths: Tuple[int, ...],
+               idx: int) -> List[int]:
+    """Axis neighbors (+-1 along each axis, clamped) of a flat index."""
+    coords = space.coords_at(idx)
+    out: List[int] = []
+    for d, length in enumerate(lengths):
+        for step in (-1, 1):
+            c = coords[d] + step
+            if 0 <= c < length:
+                out.append(space.index_of(
+                    coords[:d] + (c,) + coords[d + 1:]))
+    return out
+
+
+def _seed_indices(space: DesignSpace, lengths: Tuple[int, ...]) -> List[int]:
+    """Deterministic seed set: corners + axis cross through the center."""
+    seeds: List[int] = []
+    seen = set()
+
+    def add(coords: Tuple[int, ...]) -> None:
+        i = space.index_of(coords)
+        if i not in seen:
+            seen.add(i)
+            seeds.append(i)
+
+    for corner in product(*[(0, length - 1) for length in lengths]):
+        add(tuple(corner))
+    center = tuple(length // 2 for length in lengths)
+    for d, length in enumerate(lengths):
+        for v in range(length):
+            add(center[:d] + (v,) + center[d + 1:])
+    return seeds
+
+
+def _fit_quadratic(coords: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Least-squares fit of ``y ~ 1 + z + z^2`` per axis (no cross
+    terms: keeps the sample requirement at ``2 * d + 1``)."""
+    X = np.hstack([np.ones((len(coords), 1)), coords, coords ** 2])
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    return beta
+
+
+def _predict(coords: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    X = np.hstack([np.ones((len(coords), 1)), coords, coords ** 2])
+    return X @ beta
+
+
+def search_front(
+    app: str,
+    space: Optional[DesignSpace] = None,
+    *,
+    x_metric: str = "time_ns",
+    y_metric: str = "power_total_w",
+    n_ranks: int = 256,
+    mode: str = "fast",
+    max_evals: Optional[int] = None,
+    budget_frac: float = 0.2,
+    batch_size: int = 64,
+    epsilon: float = 0.15,
+    patience: Optional[int] = 2,
+    seed: int = 0,
+    surrogate: bool = False,
+    store: Optional[ResultStore] = None,
+    code_version: str = "unknown",
+    evaluator: Optional[BatchEvaluator] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SearchResult:
+    """Recover one app's Pareto front by active search.
+
+    Parameters
+    ----------
+    space:
+        Design space to explore (default: the full 864-point space; use
+        :func:`repro.config.range_design_space` for >=10^5-point range
+        spaces).
+    max_evals / budget_frac:
+        Evaluation budget: explicit point count, or a fraction of the
+        space (default 20%).  The budget is a hard cap.
+    batch_size:
+        Points per batched-evaluator call (the engine's amortization
+        unit).
+    epsilon:
+        Per-slot probability of exploring a uniformly random
+        unevaluated point instead of a front neighbor.
+    patience:
+        Rounds the front must stay unchanged (with its whole
+        neighborhood evaluated) before the search stops; ``None``
+        disables convergence stopping and runs to the budget — use with
+        ``max_evals=len(space)`` for a guaranteed-exhaustive pass.
+    surrogate:
+        Rank the candidate pool with the quadratic surrogate before
+        evaluation (``search.surrogate_rank_calls``).
+    store:
+        Optional :class:`ResultStore`; every evaluated point is
+        streamed in under ``(app, config, mode, ranks, code_version)``
+        — the serve layer then answers those points without touching
+        the engine.  Points already in the store are reused, not
+        re-evaluated.
+    evaluator:
+        Share a warmed :class:`BatchEvaluator` across calls (e.g. the
+        benchmark harness); by default one is built for ``app``.
+
+    Counters: ``search.evaluated`` (points acquired),
+    ``search.rounds``, ``search.front_size`` (final front),
+    ``search.surrogate_rank_calls``, plus the usual store/engine
+    counters.
+    """
+    if mode not in ("fast", "replay"):
+        raise ValueError("mode must be 'fast' or 'replay'")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError("epsilon must be in [0, 1]")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    space = space or DesignSpace()
+    lengths = space.axis_lengths()
+    n_space = len(space)
+    budget = (int(max_evals) if max_evals is not None
+              else max(1, math.ceil(budget_frac * n_space)))
+    budget = min(budget, n_space)
+    if budget < 1:
+        raise ValueError("evaluation budget must be >= 1")
+
+    reg = metrics or get_metrics()
+    prev_reg = set_metrics(reg) if reg is not get_metrics() else None
+    if evaluator is None:
+        evaluator = BatchEvaluator(Musa(get_app(app)))
+    rng = random.Random(seed)
+
+    evaluated: Dict[int, Dict] = {}
+    # Parallel arrays over points that carry both metrics (front space).
+    pts_idx: List[int] = []
+    pts_x: List[float] = []
+    pts_y: List[float] = []
+
+    def acquire(indices: Sequence[int]) -> None:
+        """Evaluate (or fetch from the store) a batch of space indices."""
+        fresh = [i for i in indices if i not in evaluated]
+        if not fresh:
+            return
+        nodes = {i: space.config_at(i) for i in fresh}
+        misses: List[int] = []
+        if store is not None:
+            for i in fresh:
+                entry = store.get(store_key(
+                    app, nodes[i].axis_values(), mode, n_ranks,
+                    code_version))
+                if entry is not None:
+                    evaluated[i] = entry["record"]
+                else:
+                    misses.append(i)
+        else:
+            misses = fresh
+        if misses:
+            before = reg.snapshot()
+            results = evaluator.evaluate(
+                [nodes[i] for i in misses], n_ranks=n_ranks, mode=mode)
+            delta = reg.delta(before, reg.snapshot())["counters"]
+            for i, res in zip(misses, results):
+                rec = res.record()
+                evaluated[i] = rec
+                if store is not None:
+                    store.put_point(app, nodes[i].axis_values(), mode,
+                                    n_ranks, code_version, rec,
+                                    engine="search", obs_delta=delta)
+        reg.inc("search.evaluated", len(fresh))
+        for i in fresh:
+            rec = evaluated[i]
+            x, y = rec.get(x_metric), rec.get(y_metric)
+            if x is None or y is None:
+                continue
+            pts_idx.append(i)
+            pts_x.append(float(x))
+            pts_y.append(float(y))
+
+    def current_front() -> List[int]:
+        return [pts_idx[j] for j in front_indices(pts_x, pts_y)]
+
+    rounds = 0
+    converged = False
+    try:
+        seeds = _seed_indices(space, lengths)[:budget]
+        acquire(seeds)
+
+        stall = 0
+        prev_front: Optional[Tuple[int, ...]] = None
+        while True:
+            room = budget - len(evaluated)
+            if room <= 0 or len(evaluated) >= n_space:
+                converged = len(evaluated) >= n_space
+                break
+            front = current_front()
+            pool: List[int] = []
+            pool_seen = set()
+            for i in front:
+                for j in _neighbors(space, lengths, i):
+                    if j not in evaluated and j not in pool_seen:
+                        pool_seen.add(j)
+                        pool.append(j)
+            if patience is not None and not pool and stall >= patience:
+                converged = True
+                break
+            if surrogate and pool:
+                pool = _rank_pool(space, lengths, pool, pts_idx, pts_x,
+                                  pts_y, reg)
+            batch: List[int] = []
+            batch_seen = set()
+            for _ in range(min(batch_size, room)):
+                pick: Optional[int] = None
+                if pool and rng.random() >= epsilon:
+                    pick = pool.pop(0)
+                else:
+                    for _ in range(64):  # rejection-sample the space
+                        j = rng.randrange(n_space)
+                        if j not in evaluated and j not in batch_seen:
+                            pick = j
+                            break
+                    if pick is None and pool:
+                        pick = pool.pop(0)
+                    elif pick is None and len(evaluated) + len(batch) < n_space:
+                        # Rejection sampling starves when almost nothing
+                        # is left; scan from a random start so a
+                        # full-budget run really exhausts the space.
+                        start = rng.randrange(n_space)
+                        for off in range(n_space):
+                            j = (start + off) % n_space
+                            if j not in evaluated and j not in batch_seen:
+                                pick = j
+                                break
+                if pick is None or pick in batch_seen:
+                    continue
+                batch_seen.add(pick)
+                batch.append(pick)
+            if not batch:
+                break  # nothing proposable: space effectively exhausted
+            acquire(batch)
+            rounds += 1
+            front_now = tuple(current_front())
+            if front_now == prev_front:
+                stall += 1
+            else:
+                stall = 0
+            prev_front = front_now
+    finally:
+        if prev_reg is not None:
+            set_metrics(prev_reg)
+
+    results = ResultSet(evaluated[i] for i in sorted(evaluated))
+    front_ids = current_front()
+    front = pareto_front(results, app, x_metric=x_metric,
+                         y_metric=y_metric, cores=None)
+    reg.inc("search.rounds", rounds)
+    reg.inc("search.front_size", len(front))
+    return SearchResult(
+        app=app, front=front, results=results,
+        n_evaluated=len(evaluated), n_space=n_space, rounds=rounds,
+        converged=converged, front_point_indices=sorted(front_ids),
+    )
+
+
+def _rank_pool(space: DesignSpace, lengths: Tuple[int, ...],
+               pool: List[int], pts_idx: List[int], pts_x: List[float],
+               pts_y: List[float], reg) -> List[int]:
+    """Order the candidate pool by surrogate-predicted promise.
+
+    Fits per-axis quadratics to ``log(x)``/``log(y)`` over the
+    normalized coordinates of everything evaluated so far, then sorts
+    candidates by the sum of their min-max-normalized predictions
+    (low-left corner first).  Falls back to the unranked pool until
+    there are enough samples for the 13-parameter fit.
+    """
+    d = len(lengths)
+    if len(pts_idx) < 2 * (2 * d + 1):
+        return pool
+
+    def norm_coords(indices: Sequence[int]) -> np.ndarray:
+        z = np.array([space.coords_at(i) for i in indices],
+                     dtype=np.float64)
+        scale = np.array([max(length - 1, 1) for length in lengths],
+                         dtype=np.float64)
+        return z / scale
+
+    zs = norm_coords(pts_idx)
+    log_x = np.log(np.maximum(np.array(pts_x), 1e-300))
+    log_y = np.log(np.maximum(np.array(pts_y), 1e-300))
+    beta_x = _fit_quadratic(zs, log_x)
+    beta_y = _fit_quadratic(zs, log_y)
+    zc = norm_coords(pool)
+    px = _predict(zc, beta_x)
+    py = _predict(zc, beta_y)
+
+    def minmax(v: np.ndarray) -> np.ndarray:
+        span = float(v.max() - v.min())
+        return (v - v.min()) / span if span > 0 else np.zeros_like(v)
+
+    score = minmax(px) + minmax(py)
+    reg.inc("search.surrogate_rank_calls")
+    order = sorted(range(len(pool)), key=lambda j: (score[j], pool[j]))
+    return [pool[j] for j in order]
+
+
+def search_fronts(
+    apps: Sequence[str],
+    space: Optional[DesignSpace] = None,
+    **kwargs,
+) -> Dict[str, SearchResult]:
+    """Per-app :func:`search_front` over a list of applications."""
+    return {app: search_front(app, space, **kwargs) for app in apps}

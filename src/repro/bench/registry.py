@@ -23,8 +23,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..apps import APP_NAMES, get_app
-from ..config import CACHE_LABELS, DesignSpace, cache_preset, smoke_design_space
-from ..core import run_sweep
+from ..config import (
+    CACHE_LABELS,
+    DesignSpace,
+    axis_linspace,
+    axis_range,
+    cache_preset,
+    range_design_space,
+    smoke_design_space,
+)
+from ..core import merge_journal, run_sweep
 from ..core.batch import BatchEvaluator
 from ..core.musa import Musa
 from ..network.model import NetworkConfig
@@ -58,6 +66,8 @@ REQUIRED_COUNTERS = (
     "replay.batch.peeled_configs",
     "replay.events",
     "sweep.batch.configs",
+    "sweep.shards",
+    "search.evaluated",
 )
 
 
@@ -478,6 +488,118 @@ def _build_campaign(tier: str) -> BenchCase:
         required_counters=("sweep.batch.configs",))
 
 
+def _build_sharded_sweep(tier: str) -> BenchCase:
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from ..core.canon import canonical_dumps
+
+    if tier == "smoke":
+        apps, space, processes, chunk_size = ["lulesh"], SMOKE_SPACE, 2, 1
+    else:
+        # Range-generated space: 4608 lazily-indexed configurations —
+        # big enough that worker startup amortizes and the shard
+        # scheduler's scaling is what the trend line measures.
+        apps = ["lulesh"]
+        space = range_design_space(
+            frequencies=axis_linspace(1.0, 4.0, 8),
+            core_counts=axis_range(8, 64, 8))
+        processes, chunk_size = 4, None
+    t0 = _time.perf_counter()
+    inline = run_sweep(apps, space, processes=1)
+    inline_s = _time.perf_counter() - t0
+    inline_text = canonical_dumps(list(inline))
+
+    def run():
+        return run_sweep(apps, space, processes=processes,
+                         chunk_size=chunk_size)
+
+    def oracle() -> Optional[str]:
+        pooled = run_sweep(apps, space, processes=processes,
+                           chunk_size=chunk_size)
+        if canonical_dumps(list(pooled)) != inline_text:
+            return "work-stealing pooled sweep differs from inline"
+        # Shard invariance: two disjoint shard journals, merged, must
+        # resume into the canonical ResultSet byte-for-byte with zero
+        # re-evaluation.
+        with tempfile.TemporaryDirectory() as d:
+            paths = [Path(d) / f"s{k}.jsonl" for k in range(2)]
+            for k, p in enumerate(paths):
+                run_sweep(apps, space, processes=1, resume=p,
+                          shard=f"{k}/2")
+            merged = Path(d) / "merged.jsonl"
+            merge_journal(paths, merged)
+            obs = get_metrics()
+            done0 = obs.counter("sweep.tasks.completed")
+            resumed = run_sweep(apps, space, processes=1, resume=merged)
+            if obs.counter("sweep.tasks.completed") != done0:
+                return "resume from merged shards re-evaluated tasks"
+            if canonical_dumps(list(resumed)) != inline_text:
+                return ("merged 2-shard journals did not reproduce the "
+                        "canonical ResultSet byte-for-byte")
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"apps": list(apps), "n_configs": len(space),
+              "processes": processes, "inline_s": inline_s},
+        required_counters=("sweep.shards",),
+        record_counters=("sweep.steals", "sweep.worker.lost",
+                         "sweep.ctx.spawn"))
+
+
+def _build_search_dse(tier: str) -> BenchCase:
+    from ..analysis.pareto import pareto_front
+    from ..analysis.search import search_front
+    from ..core.results import ResultSet
+
+    if tier == "smoke":
+        rec_space = DesignSpace(frequencies=(1.5, 2.5),
+                                core_counts=(32, 64))       # 288 points
+        big_space = range_design_space(
+            frequencies=axis_linspace(1.0, 4.0, 16),
+            core_counts=axis_range(4, 128, 4))              # 36 864
+    else:
+        rec_space = DesignSpace()                           # 864 points
+        big_space = range_design_space()                    # 140 616
+    ev = BatchEvaluator(Musa(get_app("lulesh")))
+    exhaustive = [r.record() for r in ev.evaluate(list(rec_space))]
+    ref_front = pareto_front(ResultSet(exhaustive), "lulesh", cores=None)
+    ref_key = [(p.x, p.y) for p in ref_front]
+
+    def run():
+        return search_front("lulesh", big_space, evaluator=ev, seed=0)
+
+    def oracle() -> Optional[str]:
+        # (a) Exact front recovery where the exhaustive answer exists.
+        r = search_front("lulesh", rec_space, evaluator=ev, seed=0,
+                         max_evals=len(rec_space), patience=2)
+        if [(p.x, p.y) for p in r.front] != ref_key:
+            return (f"search front ({len(r.front)} pts) differs from the "
+                    f"exhaustive front ({len(ref_front)} pts) on the "
+                    f"{len(rec_space)}-point space")
+        # (b) Budget: the range space must converge within 20%.
+        big = search_front("lulesh", big_space, evaluator=ev, seed=0)
+        if big.evaluated_fraction > 0.2:
+            return (f"range-space search used "
+                    f"{big.evaluated_fraction:.1%} of {len(big_space)} "
+                    f"points (budget is 20%)")
+        if not big.converged:
+            return "range-space search hit the budget without converging"
+        if not big.front:
+            return "range-space search returned an empty front"
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_rec_space": len(rec_space),
+              "n_big_space": len(big_space)},
+        required_counters=("search.evaluated",),
+        record_counters=("search.rounds", "search.front_size",
+                         "search.surrogate_rank_calls"))
+
+
 REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
     Benchmark("micro.miss_model", "micro",
               "batched set-associative miss model vs scalar "
@@ -509,6 +631,13 @@ REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
     Benchmark("macro.serve_query", "macro",
               "warm store-backed serve query (pure store assembly) vs "
               "cold evaluation", _build_serve_query),
+    Benchmark("macro.sharded_sweep", "macro",
+              "work-stealing pooled sweep over a range-generated space "
+              "vs inline, plus 2-shard journal-merge invariance",
+              _build_sharded_sweep),
+    Benchmark("macro.search_dse", "macro",
+              "active Pareto search: exact front recovery vs exhaustive, "
+              "<=20% budget on the range space", _build_search_dse),
 )}
 
 

@@ -11,7 +11,12 @@ Subcommands mirror the paper's workflow:
 * ``repro timeline <app>`` — Fig. 3/4-style ASCII timelines;
 * ``repro serve`` — HTTP query API over a persistent content-addressed
   result store;
-* ``repro query (sweep|best|delta|...)`` — client for a running server.
+* ``repro query (sweep|best|delta|...)`` — client for a running server;
+* ``repro sweep --shard K/N`` + ``repro merge-journal`` — split one
+  campaign across processes or hosts and union the partial journals
+  into one resumable, byte-stable file;
+* ``repro search <app>`` — active Pareto-front search instead of an
+  exhaustive sweep (range spaces with 10^5+ points).
 
 Every subcommand prints to stdout; sweeps persist a JSON
 :class:`~repro.core.results.ResultSet` consumable by ``figure``.
@@ -108,6 +113,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "top-N cumulative hotspots; the raw stats are "
                         "written as a .prof next to --metrics-json (or "
                         "--out)")
+    w.add_argument("--shard", default=None, metavar="K/N",
+                   help="evaluate only every N-th task starting at K "
+                        "(0-based); run one shard per process or host, "
+                        "then union the journals with `repro "
+                        "merge-journal`")
+
+    mj = sub.add_parser(
+        "merge-journal",
+        help="union sharded sweep journals into one resumable journal")
+    mj.add_argument("journals", nargs="+", metavar="JOURNAL",
+                    help="partial journal files (any order)")
+    mj.add_argument("--out", required=True, metavar="JOURNAL",
+                    help="merged journal path (byte-stable: independent "
+                         "of input order)")
+    mj.add_argument("--results", default=None, metavar="JSON",
+                    help="also write the merged successful records as a "
+                         "ResultSet JSON")
+
+    se = sub.add_parser(
+        "search",
+        help="active Pareto-front search (evaluates a fraction of the "
+             "space instead of sweeping it)")
+    se.add_argument("app", choices=APP_NAMES)
+    se.add_argument("--range", action="store_true",
+                    help="search the range-generated space (31 "
+                         "frequencies x 4..252 cores, 140616 points) "
+                         "instead of the 864-point paper space")
+    se.add_argument("--x-metric", default="time_ns")
+    se.add_argument("--y-metric", default="power_total_w")
+    se.add_argument("--ranks", type=int, default=256)
+    se.add_argument("--mode", default="fast", choices=("fast", "replay"))
+    se.add_argument("--max-evals", type=int, default=None,
+                    help="hard evaluation budget (default: 20%% of the "
+                         "space)")
+    se.add_argument("--budget-frac", type=float, default=0.2)
+    se.add_argument("--batch-size", type=int, default=64)
+    se.add_argument("--epsilon", type=float, default=0.15)
+    se.add_argument("--seed", type=int, default=0)
+    se.add_argument("--surrogate", action="store_true",
+                    help="rank candidates with the quadratic surrogate")
+    se.add_argument("--store", default=None, metavar="JSONL",
+                    help="stream evaluated points into this content-"
+                         "addressed store (reused on later searches and "
+                         "by `repro serve`)")
+    se.add_argument("--out", default=None, metavar="JSON",
+                    help="write every evaluated record as a ResultSet "
+                         "JSON")
 
     f = sub.add_parser("figure", help="render a paper figure from a sweep")
     f.add_argument("axis", choices=sorted(FIGURE_AXES))
@@ -376,8 +428,16 @@ def cmd_sweep(args) -> int:
     else:
         space = full_design_space()
     total = len(space) * len(args.apps)
+    shard_note = ""
+    if args.shard:
+        if not args.resume:
+            print("warning: --shard without --resume produces partial "
+                  "results that cannot be merged; pass --resume "
+                  "JOURNAL so `repro merge-journal` can union the "
+                  "shards", file=sys.stderr)
+        shard_note = f" (shard {args.shard})"
     print(f"sweeping {len(space)} configurations x {len(args.apps)} apps "
-          f"({total} simulations)...", flush=True)
+          f"({total} simulations){shard_note}...", flush=True)
     reg = get_metrics()
     reg.reset()
 
@@ -389,7 +449,7 @@ def cmd_sweep(args) -> int:
                          chunk_size=args.chunk_size,
                          batch=not args.no_batch,
                          batch_size=args.batch_size,
-                         mode=args.mode)
+                         mode=args.mode, shard=args.shard)
 
     if args.profile is not None:
         results = _profiled_sweep(_run, args)
@@ -407,6 +467,61 @@ def cmd_sweep(args) -> int:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True)
         print(f"wrote metrics to {args.metrics_json}")
+    return 0
+
+
+def cmd_merge_journal(args) -> int:
+    from ..core import merge_journal
+
+    try:
+        replay = merge_journal(args.journals, args.out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    n_ok = len(replay.results)
+    n_failed = len(replay.failed)
+    print(f"merged {len(args.journals)} journal(s) into {args.out}: "
+          f"{n_ok} completed task(s), {n_failed} failed stub(s)")
+    if args.results:
+        replay.results.save(args.results)
+        print(f"wrote {n_ok} records to {args.results}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from ..analysis import format_metrics_summary, search_front
+    from ..bench import code_version
+    from ..config import range_design_space
+    from ..core.store import ResultStore
+    from ..obs import get_metrics, summarize
+
+    space = range_design_space() if args.range else full_design_space()
+    reg = get_metrics()
+    reg.reset()
+    store = ResultStore(args.store) if args.store else None
+    try:
+        r = search_front(
+            args.app, space, x_metric=args.x_metric, y_metric=args.y_metric,
+            n_ranks=args.ranks, mode=args.mode, max_evals=args.max_evals,
+            budget_frac=args.budget_frac, batch_size=args.batch_size,
+            epsilon=args.epsilon, seed=args.seed, surrogate=args.surrogate,
+            store=store, code_version=code_version())
+    finally:
+        if store is not None:
+            store.close()
+    status = "converged" if r.converged else "budget exhausted"
+    print(f"{args.app}: searched {len(space)} points, evaluated "
+          f"{r.n_evaluated} ({r.evaluated_fraction:.1%}) in {r.rounds} "
+          f"rounds — {status}")
+    print(format_rows(
+        f"Pareto front ({args.x_metric} vs {args.y_metric}, "
+        f"{len(r.front)} points)",
+        ["config", "cores", args.x_metric, args.y_metric],
+        [[p.label, p.config["cores"], p.x, p.y] for p in r.front]))
+    if args.out:
+        r.results.save(args.out)
+        print(f"wrote {r.n_evaluated} records to {args.out}")
+    print(format_metrics_summary(summarize(reg.snapshot())))
     return 0
 
 
@@ -879,6 +994,8 @@ _COMMANDS = {
     "characterize": cmd_characterize,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
+    "merge-journal": cmd_merge_journal,
+    "search": cmd_search,
     "figure": cmd_figure,
     "scaling": cmd_scaling,
     "timeline": cmd_timeline,

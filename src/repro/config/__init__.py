@@ -29,7 +29,10 @@ from .node import (
 from .space import (
     AXES,
     DesignSpace,
+    axis_linspace,
+    axis_range,
     full_design_space,
+    range_design_space,
     smoke_design_space,
     unconventional_configs,
 )
@@ -55,12 +58,15 @@ __all__ = [
     "DesignSpace",
     "MemoryConfig",
     "NodeConfig",
+    "axis_linspace",
+    "axis_range",
     "baseline_node",
     "format_node",
     "cache_preset",
     "core_preset",
     "full_design_space",
     "memory_preset",
+    "range_design_space",
     "smoke_design_space",
     "parse_node",
     "unconventional_configs",

@@ -22,11 +22,46 @@ from .core import CORE_LABELS, core_preset
 from .memory import MEMORY_LABELS, memory_preset
 from .node import CORE_COUNTS, FREQUENCIES_GHZ, VECTOR_WIDTHS_BITS, NodeConfig
 
-__all__ = ["DesignSpace", "full_design_space", "smoke_design_space",
+__all__ = ["DesignSpace", "axis_linspace", "axis_range",
+           "full_design_space", "range_design_space", "smoke_design_space",
            "unconventional_configs"]
 
 #: Axis names in canonical iteration order (outermost first).
 AXES: Tuple[str, ...] = ("core", "cache", "memory", "frequency", "vector", "cores")
+
+
+def axis_range(start, stop, step) -> Tuple:
+    """Inclusive arithmetic progression for a numeric axis.
+
+    ``axis_range(8, 128, 8)`` explores cores-per-socket in steps of 8.
+    Values stay ints when every operand is an int, so axis values keyed
+    into journals/records round-trip exactly.
+    """
+    if step == 0:
+        raise ValueError("step must be non-zero")
+    values = []
+    v = start
+    while (v <= stop) if step > 0 else (v >= stop):
+        values.append(v)
+        v = v + step
+    if not values:
+        raise ValueError(f"empty range: start={start} stop={stop} step={step}")
+    return tuple(values)
+
+
+def axis_linspace(start: float, stop: float, num: int) -> Tuple[float, ...]:
+    """``num`` evenly spaced floats from ``start`` to ``stop`` inclusive.
+
+    Pure-Python arithmetic (no NumPy dtype round-trip) so the values are
+    plain floats that serialize canonically.
+    """
+    if num < 1:
+        raise ValueError("num must be >= 1")
+    if num == 1:
+        return (float(start),)
+    step = (float(stop) - float(start)) / (num - 1)
+    values = tuple(float(start) + i * step for i in range(num - 1))
+    return values + (float(stop),)
 
 
 @dataclass(frozen=True)
@@ -89,6 +124,55 @@ class DesignSpace:
         """Materialize the whole space in canonical order."""
         return list(self)
 
+    def axis_lengths(self) -> Tuple[int, ...]:
+        """Per-axis value counts in canonical :data:`AXES` order."""
+        return tuple(len(self._axis(name)) for name in AXES)
+
+    def coords_at(self, index: int) -> Tuple[int, ...]:
+        """Mixed-radix decode of a flat index into per-axis coordinates.
+
+        Row-major over :data:`AXES` (cores fastest-varying), matching
+        ``__iter__``'s ``itertools.product`` order exactly.
+        """
+        n = len(self)
+        if not 0 <= index < n:
+            raise IndexError(f"index {index} out of range for {n}-point space")
+        coords = []
+        for length in reversed(self.axis_lengths()):
+            index, c = divmod(index, length)
+            coords.append(c)
+        return tuple(reversed(coords))
+
+    def index_of(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coords_at`."""
+        lengths = self.axis_lengths()
+        if len(coords) != len(lengths):
+            raise ValueError(f"expected {len(lengths)} coords, got {coords}")
+        index = 0
+        for c, length in zip(coords, lengths):
+            if not 0 <= c < length:
+                raise IndexError(f"coordinate {c} out of range 0..{length - 1}")
+            index = index * length + c
+        return index
+
+    def config_at(self, index: int) -> NodeConfig:
+        """Lazily materialize the ``index``-th config of the space.
+
+        ``space.config_at(i) == list(space)[i]`` for every ``i`` without
+        building the list — the entry point that keeps million-point
+        range spaces tractable for the sharded sweep and the search
+        layer.
+        """
+        ci, xi, mi, fi, vi, ni = self.coords_at(index)
+        return NodeConfig(
+            core=core_preset(self.core_labels[ci]),
+            cache=cache_preset(self.cache_labels[xi]),
+            memory=memory_preset(self.memory_labels[mi]),
+            frequency_ghz=self.frequencies[fi],
+            vector_bits=self.vector_widths[vi],
+            n_cores=self.core_counts[ni],
+        )
+
     def restrict(self, **fixed) -> "DesignSpace":
         """Return a sub-space with some axes pinned to single values.
 
@@ -141,6 +225,32 @@ class DesignSpace:
 def full_design_space() -> DesignSpace:
     """The paper's 864-point space (Table I)."""
     return DesignSpace()
+
+
+def range_design_space(
+    core_labels: Tuple[str, ...] = CORE_LABELS,
+    cache_labels: Tuple[str, ...] = CACHE_LABELS,
+    memory_labels: Tuple[str, ...] = MEMORY_LABELS,
+    frequencies: Optional[Tuple[float, ...]] = None,
+    vector_widths: Tuple[int, ...] = VECTOR_WIDTHS_BITS,
+    core_counts: Optional[Tuple[int, ...]] = None,
+) -> DesignSpace:
+    """A range-generated space densifying the two numeric axes.
+
+    Defaults give 4 cores x 3 caches x 2 memories x 31 frequencies x 3
+    vectors x 63 core counts = 140,616 points — the >=10^5-point space
+    the active-search layer explores without exhaustion.  Pass explicit
+    tuples (e.g. from :func:`axis_range` / :func:`axis_linspace`) to
+    reshape any axis.
+    """
+    return DesignSpace(
+        core_labels=core_labels,
+        cache_labels=cache_labels,
+        memory_labels=memory_labels,
+        frequencies=frequencies or axis_linspace(1.0, 4.0, 31),
+        vector_widths=vector_widths,
+        core_counts=core_counts or axis_range(4, 252, 4),
+    )
 
 
 def smoke_design_space() -> DesignSpace:

@@ -6,6 +6,7 @@ from .checkpoint import (
     Journal,
     JournalReplay,
     load_checkpoint,
+    merge_journal,
     replay_journal,
     run_sweep_checkpointed,
     task_key,
@@ -59,6 +60,7 @@ __all__ = [
     "energy_delay_squared",
     "geo_mean",
     "load_checkpoint",
+    "merge_journal",
     "normalize_axis",
     "normalized_energy",
     "parallel_efficiency",

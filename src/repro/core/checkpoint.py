@@ -19,6 +19,17 @@ Journal format: one JSON object per line.
 Duplicate keys keep their first occurrence; every dropped duplicate is
 counted (``checkpoint.duplicates_dropped``) and logged through
 :mod:`repro.obs` so silent journal corruption is visible.
+
+Sharded campaigns add two pieces on top of this format:
+
+* **meta lines** — ``{"__meta__": {...}}`` provenance headers (shard
+  index, shard count) appended by ``repro sweep --shard K/N``; replay
+  collects them but they never affect resume decisions, so a journal
+  with meta lines resumes identically to one without;
+* :func:`merge_journal` — unions K partial journals into one, first
+  occurrence per task key winning, records written in canonical
+  task-key order.  Resuming from the merged journal is byte-identical
+  to resuming from a single-process journal of the same campaign.
 """
 
 from __future__ import annotations
@@ -38,11 +49,17 @@ from .results import CONFIG_KEYS, ResultSet
 __all__ = [
     "Journal",
     "JournalReplay",
+    "META_KEY",
     "load_checkpoint",
+    "merge_journal",
     "replay_journal",
     "run_sweep_checkpointed",
     "task_key",
 ]
+
+#: Field marking a journal line as shard/provenance metadata rather
+#: than a task record.
+META_KEY = "__meta__"
 
 
 def task_key(record: Dict) -> Tuple:
@@ -76,6 +93,14 @@ class Journal:
         if self._since_sync >= self.fsync_every:
             self.flush()
 
+    def append_meta(self, meta: Dict) -> None:
+        """Append a provenance header (shard identity etc.).
+
+        Meta lines are collected by :func:`replay_journal` but ignored
+        by resume logic, so they may appear anywhere in the file.
+        """
+        self.append({META_KEY: dict(meta)})
+
     def flush(self) -> None:
         self._fh.flush()
         os.fsync(self._fh.fileno())
@@ -102,6 +127,7 @@ class JournalReplay:
     failed: List[Dict] = field(default_factory=list)
     duplicates: int = 0
     corrupt_lines: int = 0
+    meta: List[Dict] = field(default_factory=list)
 
 
 def replay_journal(path: Union[str, Path]) -> JournalReplay:
@@ -131,7 +157,17 @@ def replay_journal(path: Union[str, Path]) -> JournalReplay:
             except (json.JSONDecodeError, ValueError):
                 out.corrupt_lines += 1  # truncated tail of a crashed run
                 continue
-            key = task_key(record)
+            if not isinstance(record, dict):
+                out.corrupt_lines += 1
+                continue
+            if META_KEY in record:
+                out.meta.append(record[META_KEY])
+                continue
+            try:
+                key = task_key(record)
+            except KeyError:
+                out.corrupt_lines += 1  # record missing config keys
+                continue
             if key in out.done:
                 out.duplicates += 1
                 continue
@@ -161,6 +197,60 @@ def load_checkpoint(path: Union[str, Path]) -> ResultSet:
     counted through :mod:`repro.obs`); failure stubs are excluded.
     """
     return replay_journal(path).results
+
+
+def merge_journal(
+    paths: Sequence[Union[str, Path]],
+    out_path: Union[str, Path],
+    fsync_every: int = 64,
+) -> JournalReplay:
+    """Union K partial journals into one canonical resume journal.
+
+    Each input is replayed with the usual tolerance (torn tails,
+    duplicates, meta lines); across inputs the **first occurrence** of a
+    task key wins, consistent with single-journal dedup.  A failure stub
+    survives only if no input holds a success for the same key (the
+    latest stub wins, mirroring :func:`replay_journal`).  Output records
+    are written sorted by task key, so merging the same shard set in any
+    path order produces a byte-identical file, and resuming from it is
+    byte-identical to resuming a single-process journal.
+
+    Returns the replay of the merged content (results + surviving
+    stubs); counts land under ``checkpoint.merged_*``.
+    """
+    if not paths:
+        raise ValueError("merge_journal needs at least one input journal")
+    records: Dict[Tuple, Dict] = {}
+    stubs: Dict[Tuple, Dict] = {}
+    merged = JournalReplay()
+    for path in paths:
+        replay = replay_journal(path)
+        merged.duplicates += replay.duplicates
+        merged.corrupt_lines += replay.corrupt_lines
+        merged.meta.extend(replay.meta)
+        for rec in replay.results:
+            records.setdefault(task_key(rec), rec)
+        for stub in replay.failed:
+            stubs[task_key(stub)] = stub  # latest stub wins
+    for key in records:
+        stubs.pop(key, None)  # a shard eventually succeeded
+
+    out = Path(out_path)
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    with Journal(tmp, fsync_every=fsync_every) as journal:
+        for key in sorted(records):
+            journal.append(records[key])
+        for key in sorted(stubs):
+            journal.append(stubs[key])
+    os.replace(tmp, out)
+
+    for key in sorted(records):
+        merged.done.add(key)
+        merged.results.add(records[key])
+    merged.failed.extend(stubs[key] for key in sorted(stubs))
+    obs_inc("checkpoint.merged_journals", len(paths))
+    obs_inc("checkpoint.merged_records", len(merged.results))
+    return merged
 
 
 def run_sweep_checkpointed(

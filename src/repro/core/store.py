@@ -40,7 +40,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 from ..obs import get_metrics
 from .canon import canonical_dumps, canonical_loads, content_digest
 
-__all__ = ["ResultStore", "store_key", "STORE_KEY_SCHEMA"]
+__all__ = ["ResultStore", "make_provenance", "store_key",
+           "STORE_KEY_SCHEMA"]
 
 #: Version tag of the key schema.  Bump when the keyed-input structure
 #: changes so old entries can never alias new keys.
@@ -165,6 +166,24 @@ class ResultStore:
                 self._flush_locked()
         get_metrics().inc("store.put")
         return entry
+
+    def put_point(self, app: str, config: Dict[str, Any], mode: str,
+                  ranks: int, code_version: str, record: Dict,
+                  engine: str, obs_delta: Optional[Dict] = None) -> str:
+        """Store one evaluated design point from its raw identity.
+
+        Convenience over :meth:`put` for producers that stream points
+        as they evaluate them (the active-search loop): computes the
+        content address, assembles the auditable ``inputs`` block and
+        the provenance, and returns the key so the caller can hand it
+        to the serve layer.
+        """
+        inputs = {"app": app, "config": dict(config), "mode": mode,
+                  "ranks": int(ranks), "code_version": code_version}
+        key = store_key(app, config, mode, ranks, code_version)
+        self.put(key, record, inputs,
+                 make_provenance(engine, obs_delta or {}))
+        return key
 
     # -- invalidation ---------------------------------------------------------
 

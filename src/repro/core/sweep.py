@@ -37,6 +37,25 @@ was:
 The returned :class:`~repro.core.results.ResultSet` is always in the
 canonical ``sweep_configs`` order, independent of worker count, chunk
 size and completion order.
+
+Scaling to million-point range spaces (PR 9) changed the parallel
+scheduler from static ``Pool`` chunking to a **work-stealing shard
+scheduler**:
+
+* tasks come from a lazy task table (``DesignSpace.config_at``) so the
+  space is never materialized;
+* the queued work is packed into app x config-batch *shards*
+  (``sweep.shards`` counts them), dealt across per-worker deques; a
+  worker that drains its deque steals the back half of the richest
+  victim's deque (``sweep.steals``);
+* workers are dedicated processes fed through per-worker inboxes, so
+  shard ownership is real (Musa/evaluator caches stay hot per worker)
+  and a dead worker's shards are requeued (``sweep.worker.lost``)
+  instead of hanging the campaign;
+* ``shard=(K, N)`` (CLI ``--shard K/N``) restricts one invocation to
+  every Nth task, letting N hosts split a campaign; their journals
+  merge with :func:`repro.core.checkpoint.merge_journal` into one
+  bit-identical resume.
 """
 
 from __future__ import annotations
@@ -50,6 +69,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from multiprocessing import get_context
 from pathlib import Path
+from queue import Empty as _QueueEmpty
 from typing import (
     Callable,
     Dict,
@@ -377,6 +397,46 @@ def sweep_configs(
     return [(app, node) for app in app_names for node in configs]
 
 
+class _TaskTable:
+    """Lazy (app, node) view in app-major x space row-major order.
+
+    Indexable like the materialized :func:`sweep_configs` list but
+    builds each :class:`NodeConfig` on demand through
+    ``DesignSpace.config_at``, so scheduling a million-point range
+    space costs index arithmetic, not a million dataclasses.
+    """
+
+    def __init__(self, app_names: Sequence[str], space: DesignSpace) -> None:
+        self.app_names = list(app_names)
+        self.space = space
+        self.n_configs = len(space)
+
+    def __len__(self) -> int:
+        return len(self.app_names) * self.n_configs
+
+    def __getitem__(self, idx: int) -> Tuple[str, NodeConfig]:
+        if not 0 <= idx < len(self):
+            raise IndexError(idx)
+        app_i, cfg_i = divmod(idx, self.n_configs)
+        return self.app_names[app_i], self.space.config_at(cfg_i)
+
+
+def _parse_shard(shard) -> Optional[Tuple[int, int]]:
+    """Normalize a ``"K/N"`` string or ``(K, N)`` pair; None passes."""
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        try:
+            k, n = (int(p) for p in shard.split("/"))
+        except ValueError:
+            raise ValueError(f"shard must be 'K/N', got {shard!r}") from None
+    else:
+        k, n = shard
+    if n < 1 or not 0 <= k < n:
+        raise ValueError(f"shard must satisfy 0 <= K < N, got {k}/{n}")
+    return int(k), int(n)
+
+
 def _failure_stub(app_name: str, node: NodeConfig, error: str,
                   attempts: int) -> Dict:
     """A result-shaped record marking a task that exhausted its retries."""
@@ -473,6 +533,7 @@ def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
             continue
         if batched:
             batch = _pop_batch(sched, n_ranks, batch_size)
+            sched.reg.inc("sweep.shards")
             try:
                 outcomes, abort = _execute_batch(batch)
             except Exception as exc:
@@ -488,6 +549,7 @@ def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
             continue
         idx, attempt = sched.queue.popleft()
         app_name, node = sched.tasks[idx]
+        sched.reg.inc("sweep.shards")
         try:
             rec = _execute_task((idx, attempt, app_name, node, n_ranks))
         except SweepAbort:
@@ -524,33 +586,228 @@ def _drain_ready(sched: _Scheduler, inflight: Dict[int, object],
         raise abort
 
 
+def _pool_context():
+    """Multiprocessing context for sweep workers.
+
+    Fork where available (cheap workers; parent traces shared via COW);
+    on spawn-only platforms the degradation is counted
+    (``sweep.ctx.spawn``) and warned about instead of crashing the
+    sweep.
+    """
+    try:
+        return get_context("fork")
+    except ValueError:
+        get_metrics().inc("sweep.ctx.spawn")
+        warn("fork start method unavailable; using spawn workers "
+             "(slower start-up, traces not shared copy-on-write)")
+        return get_context("spawn")
+
+
+def _worker_main(inbox, results, init_args) -> None:
+    """Shard-worker loop: pull ``(shard_id, chunk)`` from the private
+    inbox, run it, push ``(shard_id, status, payload)`` to the shared
+    results queue.  ``None`` is the shutdown sentinel.  Nothing short
+    of process death escapes: per-task failures are outcomes, a
+    :class:`SweepAbort` is shipped as a message, and any other escape
+    fails the whole shard into the retry path.
+    """
+    _init_worker(*init_args)
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        shard_id, chunk = item
+        try:
+            results.put((shard_id, "ok", _run_chunk(chunk)))
+        except SweepAbort as exc:
+            results.put((shard_id, "abort", str(exc)))
+        except BaseException as exc:  # keep the worker alive
+            results.put((shard_id, "err",
+                         ([(t[0], t[1]) for t in chunk],
+                          f"{type(exc).__name__}: {exc}")))
+
+
+class _ShardResult:
+    """Handle-shaped view of one finished shard message, so the shared
+    abort-draining logic (:func:`_drain_ready`, directly unit-tested)
+    works unchanged on queue messages."""
+
+    __slots__ = ("_status", "_payload")
+
+    def __init__(self, status: str, payload) -> None:
+        self._status = status
+        self._payload = payload
+
+    def get(self):
+        if self._status == "abort":
+            raise SweepAbort(self._payload)
+        if self._status == "err":
+            pairs, msg = self._payload
+            return ([(idx, attempt, False, msg) for idx, attempt in pairs],
+                    {})
+        return self._payload
+
+
+def _pop_chunk(sched: _Scheduler, n_ranks: int, chunk_size: int) -> List:
+    """Pop one shard: a run of queued same-app tasks, <= chunk_size."""
+    idx, attempt = sched.queue.popleft()
+    app_name, node = sched.tasks[idx]
+    chunk = [(idx, attempt, app_name, node, n_ranks)]
+    while sched.queue and len(chunk) < chunk_size:
+        nxt_idx = sched.queue[0][0]
+        nxt_app, nxt_node = sched.tasks[nxt_idx]
+        if nxt_app != app_name:
+            break
+        idx, attempt = sched.queue.popleft()
+        chunk.append((idx, attempt, app_name, nxt_node, n_ranks))
+    return chunk
+
+
+def _make_shards(sched: _Scheduler, n_ranks: int, chunk_size: int) -> List:
+    """Pack every queued task into app x config-batch shards."""
+    shards = []
+    while sched.queue:
+        shards.append(_pop_chunk(sched, n_ranks, chunk_size))
+    sched.reg.inc("sweep.shards", len(shards))
+    return shards
+
+
 def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
                 chunk_size: int, fault_hook, timeout_s, batch,
                 batch_size, mode) -> None:
-    try:
-        ctx = get_context("fork")  # cheap workers; traces shared via COW
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        ctx = get_context("spawn")
-    with ctx.Pool(processes=processes, initializer=_init_worker,
-                  initargs=(fault_hook, timeout_s, batch, batch_size, mode)
-                  ) as pool:
-        inflight: Dict[int, object] = {}
-        handle = 0
-        while sched.pending() or inflight:
-            sched.promote_ready_retries()
-            while sched.queue and len(inflight) < processes * 2:
-                chunk = []
-                while sched.queue and len(chunk) < chunk_size:
-                    idx, attempt = sched.queue.popleft()
-                    app_name, node = sched.tasks[idx]
-                    chunk.append((idx, attempt, app_name, node, n_ranks))
-                inflight[handle] = pool.apply_async(_run_chunk, (chunk,))
-                handle += 1
-            ready = [h for h, ar in inflight.items() if ar.ready()]
-            if not ready:
-                time.sleep(0.002)
+    """Work-stealing shard scheduler over dedicated worker processes.
+
+    Queued tasks are packed into app x config-batch shards and dealt
+    across per-worker deques.  Each worker keeps at most two shards in
+    flight (one running, one buffered in its inbox); when a worker's
+    deque drains, it steals the back half of the richest victim's deque
+    (``sweep.steals``), so tail imbalance — slow shards, heterogeneous
+    apps, a noisy machine — rebalances instead of serializing on the
+    unluckiest worker.  Retries re-enter as fresh shards dealt to the
+    lightest deque.  A worker process that dies mid-shard has its
+    in-flight tasks pushed into the retry path and its deque
+    redistributed (``sweep.worker.lost``) rather than hanging the
+    campaign.
+    """
+    reg = sched.reg
+    ctx = _pool_context()
+    init_args = (fault_hook, timeout_s, batch, batch_size, mode)
+    results_q = ctx.Queue()
+    inboxes = []
+    workers = []
+    for _ in range(processes):
+        inbox = ctx.Queue()
+        proc = ctx.Process(target=_worker_main,
+                           args=(inbox, results_q, init_args), daemon=True)
+        proc.start()
+        inboxes.append(inbox)
+        workers.append(proc)
+
+    deques: List[deque] = [deque() for _ in range(processes)]
+    alive = [True] * processes
+    outstanding = [0] * processes
+    owner: Dict[int, int] = {}        # shard_id -> worker slot
+    shard_tasks: Dict[int, List] = {}  # shard_id -> [(idx, attempt), ...]
+    next_shard = 0
+
+    def live_slots() -> List[int]:
+        return [w for w in range(processes) if alive[w]]
+
+    def deal(shards) -> None:
+        nonlocal next_shard
+        slots = live_slots()
+        if not slots:
+            raise RuntimeError("all sweep workers died; cannot continue")
+        for chunk in shards:
+            w = min(slots, key=lambda j: len(deques[j]) + outstanding[j])
+            deques[w].append((next_shard, chunk))
+            next_shard += 1
+
+    def dispatch(w: int) -> None:
+        while alive[w] and outstanding[w] < 2:
+            if not deques[w]:
+                victims = [v for v in live_slots() if v != w and deques[v]]
+                if not victims:
+                    return
+                v = max(victims, key=lambda j: len(deques[j]))
+                stolen = [deques[v].pop()
+                          for _ in range((len(deques[v]) + 1) // 2)]
+                deques[w].extend(reversed(stolen))
+                reg.inc("sweep.steals")
+            shard_id, chunk = deques[w].popleft()
+            owner[shard_id] = w
+            shard_tasks[shard_id] = [(t[0], t[1]) for t in chunk]
+            inboxes[w].put((shard_id, chunk))
+            outstanding[w] += 1
+
+    def dispatch_all() -> None:
+        for w in range(processes):
+            dispatch(w)
+
+    def reap_dead() -> None:
+        for w in range(processes):
+            if not alive[w] or workers[w].is_alive():
                 continue
-            _drain_ready(sched, inflight, ready)
+            alive[w] = False
+            reg.inc("sweep.worker.lost")
+            warn("sweep worker %d died; requeueing its shards", w)
+            for sid in [s for s, ow in owner.items() if ow == w]:
+                owner.pop(sid)
+                outstanding[w] -= 1
+                for idx, attempt in shard_tasks.pop(sid):
+                    if idx not in sched.completed:
+                        sched.record_outcome(idx, attempt, False,
+                                             "worker process died")
+            if deques[w]:
+                orphans = [chunk for _, chunk in deques[w]]
+                deques[w].clear()
+                deal(orphans)
+
+    try:
+        deal(_make_shards(sched, n_ranks, chunk_size))
+        dispatch_all()
+        while (sched.pending() or owner or any(deques)):
+            sched.promote_ready_retries()
+            if sched.queue:
+                deal(_make_shards(sched, n_ranks, chunk_size))
+                dispatch_all()
+            try:
+                msg = results_q.get(timeout=0.02)
+            except _QueueEmpty:
+                reap_dead()
+                if not live_slots():
+                    raise RuntimeError(
+                        "all sweep workers died; cannot continue")
+                continue
+            ready: Dict[int, _ShardResult] = {}
+            while True:
+                shard_id, status, payload = msg
+                w = owner.pop(shard_id)
+                shard_tasks.pop(shard_id, None)
+                outstanding[w] -= 1
+                ready[shard_id] = _ShardResult(status, payload)
+                try:
+                    msg = results_q.get_nowait()
+                except _QueueEmpty:
+                    break
+            _drain_ready(sched, ready, list(ready))
+            dispatch_all()
+    finally:
+        for w, proc in enumerate(workers):
+            if proc.is_alive():
+                try:
+                    inboxes[w].put_nowait(None)
+                except Exception:  # pragma: no cover - full/broken pipe
+                    pass
+        for proc in workers:
+            proc.join(timeout=2.0)
+        for proc in workers:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in inboxes + [results_q]:
+            q.close()
+            q.cancel_join_thread()
 
 
 def run_sweep(
@@ -571,6 +828,7 @@ def run_sweep(
     batch: bool = True,
     batch_size: int = 256,
     mode: str = "fast",
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
 ) -> ResultSet:
     """Simulate every (application, configuration) pair.
 
@@ -599,7 +857,8 @@ def run_sweep(
         Base of the exponential retry backoff (doubles per attempt).
     chunk_size:
         Tasks per worker dispatch (default: sized so each worker sees
-        ~8 chunks).
+        ~4 chunks, capped at ``batch_size`` so batched shards keep
+        their column count — or at 32 when ``batch=False``).
     fault_hook:
         ``hook(app_name, node, attempt)`` called before each attempt;
         raising simulates a worker failure (see :class:`FailNTimes`).
@@ -621,6 +880,14 @@ def run_sweep(
         :meth:`repro.core.musa.Musa.simulate_node`).  Replay tasks are
         journaled, retried and resumed exactly like fast ones, and the
         batched evaluator still amortizes the compute-timing columns.
+    shard:
+        ``"K/N"`` (or ``(K, N)``): run only every Nth task starting at
+        K, so N hosts can split one campaign.  The returned ResultSet
+        covers just this shard (canonical sub-order); give each shard
+        its own ``resume=`` journal and union them with
+        :func:`repro.core.checkpoint.merge_journal` — resuming the full
+        sweep from the merged journal reproduces the single-process
+        ResultSet byte-for-byte without re-evaluating anything.
 
     The returned ResultSet is in canonical task order regardless of
     ``processes``/``chunk_size``/``batch_size``; failed tasks appear as
@@ -633,7 +900,13 @@ def run_sweep(
     if mode not in ("fast", "replay"):
         raise ValueError("mode must be 'fast' or 'replay'")
     space = space or DesignSpace()
-    tasks = sweep_configs(app_names, space)
+    shard_kn = _parse_shard(shard)
+    # Lazy task table when the space supports random access; arbitrary
+    # config iterables (tests, ad-hoc lists) still materialize.
+    if hasattr(space, "config_at"):
+        tasks = _TaskTable(app_names, space)
+    else:
+        tasks = sweep_configs(app_names, space)
     if processes is None:
         processes = min(os.cpu_count() or 1, 8)
 
@@ -649,16 +922,22 @@ def run_sweep(
                 for rec in replayed.results:
                     done[task_key(rec)] = rec
 
-            pending: List[int] = []
+            indices = (range(len(tasks)) if shard_kn is None
+                       else range(shard_kn[0], len(tasks), shard_kn[1]))
             n_resumed = 0
-            for i, (app_name, node) in enumerate(tasks):
-                ax = node.axis_values()
-                key = (app_name, ax["core"], ax["cache"], ax["memory"],
-                       ax["frequency"], ax["vector"], ax["cores"])
-                if key in done:
-                    n_resumed += 1
-                else:
-                    pending.append(i)
+            if done:
+                pending: List[int] = []
+                for i in indices:
+                    app_name, node = tasks[i]
+                    ax = node.axis_values()
+                    key = (app_name, ax["core"], ax["cache"], ax["memory"],
+                           ax["frequency"], ax["vector"], ax["cores"])
+                    if key in done:
+                        n_resumed += 1
+                    else:
+                        pending.append(i)
+            else:
+                pending = list(indices)
             reg.inc("sweep.tasks.skipped", n_resumed)
 
             if progress and n_resumed:
@@ -669,6 +948,10 @@ def run_sweep(
 
             if resume is not None:
                 journal = Journal(resume, fsync_every=fsync_every)
+                if shard_kn is not None:
+                    journal.append_meta({"shard": shard_kn[0],
+                                         "of": shard_kn[1],
+                                         "tasks": len(pending) + n_resumed})
             sched = _Scheduler(tasks, reg, journal, meter, max_retries,
                                retry_backoff_s)
             sched.queue.extend((i, 0) for i in pending)
@@ -678,8 +961,12 @@ def run_sweep(
                 _run_inline(sched, n_ranks)
             else:
                 if chunk_size is None:
-                    chunk_size = min(32, max(1, len(pending)
-                                             // (processes * 8)))
+                    # Coarse shards keep the batched evaluator's column
+                    # count high (work-stealing absorbs the imbalance);
+                    # scalar evaluation wants finer dispatch.
+                    cap = batch_size if batch else 32
+                    chunk_size = min(cap, max(1, len(pending)
+                                              // (processes * 4)))
                 _run_pooled(sched, n_ranks, processes, chunk_size,
                             fault_hook, timeout_s, batch, batch_size, mode)
     finally:
@@ -690,10 +977,11 @@ def run_sweep(
             set_metrics(prev_reg)
 
     results = ResultSet()
-    for i, (app_name, node) in enumerate(tasks):
+    for i in indices:
         if i in sched.completed:
             results.add(sched.completed[i])
         else:
+            app_name, node = tasks[i]
             ax = node.axis_values()
             key = (app_name, ax["core"], ax["cache"], ax["memory"],
                    ax["frequency"], ax["vector"], ax["cores"])

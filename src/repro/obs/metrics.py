@@ -216,7 +216,21 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
       in-flight evaluation instead of racing the engine;
     * ``timeout_unavailable`` — tasks that requested a ``timeout_s``
       budget on a platform or thread without ``SIGALRM`` and ran
-      unbudgeted instead.
+      unbudgeted instead;
+    * ``sweep_shards`` / ``sweep_steals`` / ``sweep_workers_lost`` /
+      ``sweep_ctx_spawn`` — shard-scheduler accounting: work shards
+      dealt to workers, shards stolen from a busy worker's deque by an
+      idle one, worker processes that died mid-sweep (their shards are
+      requeued), and pools that fell back to the ``spawn`` start
+      method because ``fork`` was unavailable;
+    * ``search_evaluated`` / ``search_rounds`` / ``search_front_size``
+      / ``search_surrogate_rank_calls`` — active-DSE search loop
+      accounting (:mod:`repro.analysis.search`): points acquired,
+      proposal rounds, final Pareto-front size, and surrogate ranking
+      fits;
+    * ``sched_jit_calls`` — general-DAG phases scheduled by the opt-in
+      ``REPRO_JIT`` compiled kernel instead of the interpreted heapq
+      path.
     """
     snap = snap if snap is not None else _GLOBAL.snapshot()
     c = snap.get("counters", {})
@@ -274,5 +288,15 @@ def summarize(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         "serve_requests": c.get("serve.requests", 0),
         "serve_coalesced": c.get("serve.singleflight.coalesced", 0),
         "timeout_unavailable": c.get("sweep.timeout_unavailable", 0),
+        "sweep_shards": c.get("sweep.shards", 0),
+        "sweep_steals": c.get("sweep.steals", 0),
+        "sweep_workers_lost": c.get("sweep.worker.lost", 0),
+        "sweep_ctx_spawn": c.get("sweep.ctx.spawn", 0),
+        "search_evaluated": c.get("search.evaluated", 0),
+        "search_rounds": c.get("search.rounds", 0),
+        "search_front_size": c.get("search.front_size", 0),
+        "search_surrogate_rank_calls": c.get("search.surrogate_rank_calls",
+                                             0),
+        "sched_jit_calls": c.get("sched.jit.calls", 0),
     }
     return {"derived": derived, "counters": c, "timers": t}

@@ -1,0 +1,263 @@
+"""Optional JIT backend for the general-DAG list scheduler.
+
+The structure-specialized paths in :mod:`repro.runtime.scheduler`
+(``nodeps``/``fanout0``, plus the config-vectorized batch) cover every
+phase the bundled application models emit; traces with real dependency
+DAGs fall through to the general heapq scheduler, which is pure Python
+and dominates sweep time on such traces.  This module provides an
+**opt-in** compiled replacement for exactly that path.
+
+Design for bit-identity
+-----------------------
+
+The kernel (:func:`_make_kernel`) is a line-for-line transcription of
+the general path onto parallel NumPy arrays:
+
+* both heaps (ready: ``(ready_time, task)``; cores: ``(free_time,
+  core)``) are binary heaps over ``(float64 key, int64 value)`` pairs
+  using **CPython's own sift algorithms** (``_siftdown`` / the
+  leaf-then-up ``_siftup``) and lexicographic comparison, so pops occur
+  in exactly the order ``heapq`` would produce — including tie-breaks
+  on the task/core index;
+* every float operation (``start = max(ready_time, free_time)``,
+  ``end = start + durations[i]``, the ``busy`` and ``dep_finish``
+  accumulations) is the same float64 operation on the same operands in
+  the same order.
+
+Because the kernel body is plain Python over arrays, it runs in two
+modes selected by the ``REPRO_JIT`` environment variable:
+
+* ``REPRO_JIT=numba`` — wrap the kernel in ``numba.njit``.  If numba
+  is not importable the backend **soft-disables** with a warning and
+  the ``sched.jit.unavailable`` counter; sweeps keep working.
+* ``REPRO_JIT=python`` — run the identical kernel interpreted.  This
+  exists so the bit-identity oracle (and CI, where numba may be
+  absent) exercises the exact code numba would compile.
+* unset / ``off`` — backend disabled, the heapq path runs as before.
+
+``sched.jit.calls`` counts kernel invocations.  The backend is
+resolved once per process (first general-path phase); tests reset it
+via :func:`_reset_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import get_metrics
+
+__all__ = ["get_jit_kernel", "run_jit_schedule", "JIT_ENV_VAR"]
+
+JIT_ENV_VAR = "REPRO_JIT"
+
+#: Sentinel distinguishing "not resolved yet" from "resolved: disabled".
+_UNRESOLVED = object()
+_backend: object = _UNRESOLVED
+
+
+def _make_kernel(decorate: Callable) -> Callable:
+    """Build the schedule kernel, optionally compiled by ``decorate``.
+
+    ``decorate`` is either the identity (interpreted ``python``
+    backend) or ``numba.njit`` — the function bodies are identical, so
+    the interpreted backend is the compiled backend's oracle.
+    """
+
+    @decorate
+    def _lt(k1, v1, k2, v2):
+        # Lexicographic (key, value) compare — Python tuple ordering.
+        return k1 < k2 or (k1 == k2 and v1 < v2)
+
+    @decorate
+    def _siftdown(hk, hv, startpos, pos):
+        # CPython heapq._siftdown: bubble heap[pos] toward the root.
+        nk = hk[pos]
+        nv = hv[pos]
+        while pos > startpos:
+            parent = (pos - 1) >> 1
+            if _lt(nk, nv, hk[parent], hv[parent]):
+                hk[pos] = hk[parent]
+                hv[pos] = hv[parent]
+                pos = parent
+            else:
+                break
+        hk[pos] = nk
+        hv[pos] = nv
+
+    @decorate
+    def _siftup(hk, hv, size, pos):
+        # CPython heapq._siftup: sink to a leaf, then bubble back up.
+        startpos = pos
+        nk = hk[pos]
+        nv = hv[pos]
+        child = 2 * pos + 1
+        while child < size:
+            right = child + 1
+            if right < size and not _lt(hk[child], hv[child],
+                                        hk[right], hv[right]):
+                child = right
+            hk[pos] = hk[child]
+            hv[pos] = hv[child]
+            pos = child
+            child = 2 * pos + 1
+        hk[pos] = nk
+        hv[pos] = nv
+        _siftdown(hk, hv, startpos, pos)
+
+    @decorate
+    def kernel(dur, create, n_deps, child_ptr, child_idx, n_cores,
+               master_done, busy, dep_finish):
+        n = dur.shape[0]
+
+        # Ready heap, pushed in task-index order like the heapq path.
+        rk = np.empty(n, np.float64)
+        rv = np.empty(n, np.int64)
+        rs = 0
+        for i in range(n):
+            if n_deps[i] == 0:
+                rk[rs] = create[i]
+                rv[rs] = i
+                rs += 1
+                _siftdown(rk, rv, 0, rs - 1)
+
+        # Cores heap: [(0.0, c) ...] with slot 0 = (master_done, 0),
+        # then heapify — reversed(range(n//2)) siftups, like CPython.
+        ck = np.zeros(n_cores, np.float64)
+        cv = np.empty(n_cores, np.int64)
+        for c in range(n_cores):
+            cv[c] = c
+        ck[0] = master_done
+        for i in range(n_cores // 2 - 1, -1, -1):
+            _siftup(ck, cv, n_cores, i)
+        busy[0] += master_done
+
+        n_done = 0
+        makespan = master_done
+        while n_done < n:
+            if rs == 0:
+                return makespan, False  # deadlock: cycle in the trace
+            ready_time = rk[0]
+            i = rv[0]
+            rs -= 1
+            if rs > 0:
+                rk[0] = rk[rs]
+                rv[0] = rv[rs]
+                _siftup(rk, rv, rs, 0)
+            free_time = ck[0]
+            core = cv[0]
+            start = ready_time if ready_time > free_time else free_time
+            end = start + dur[i]
+            busy[core] += dur[i]
+            # heapreplace cores root with (end, core).
+            ck[0] = end
+            cv[0] = core
+            _siftup(ck, cv, n_cores, 0)
+            if end > makespan:
+                makespan = end
+            n_done += 1
+            for p in range(child_ptr[i], child_ptr[i + 1]):
+                child = child_idx[p]
+                n_deps[child] -= 1
+                if end > dep_finish[child]:
+                    dep_finish[child] = end
+                if n_deps[child] == 0:
+                    rt = create[child]
+                    if dep_finish[child] > rt:
+                        rt = dep_finish[child]
+                    rk[rs] = rt
+                    rv[rs] = child
+                    rs += 1
+                    _siftdown(rk, rv, 0, rs - 1)
+        return makespan, True
+
+    return kernel
+
+
+def _resolve_backend() -> Optional[Callable]:
+    """Resolve ``REPRO_JIT`` once per process."""
+    name = os.environ.get(JIT_ENV_VAR, "").strip().lower()
+    obs = get_metrics()
+    if name in ("", "0", "off", "none"):
+        return None
+    if name == "python":
+        obs.inc("sched.jit.enabled")
+        return _make_kernel(lambda f: f)
+    if name == "numba":
+        try:
+            import numba
+        except ImportError:
+            warnings.warn(
+                f"{JIT_ENV_VAR}=numba requested but numba is not "
+                "installed; falling back to the interpreted scheduler",
+                RuntimeWarning, stacklevel=3)
+            obs.inc("sched.jit.unavailable")
+            return None
+        obs.inc("sched.jit.enabled")
+        return _make_kernel(numba.njit(cache=False))
+    warnings.warn(
+        f"unknown {JIT_ENV_VAR} backend {name!r} (expected 'numba', "
+        "'python' or 'off'); JIT disabled",
+        RuntimeWarning, stacklevel=3)
+    obs.inc("sched.jit.unavailable")
+    return None
+
+
+def get_jit_kernel() -> Optional[Callable]:
+    """The active JIT kernel, or ``None`` when the backend is off."""
+    global _backend
+    if _backend is _UNRESOLVED:
+        _backend = _resolve_backend()
+    return _backend  # type: ignore[return-value]
+
+
+def _reset_backend() -> None:
+    """Force re-resolution of ``REPRO_JIT`` (testing hook)."""
+    global _backend
+    _backend = _UNRESOLVED
+
+
+def run_jit_schedule(
+    kernel: Callable,
+    tasks,
+    durations: List[float],
+    create_time: List[float],
+    master_done: float,
+    busy: np.ndarray,
+) -> Tuple[float, bool]:
+    """Run the compiled general-DAG schedule for one phase.
+
+    Packs the dependency lists into CSR ``(child_ptr, child_idx)`` —
+    children appear in task-index order, matching the append order of
+    the heapq path's list-of-lists — and invokes ``kernel``.  Returns
+    ``(makespan, ok)``; ``ok`` is False on a dependency-cycle deadlock
+    (the caller raises the same error the interpreted path does).
+    ``busy`` is filled in place, exactly like the heapq path.
+    """
+    n = len(tasks)
+    n_deps = np.empty(n, np.int64)
+    counts = np.zeros(n + 1, np.int64)
+    for i, t in enumerate(tasks):
+        n_deps[i] = len(t.deps)
+        for d in t.deps:
+            counts[d + 1] += 1
+    child_ptr = np.cumsum(counts)
+    child_idx = np.empty(int(child_ptr[-1]), np.int64)
+    cursor = child_ptr[:-1].copy()
+    for i, t in enumerate(tasks):
+        for d in t.deps:
+            child_idx[cursor[d]] = i
+            cursor[d] += 1
+
+    get_metrics().inc("sched.jit.calls")
+    makespan, ok = kernel(
+        np.asarray(durations, np.float64),
+        np.asarray(create_time, np.float64),
+        n_deps, child_ptr, child_idx,
+        np.int64(len(busy)), np.float64(master_done),
+        busy, np.zeros(n, np.float64),
+    )
+    return float(makespan), bool(ok)

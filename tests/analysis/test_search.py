@@ -1,0 +1,175 @@
+"""Active-search properties: exact front recovery, budgets, streaming.
+
+The headline contract (also gated by the ``macro.search_dse``
+benchmark): run to convergence on the full 864-point paper space, the
+search's front is **exactly** the exhaustive sweep's Pareto front —
+same (x, y) values, same configs, same order — while evaluating a
+strict subset of the space.  Every evaluated point goes through the
+same batched evaluator the exhaustive sweep uses, so equality here is
+bitwise, not approximate.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import pareto_front, search_front, search_fronts
+from repro.apps import get_app
+from repro.config import DesignSpace, axis_linspace, axis_range, \
+    full_design_space
+from repro.core import ResultSet
+from repro.core.batch import BatchEvaluator
+from repro.core.musa import Musa
+from repro.core.store import ResultStore
+from repro.obs import MetricsRegistry
+
+APP = "lulesh"
+FULL = full_design_space()
+
+#: Small space for cheap behavioral tests: 1 core x 1 cache x 2
+#: memories x 2 freqs x 2 vectors x 2 counts = 16 points.
+SMALL = DesignSpace(core_labels=("medium",), cache_labels=("64M:512K",),
+                    frequencies=(1.5, 2.5), vector_widths=(128, 512),
+                    core_counts=(32, 64))
+
+#: Range-axis space (64 points) with enough numeric density for the
+#: surrogate to have something to fit.
+RANGY = DesignSpace(core_labels=("medium",), cache_labels=("64M:512K",),
+                    memory_labels=("4chDDR4",),
+                    frequencies=axis_linspace(1.0, 4.0, 8),
+                    vector_widths=(256,),
+                    core_counts=axis_range(8, 64, 8))
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    """One warmed evaluator shared by every search in this module."""
+    return BatchEvaluator(Musa(get_app(APP)))
+
+
+@pytest.fixture(scope="module")
+def exhaustive_front(evaluator):
+    records = [r.record() for r in evaluator.evaluate(FULL.configs())]
+    return pareto_front(ResultSet(records), APP, cores=None)
+
+
+def _as_tuples(front):
+    return [(p.x, p.y, tuple(sorted(p.config.items()))) for p in front]
+
+
+class TestExactFrontRecovery:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2 ** 16))
+    def test_converged_search_equals_exhaustive_front(
+            self, evaluator, exhaustive_front, seed):
+        res = search_front(APP, FULL, max_evals=len(FULL), patience=2,
+                           seed=seed, evaluator=evaluator,
+                           metrics=MetricsRegistry())
+        assert res.converged, "search hit the budget before closure"
+        assert res.n_evaluated < len(FULL), \
+            "search degenerated into the exhaustive sweep"
+        assert _as_tuples(res.front) == _as_tuples(exhaustive_front)
+
+    def test_counters_and_bookkeeping(self, evaluator, exhaustive_front):
+        reg = MetricsRegistry()
+        res = search_front(APP, FULL, max_evals=len(FULL), patience=2,
+                           evaluator=evaluator, metrics=reg)
+        assert reg.counter("search.evaluated") == res.n_evaluated
+        assert reg.counter("search.rounds") == res.rounds > 0
+        assert reg.counter("search.front_size") == len(res.front) \
+            == len(exhaustive_front)
+        assert len(res.results) == res.n_evaluated
+        assert 0 < res.evaluated_fraction < 1
+        assert len(res.front_point_indices) == len(res.front)
+        assert res.front_point_indices == sorted(res.front_point_indices)
+
+
+class TestBudget:
+    def test_budget_is_a_hard_cap(self, evaluator):
+        res = search_front(APP, RANGY, max_evals=17, evaluator=evaluator,
+                           metrics=MetricsRegistry())
+        assert res.n_evaluated <= 17
+        assert not res.converged or res.n_evaluated == len(RANGY)
+
+    def test_budget_frac_default(self, evaluator):
+        res = search_front(APP, RANGY, budget_frac=0.25,
+                           evaluator=evaluator, metrics=MetricsRegistry())
+        assert res.n_evaluated <= -(-len(RANGY) * 25 // 100)  # ceil
+
+    def test_full_budget_without_patience_exhausts_space(self, evaluator):
+        res = search_front(APP, SMALL, max_evals=len(SMALL), patience=None,
+                           evaluator=evaluator, metrics=MetricsRegistry())
+        assert res.n_evaluated == len(SMALL) == 16
+        assert res.converged
+        # With everything evaluated the front is the exhaustive one.
+        records = [r.record() for r in evaluator.evaluate(SMALL.configs())]
+        ref = pareto_front(ResultSet(records), APP, cores=None)
+        assert _as_tuples(res.front) == _as_tuples(ref)
+
+
+class TestStoreStreaming:
+    def test_second_search_runs_entirely_from_store(self, evaluator,
+                                                    tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            first = search_front(APP, SMALL, max_evals=len(SMALL),
+                                 patience=None, evaluator=evaluator,
+                                 store=store, code_version="test",
+                                 metrics=MetricsRegistry())
+            assert len(store) == first.n_evaluated
+
+        class ExplodingEvaluator:
+            def evaluate(self, *a, **k):
+                raise AssertionError("engine touched despite warm store")
+
+        with ResultStore(path) as store:
+            again = search_front(APP, SMALL, max_evals=len(SMALL),
+                                 patience=None,
+                                 evaluator=ExplodingEvaluator(),
+                                 store=store, code_version="test",
+                                 metrics=MetricsRegistry())
+            assert len(store) == first.n_evaluated  # nothing re-put
+        assert _as_tuples(again.front) == _as_tuples(first.front)
+        assert list(again.results) == list(first.results)
+
+
+class TestSurrogate:
+    def test_surrogate_ranking_runs_and_is_counted(self, evaluator):
+        reg = MetricsRegistry()
+        res = search_front(APP, RANGY, max_evals=len(RANGY), patience=None,
+                           batch_size=8, surrogate=True,
+                           evaluator=evaluator, metrics=reg)
+        assert reg.counter("search.surrogate_rank_calls") >= 1
+        assert res.front
+
+    def test_surrogate_does_not_change_the_converged_front(self, evaluator):
+        plain = search_front(APP, RANGY, max_evals=len(RANGY),
+                             patience=None, evaluator=evaluator,
+                             metrics=MetricsRegistry())
+        ranked = search_front(APP, RANGY, max_evals=len(RANGY),
+                              patience=None, batch_size=8, surrogate=True,
+                              evaluator=evaluator,
+                              metrics=MetricsRegistry())
+        assert _as_tuples(ranked.front) == _as_tuples(plain.front)
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            search_front(APP, SMALL, epsilon=1.5)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            search_front(APP, SMALL, mode="exact")
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            search_front(APP, SMALL, batch_size=0)
+
+
+def test_search_fronts_is_per_app(evaluator):
+    out = search_fronts([APP], SMALL, max_evals=8, evaluator=evaluator,
+                        metrics=MetricsRegistry())
+    assert set(out) == {APP}
+    assert out[APP].app == APP

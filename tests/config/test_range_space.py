@@ -1,0 +1,149 @@
+"""Range-generated spaces: axis generators and lazy random access.
+
+The million-point sharded sweep and the active-search layer rely on
+three contracts pinned here:
+
+* :func:`axis_range` / :func:`axis_linspace` produce exact, inclusive
+  endpoint values (ints stay ints, endpoints are not accumulated-error
+  approximations) so axis values round-trip through journals;
+* ``len(space)`` is pure arithmetic — no materialization;
+* ``space.config_at(i)`` equals ``list(space)[i]`` for every ``i``, and
+  ``coords_at``/``index_of`` are exact inverses.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CACHE_LABELS,
+    CORE_LABELS,
+    MEMORY_LABELS,
+    DesignSpace,
+    axis_linspace,
+    axis_range,
+    range_design_space,
+)
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestAxisRange:
+    def test_inclusive_arithmetic_progression(self):
+        assert axis_range(8, 128, 8) == tuple(range(8, 129, 8))
+
+    def test_ints_stay_ints(self):
+        for v in axis_range(4, 252, 4):
+            assert type(v) is int
+
+    def test_stop_not_on_grid_is_excluded(self):
+        assert axis_range(1, 10, 4) == (1, 5, 9)
+
+    def test_negative_step(self):
+        assert axis_range(10, 1, -3) == (10, 7, 4, 1)
+
+    def test_float_step(self):
+        assert axis_range(0.5, 2.0, 0.5) == (0.5, 1.0, 1.5, 2.0)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            axis_range(1, 10, 0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            axis_range(10, 1, 1)
+
+
+class TestAxisLinspace:
+    def test_endpoints_exact(self):
+        values = axis_linspace(1.0, 4.0, 31)
+        assert len(values) == 31
+        assert values[0] == 1.0
+        assert values[-1] == 4.0  # the literal stop, not start + 30*step
+
+    def test_single_point(self):
+        assert axis_linspace(2.5, 99.0, 1) == (2.5,)
+
+    def test_evenly_spaced(self):
+        values = axis_linspace(0.0, 1.0, 5)
+        assert values == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_plain_floats(self):
+        for v in axis_linspace(1.0, 4.0, 7):
+            assert type(v) is float
+
+    def test_num_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            axis_linspace(0.0, 1.0, 0)
+
+
+class TestRangeDesignSpace:
+    def test_default_exceeds_1e5_points(self):
+        space = range_design_space()
+        # 4 cores x 3 caches x 2 memories x 31 freqs x 3 vectors x 63
+        # core counts.
+        assert len(space) == 4 * 3 * 2 * 31 * 3 * 63 == 140_616
+        assert len(space) >= 10 ** 5
+
+    def test_len_is_arithmetic_not_materialization(self):
+        # A space this size must answer len() without building configs;
+        # a quadrillion-point space would hang here otherwise.
+        space = range_design_space(
+            frequencies=axis_linspace(1.0, 4.0, 10_000),
+            core_counts=axis_range(1, 100_000, 1),
+        )
+        assert len(space) == 4 * 3 * 2 * 10_000 * 3 * 100_000
+
+    def test_spot_indices_match_iteration_order(self):
+        space = range_design_space(
+            frequencies=axis_linspace(1.0, 4.0, 4),
+            core_counts=axis_range(8, 32, 8),
+        )
+        materialized = list(space)
+        for i in (0, 1, 7, len(space) // 2, len(space) - 1):
+            assert space.config_at(i) == materialized[i]
+
+    def test_config_at_out_of_range(self):
+        space = range_design_space()
+        with pytest.raises(IndexError):
+            space.config_at(len(space))
+        with pytest.raises(IndexError):
+            space.config_at(-1)
+
+
+def _axis_subset(values):
+    return st.lists(st.sampled_from(values), min_size=1,
+                    max_size=len(values), unique=True).map(tuple)
+
+
+small_spaces = st.builds(
+    DesignSpace,
+    core_labels=_axis_subset(CORE_LABELS),
+    cache_labels=_axis_subset(CACHE_LABELS),
+    memory_labels=_axis_subset(MEMORY_LABELS),
+    frequencies=st.just(axis_linspace(1.0, 4.0, 3)),
+    vector_widths=st.just((128, 512)),
+    core_counts=st.just(axis_range(8, 24, 8)),
+)
+
+
+class TestLazyIndexingProperties:
+    @_SETTINGS
+    @given(space=small_spaces, data=st.data())
+    def test_config_at_matches_iteration(self, space, data):
+        i = data.draw(st.integers(0, len(space) - 1))
+        assert space.config_at(i) == list(space)[i]
+
+    @_SETTINGS
+    @given(space=small_spaces, data=st.data())
+    def test_coords_index_roundtrip(self, space, data):
+        i = data.draw(st.integers(0, len(space) - 1))
+        coords = space.coords_at(i)
+        assert space.index_of(coords) == i
+        for c, length in zip(coords, space.axis_lengths()):
+            assert 0 <= c < length
+
+    @_SETTINGS
+    @given(space=small_spaces)
+    def test_full_enumeration_by_index(self, space):
+        assert [space.config_at(i) for i in range(len(space))] == list(space)

@@ -5,17 +5,31 @@ the CLI metrics summary all key on these exact strings.  Renaming one
 must fail here first, not silently blind the instrumentation.
 """
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis import search_front
 from repro.apps import get_app
 from repro.bench import REQUIRED_COUNTERS
-from repro.config import smoke_design_space
+from repro.config import DesignSpace, smoke_design_space
 from repro.core import run_sweep
 from repro.core import sweep as sweep_mod
 from repro.core.musa import Musa
 from repro.network.replay_batch import replay_batch
 from repro.obs import MetricsRegistry, get_metrics, set_metrics, summarize
+from repro.runtime import jit, simulate_phase
+from repro.runtime.openmp import pipeline_deps
+from repro.trace import ComputePhase, TaskRecord
+
+#: 12-point space the fixture's active search explores: big enough
+#: that the seed stage leaves points for at least one proposal round
+#: (so ``search.rounds`` moves), small enough to stay smoke-cheap.
+_SEARCH_SPACE = DesignSpace(
+    core_labels=("medium",), cache_labels=("64M:512K",),
+    memory_labels=("4chDDR4",), frequencies=(1.5, 2.0, 2.5, 3.0),
+    vector_widths=(128,), core_counts=(1, 32, 64))
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +59,24 @@ def workload_counters():
             return phase_ns[id(phase)] * scales[rank] * cfg
 
         replay_batch(trace, musa.network, dur, 4)
+
+        search_front("spmz", _SEARCH_SPACE, max_evals=len(_SEARCH_SPACE),
+                     patience=None, metrics=reg,
+                     evaluator=sweep_mod._BATCH_EVALUATORS.get("spmz"))
+
+        os.environ[jit.JIT_ENV_VAR] = "python"
+        jit._reset_backend()
+        try:
+            deps = pipeline_deps(4, 4)
+            tasks = tuple(TaskRecord(kernel="k", duration_ns=100.0 + i,
+                                     deps=deps[i])
+                          for i in range(len(deps)))
+            simulate_phase(ComputePhase(phase_id=0, tasks=tasks,
+                                        serial_ns=0.0, creation_ns=0.0,
+                                        critical_ns=0.0), 4)
+        finally:
+            os.environ.pop(jit.JIT_ENV_VAR, None)
+            jit._reset_backend()
     finally:
         set_metrics(prev)
     yield reg.snapshot()["counters"]
@@ -86,6 +118,36 @@ def test_array_driver_does_not_alias_other_drivers(workload_counters):
     assert counters.get("replay.batch.worklist_events", 0) == 0
     assert counters.get("replay.batch.driver.lockstep", 0) == 0
     assert counters.get("replay.batch.driver.worklist", 0) == 0
+
+
+def test_dse_counters_emitted(workload_counters):
+    counters = workload_counters
+    # Shard scheduler (inline sweeps still deal shards), active search
+    # and the interpreted JIT backend all reported into the fixture run.
+    for name in ("sweep.shards", "search.evaluated", "search.rounds",
+                 "search.front_size", "sched.jit.calls",
+                 "sched.jit.enabled"):
+        assert counters.get(name, 0) > 0, f"counter {name} never emitted"
+
+
+def test_summarize_maps_dse_counters():
+    mapping = {
+        "sweep.shards": "sweep_shards",
+        "sweep.steals": "sweep_steals",
+        "sweep.worker.lost": "sweep_workers_lost",
+        "sweep.ctx.spawn": "sweep_ctx_spawn",
+        "search.evaluated": "search_evaluated",
+        "search.rounds": "search_rounds",
+        "search.front_size": "search_front_size",
+        "search.surrogate_rank_calls": "search_surrogate_rank_calls",
+        "sched.jit.calls": "sched_jit_calls",
+    }
+    reg = MetricsRegistry()
+    for i, name in enumerate(mapping, start=1):
+        reg.inc(name, i)
+    derived = summarize(reg.snapshot())["derived"]
+    for i, (counter, key) in enumerate(mapping.items(), start=1):
+        assert derived[key] == i, f"{counter} not surfaced as {key}"
 
 
 def test_summarize_exposes_pinned_families(workload_counters):
