@@ -22,7 +22,8 @@ import tempfile
 from pathlib import Path
 
 from repro.config import smoke_design_space
-from repro.core import FailNTimes, SweepAbort, merge_journal, run_sweep
+from repro.core import (FailNTimes, SweepAbort, merge_journal,
+                        replay_journal, run_sweep)
 from repro.obs import MetricsRegistry, summarize
 
 APPS = ["spmz", "hydro"]
@@ -65,7 +66,9 @@ def main() -> int:
             raise AssertionError("injected abort did not fire")
         except SweepAbort:
             pass
-        n_journaled = sum(1 for _ in journal.open())
+        # The columnar journal packs a whole shard into one block line,
+        # so count replayed records, not lines.
+        n_journaled = len(replay_journal(journal).results)
         assert 0 < n_journaled < len(APPS) * len(SPACE), n_journaled
         print(f"  killed mid-run after {n_journaled} journaled records")
 

@@ -10,7 +10,9 @@ paper-style best points under several objectives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.results import CONFIG_KEYS, ResultSet
 
@@ -41,14 +43,18 @@ def front_indices(xs: Sequence[float], ys: Sequence[float]) -> List[int]:
     ``y`` seen so far (beyond a 1e-12 tolerance, so float noise cannot
     manufacture front points).  Returned in ``x``-ascending order; ties
     in ``(x, y)`` keep the lowest input index, making the selection
-    deterministic for any input order.
+    deterministic for any input order.  NaN coordinates sort last and
+    can never join the front.
     """
-    order = sorted(range(len(xs)), key=lambda i: (xs[i], ys[i], i))
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    # Stable sort by (x, y): equal pairs keep the lowest input index.
+    order = np.lexsort((y, x))
     front: List[int] = []
     best_y = float("inf")
-    for i in order:
-        if ys[i] < best_y - 1e-12:
-            best_y = ys[i]
+    for i in order.tolist():
+        if y[i] < best_y - 1e-12:
+            best_y = float(y[i])
             front.append(i)
     return front
 
@@ -64,22 +70,23 @@ def pareto_front(
 
     Records with missing metrics (HBM energy) are skipped.  The front is
     returned sorted by ``x`` ascending (so ``y`` descends along it).
+
+    On the warm path the metric columns are read straight off the
+    backing :class:`~repro.core.frame.ResultFrame`; only the handful of
+    front members ever materialize a record.
     """
     sub = results.filter(app=app) if cores is None else \
         results.filter(app=app, cores=cores)
-    points = []
-    for rec in sub:
-        x, y = rec.get(x_metric), rec.get(y_metric)
-        if x is None or y is None:
-            continue
-        points.append((float(x), float(y), rec))
-    if not points:
+    xs, ys = sub.values(x_metric), sub.values(y_metric)
+    valid = np.nonzero(~(np.isnan(xs) | np.isnan(ys)))[0]
+    if len(valid) == 0:
         raise ValueError(f"no records with {x_metric}/{y_metric} for {app}")
+    recs = list(sub.lazy())
     return [
-        ParetoPoint(config={k: points[i][2][k] for k in CONFIG_KEYS},
-                    x=points[i][0], y=points[i][1])
-        for i in front_indices([p[0] for p in points],
-                               [p[1] for p in points])
+        ParetoPoint(config={k: recs[j][k] for k in CONFIG_KEYS},
+                    x=float(xs[j]), y=float(ys[j]))
+        for i in front_indices(xs[valid], ys[valid])
+        for j in (int(valid[i]),)
     ]
 
 
@@ -91,26 +98,28 @@ def best_configs(
     """Per-objective winners: performance, power, energy, EDP.
 
     ``performance`` reproduces the paper's DSE-Best selection rule.
+
+    Objectives are scanned column-wise (missing metrics read as NaN);
+    ties keep the earliest record, matching the historical ``min`` over
+    the record list.
     """
     sub = results.filter(app=app) if cores is None else \
         results.filter(app=app, cores=cores)
-    records = list(sub)
-    if not records:
+    recs = list(sub.lazy())
+    if not recs:
         raise ValueError(f"no records for app {app!r}")
+    time_ns = sub.values("time_ns")
+    energy = sub.values("energy_j")
 
-    def pick(key: Callable) -> Dict[str, object]:
-        candidates = [r for r in records if key(r) is not None]
-        if not candidates:
+    def pick(arr: np.ndarray) -> Dict[str, object]:
+        if np.isnan(arr).all():
             raise ValueError("no records with the required metrics")
-        winner = min(candidates, key=key)
+        winner = recs[int(np.nanargmin(arr))]
         return {k: winner[k] for k in CONFIG_KEYS}
 
     return {
-        "performance": pick(lambda r: r["time_ns"]),
-        "power": pick(lambda r: r["power_total_w"]),
-        "energy": pick(
-            lambda r: r["energy_j"] if r["energy_j"] is not None else None),
-        "edp": pick(
-            lambda r: (r["energy_j"] * r["time_ns"])
-            if r["energy_j"] is not None else None),
+        "performance": pick(time_ns),
+        "power": pick(sub.values("power_total_w")),
+        "energy": pick(energy),
+        "edp": pick(energy * time_ns),
     }

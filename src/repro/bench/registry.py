@@ -68,6 +68,8 @@ REQUIRED_COUNTERS = (
     "sweep.batch.configs",
     "sweep.shards",
     "search.evaluated",
+    "store.block.put",
+    "store.block.records",
 )
 
 
@@ -549,6 +551,108 @@ def _build_sharded_sweep(tier: str) -> BenchCase:
                          "sweep.ctx.spawn"))
 
 
+def _build_result_plane(tier: str) -> BenchCase:
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from ..core.canon import canonical_dumps
+    from ..core.checkpoint import Journal
+    from ..core.results import ResultSet
+    from ..core.store import ResultStore, store_key
+
+    space = SMOKE_SPACE if tier == "smoke" else DesignSpace()
+    nodes = list(space)
+    mode, n_ranks, cv = "fast", 256, "bench"
+    prov = {"engine": "bench"}
+    ev = BatchEvaluator(Musa(get_app("lulesh")))
+    ev.evaluate_frame(nodes)  # cold pass: memos warm before timing
+    d = Path(tempfile.mkdtemp())
+    seq = [0]
+
+    def columnar():
+        """One end-to-end pass of the columnar data plane: evaluate as
+        a frame, journal it as one block line, content-address it into
+        the store as one block line, serve it as a lazy ResultSet."""
+        seq[0] += 1
+        frame = ev.evaluate_frame(nodes)
+        with Journal(d / f"col{seq[0]}.jsonl") as j:
+            j.append_frame(frame)
+        with ResultStore(d / f"col_store{seq[0]}.jsonl") as store:
+            keys = store.put_frame(frame, mode, n_ranks, cv, prov)
+        served = ResultSet()
+        served.add_frame(frame)
+        return keys, served.canonical_text(), seq[0]
+
+    def dict_plane():
+        """The retained per-record oracle plane: one dict, one journal
+        line, one store_key digest and one store line per config."""
+        seq[0] += 1
+        records = [r.record() for r in ev.evaluate(nodes)]
+        keys = []
+        with Journal(d / f"dict{seq[0]}.jsonl") as j:
+            for r in records:
+                j.append(r)
+        with ResultStore(d / f"dict_store{seq[0]}.jsonl") as store:
+            for node, r in zip(nodes, records):
+                cfg = node.axis_values()
+                key = store_key("lulesh", cfg, mode, n_ranks, cv)
+                keys.append(key)
+                store.put(key, r, {"app": "lulesh", "config": cfg,
+                                   "mode": mode, "ranks": n_ranks,
+                                   "code_version": cv}, prov)
+        served = ResultSet()
+        for r in records:
+            served.add(r, copy=False)
+        return keys, served.canonical_text(), seq[0]
+
+    t0 = _time.perf_counter()
+    dict_keys, dict_text, dict_run = dict_plane()
+    dict_s = _time.perf_counter() - t0
+
+    def run():
+        return columnar()
+
+    def oracle() -> Optional[str]:
+        t0 = _time.perf_counter()
+        col_keys, col_text, col_run = columnar()
+        col_s = _time.perf_counter() - t0
+        if list(col_keys) != dict_keys:
+            return "columnar store keys differ from per-record store_key"
+        if col_text != dict_text:
+            return ("columnar served ResultSet differs byte-for-byte "
+                    "from the dict plane")
+        col_store = ResultStore(d / f"col_store{col_run}.jsonl")
+        dict_store = ResultStore(d / f"dict_store{dict_run}.jsonl")
+        for k in dict_keys:
+            if canonical_dumps(col_store.get(k)) != \
+                    canonical_dumps(dict_store.get(k)):
+                return (f"store entry {k[:12]} differs between the "
+                        f"columnar and dict planes")
+        # Cross-resume identity: the one-block journal and the
+        # per-record journal must canonicalize to the same bytes.
+        merged = []
+        for src in (d / f"col{col_run}.jsonl", d / f"dict{dict_run}.jsonl"):
+            out = src.with_suffix(".merged")
+            merge_journal([src], out, collect=False)
+            merged.append(out.read_bytes())
+        if merged[0] != merged[1]:
+            return ("block journal and per-record journal merge to "
+                    "different canonical bytes")
+        if tier == "full" and dict_s < 3.0 * col_s:
+            return (f"columnar result plane only {dict_s / col_s:.2f}x "
+                    f"over the dict plane (acceptance floor is 3x)")
+        return None
+
+    return BenchCase(
+        run=run, oracle=oracle,
+        meta={"app": "lulesh", "n_configs": len(nodes), "mode": mode,
+              "n_ranks": n_ranks, "dict_s": dict_s},
+        required_counters=("store.block.put", "store.block.records"),
+        record_counters=("store.block.put", "store.block.records",
+                         "store.put"))
+
+
 def _build_search_dse(tier: str) -> BenchCase:
     from ..analysis.pareto import pareto_front
     from ..analysis.search import search_front
@@ -631,6 +735,10 @@ REGISTRY: Dict[str, Benchmark] = {b.id: b for b in (
     Benchmark("macro.serve_query", "macro",
               "warm store-backed serve query (pure store assembly) vs "
               "cold evaluation", _build_serve_query),
+    Benchmark("macro.result_plane", "macro",
+              "columnar evaluate->journal->store->serve result plane vs "
+              "the retained per-record dict plane (bit-identity)",
+              _build_result_plane),
     Benchmark("macro.sharded_sweep", "macro",
               "work-stealing pooled sweep over a range-generated space "
               "vs inline, plus 2-shard journal-merge invariance",

@@ -38,14 +38,25 @@ from ..config.node import NodeConfig
 from ..network.replay import replay
 from ..network.replay_batch import replay_batch
 from ..obs import get_metrics
+from ..power.technology import energy_scale
 from ..runtime.scheduler import PhaseResult, simulate_phase_batch
 from ..trace.events import ComputePhase
 from ..uarch.batch import NodeBatch, resolve_contention_batch, time_kernel_batch
 from ..util import LruDict
+from .frame import ResultFrame
 from .musa import Musa, RunResult
 from .phase_sim import PhaseDetail, _imbalance_factors
 
-__all__ = ["BatchEvaluator"]
+__all__ = ["BatchEvaluator", "RECORD_KEYS"]
+
+#: The flat-record schema of ``RunResult.record()``, in its insertion
+#: order — the frame path builds these columns directly.
+RECORD_KEYS = (
+    "app", "core", "cache", "memory", "frequency", "vector", "cores",
+    "time_ns", "power_core_l1_w", "power_l2_l3_w", "power_memory_w",
+    "power_total_w", "energy_j", "mpki_l1", "mpki_l2", "mpki_l3",
+    "gmem_req_per_s", "bw_utilization", "occupancy",
+)
 
 #: Matches the scalar path (simulate_phase_detailed's default).
 _N_REFINE = 2
@@ -62,6 +73,34 @@ class _PhaseInvariants:
     kernel_names: Tuple[str, ...]
     kidx: np.ndarray             # per-task index into kernel_names
     n_tasks: int
+
+
+@dataclass
+class _PhaseCols:
+    """One phase's converged per-config columns (SoA form).
+
+    ``_materialize_details`` turns these into the per-config
+    :class:`PhaseDetail` list of the retained dict path;
+    ``evaluate_frame`` consumes the columns directly.
+    """
+
+    scheds: List[PhaseResult]
+    makespan: np.ndarray         # per-config phase makespan (ns)
+    busy: np.ndarray             # per-config sum of core busy time (ns)
+    n_busy: np.ndarray
+    instr: np.ndarray
+    flops: float                 # config-invariant scalar
+    l1: np.ndarray
+    l2: np.ndarray
+    l3: np.ndarray
+    dram: np.ndarray
+    dram_bytes: np.ndarray
+    store_frac: np.ndarray
+    row_hit: np.ndarray
+    util: np.ndarray
+    lanes_eff: np.ndarray        # effective SIMD lanes of the first kernel
+    kernel_names: Tuple[str, ...]
+    timing_cols: Dict
 
 
 class BatchEvaluator:
@@ -143,6 +182,40 @@ class BatchEvaluator:
             return self._evaluate(nodes, n_ranks, n_iterations, include_comm,
                                   mode, batch_replay)
 
+    def evaluate_frame(
+        self,
+        nodes: Sequence[NodeConfig],
+        n_ranks: int = 256,
+        n_iterations: Optional[int] = None,
+        include_comm: bool = False,
+        mode: str = "fast",
+        batch_replay: bool = True,
+    ) -> ResultFrame:
+        """Columnar results for every node, in input order.
+
+        The SoA twin of :meth:`evaluate`: the same phase columns feed a
+        config-vectorized mirror of ``Musa._assemble_result`` instead of
+        per-config ``RunResult`` splicing, and the records never exist
+        as dicts.  The contract is *bitwise*:
+        ``frame.to_records() == [r.record() for r in evaluate(...)]``
+        and the canonical bytes/digests of every row are identical to
+        the dict path's — every expression below reproduces the scalar
+        float64 evaluation order (elementwise ``+ - * /`` and
+        ``minimum``/``maximum`` are IEEE-identical between numpy and
+        Python floats; cross-phase accumulation runs phase-by-phase in
+        source order, never ``np.sum``'s pairwise tree; transcendental
+        voltage scalings are computed per *unique* node key by the same
+        scalar model code, then broadcast).
+        """
+        if mode not in ("fast", "replay"):
+            raise ValueError("mode must be 'fast' or 'replay'")
+        nodes = list(nodes)
+        obs = get_metrics()
+        obs.inc("musa.simulate_node", len(nodes))
+        with obs.span("musa.batch_eval"):
+            return self._evaluate_frame(nodes, n_ranks, n_iterations,
+                                        include_comm, mode, batch_replay)
+
     def _evaluate(self, nodes, n_ranks, n_iterations, include_comm, mode,
                   batch_replay=True):
         musa = self.musa
@@ -154,14 +227,14 @@ class BatchEvaluator:
         comm_iter = musa.comm_iteration_ns(n_ranks) if include_comm else 0.0
 
         kernel_memo: Dict = {}  # (kernel, share-column bytes) -> columns
-        details_per_phase: List[List[PhaseDetail]] = []
+        cols_per_phase = [self._phase_cols(inv, nb, kernel_memo)
+                          for inv in self._invariants]
+        details_per_phase: List[List[PhaseDetail]] = [
+            self._materialize_details(pc) for pc in cols_per_phase]
         compute_iter = np.zeros(n_configs)
-        for inv in self._invariants:
-            details = self._phase_detail_batch(inv, nb, kernel_memo)
-            details_per_phase.append(details)
+        for pc in cols_per_phase:
             # Same accumulation order as sum(d.makespan_ns for d in details).
-            compute_iter = compute_iter + np.array(
-                [d.makespan_ns for d in details])
+            compute_iter = compute_iter + pc.makespan
 
         trace = (musa._burst_trace(n_ranks, n_iterations)
                  if mode == "replay" else None)
@@ -173,8 +246,8 @@ class BatchEvaluator:
             # (exactly the arrays summed into ``compute_iter`` above)
             # scaled per rank reproduce the scalar splice's float64
             # products bit for bit.
-            cols = {id(p): np.array([d.makespan_ns for d in dp])
-                    for p, dp in zip(musa.phases, details_per_phase)}
+            cols = {id(p): pc.makespan
+                    for p, pc in zip(musa.phases, cols_per_phase)}
 
             def duration_batch(rank, phase, _cols=cols):
                 return _cols[id(phase)] * scales[rank]
@@ -203,30 +276,30 @@ class BatchEvaluator:
 
     # ----------------------------------------------------------------- phases
 
-    def _phase_detail_batch(
+    def _phase_cols(
         self,
         inv: _PhaseInvariants,
         nb: NodeBatch,
         kernel_memo: Dict,
-    ) -> List[PhaseDetail]:
+    ) -> _PhaseCols:
         obs = get_metrics()
         n_configs = len(nb)
         obs.inc("phase_sim.calls", n_configs)
         phase = inv.phase
 
         if inv.n_tasks == 0:
-            out = []
-            for sched in simulate_phase_batch(phase, nb.n_cores):
-                out.append(PhaseDetail(
-                    makespan_ns=sched.makespan_ns,
-                    busy_core_ns=float(sched.busy_ns.sum()),
-                    n_busy_cores=0.0, schedule=sched, instructions=0.0,
-                    scalar_flops=0.0, l1_accesses=0.0, l2_accesses=0.0,
-                    l3_accesses=0.0, dram_accesses=0.0, dram_bytes=0.0,
-                    store_fraction=0.0, row_hit_rate=0.0, bw_utilization=0.0,
-                    core_dynamic_j=0.0, timings=(),
-                ))
-            return out
+            scheds = list(simulate_phase_batch(phase, nb.n_cores))
+            zeros = np.zeros(n_configs)
+            return _PhaseCols(
+                scheds=scheds,
+                makespan=np.array([s.makespan_ns for s in scheds]),
+                busy=np.array([float(s.busy_ns.sum()) for s in scheds]),
+                n_busy=zeros, instr=zeros, flops=0.0, l1=zeros, l2=zeros,
+                l3=zeros, dram=zeros, dram_bytes=zeros, store_frac=zeros,
+                row_hit=zeros, util=zeros,
+                lanes_eff=np.ones(n_configs),
+                kernel_names=(), timing_cols={},
+            )
 
         detailed = self.musa.detailed
         kernel_names, kidx, imb = inv.kernel_names, inv.kidx, inv.imb
@@ -343,26 +416,294 @@ class BatchEvaluator:
             row_hit_col = np.where(tot_bytes != 0.0, row_hit_w / tot_bytes, 0.0)
             store_col = np.where(tot_l1 != 0.0, store_w / tot_l1, 0.0)
 
+        assert all(s is not None for s in scheds)
+        # The scalar path reads effective lanes off the phase's *first*
+        # kernel timing (``d.timings[0]``); kernel_names is sorted, so
+        # that is kernel_names[0]'s vectorization column.
+        lanes_eff = np.array(
+            [v.effective_lanes
+             for v in timing_cols[kernel_names[0]].vectorizations],
+            dtype=np.float64)
+        return _PhaseCols(
+            scheds=scheds,
+            makespan=np.array([s.makespan_ns for s in scheds]),
+            busy=np.array([float(s.busy_ns.sum()) for s in scheds]),
+            n_busy=n_busy.astype(np.float64, copy=True),
+            instr=tot_instr, flops=tot_flops, l1=tot_l1, l2=tot_l2,
+            l3=tot_l3, dram=tot_dram, dram_bytes=tot_bytes,
+            store_frac=store_col, row_hit=row_hit_col, util=util_col,
+            lanes_eff=lanes_eff,
+            kernel_names=kernel_names, timing_cols=timing_cols,
+        )
+
+    def _materialize_details(self, pc: _PhaseCols) -> List[PhaseDetail]:
+        """Per-config :class:`PhaseDetail` list — the retained dict path.
+
+        Field-for-field identical to the pre-columnar materialization:
+        every scalar is ``float()`` of the same column cell.
+        """
         out = []
-        for i in range(n_configs):
-            sched = scheds[i]
-            assert sched is not None
+        for i, sched in enumerate(pc.scheds):
             out.append(PhaseDetail(
                 makespan_ns=sched.makespan_ns,
-                busy_core_ns=float(sched.busy_ns.sum()),
-                n_busy_cores=float(n_busy[i]),
+                busy_core_ns=float(pc.busy[i]),
+                n_busy_cores=float(pc.n_busy[i]),
                 schedule=sched,
-                instructions=float(tot_instr[i]),
-                scalar_flops=tot_flops,
-                l1_accesses=float(tot_l1[i]),
-                l2_accesses=float(tot_l2[i]),
-                l3_accesses=float(tot_l3[i]),
-                dram_accesses=float(tot_dram[i]),
-                dram_bytes=float(tot_bytes[i]),
-                store_fraction=float(store_col[i]),
-                row_hit_rate=float(row_hit_col[i]),
-                bw_utilization=float(util_col[i]),
+                instructions=float(pc.instr[i]),
+                scalar_flops=pc.flops,
+                l1_accesses=float(pc.l1[i]),
+                l2_accesses=float(pc.l2[i]),
+                l3_accesses=float(pc.l3[i]),
+                dram_accesses=float(pc.dram[i]),
+                dram_bytes=float(pc.dram_bytes[i]),
+                store_fraction=float(pc.store_frac[i]),
+                row_hit_rate=float(pc.row_hit[i]),
+                bw_utilization=float(pc.util[i]),
                 core_dynamic_j=0.0,
-                timings=tuple(timing_cols[k].at(i) for k in kernel_names),
+                timings=tuple(pc.timing_cols[k].at(i)
+                              for k in pc.kernel_names),
             ))
         return out
+
+    # ------------------------------------------------------------- frame path
+
+    def _node_scalar_cols(self, nodes: Sequence[NodeConfig]) -> Dict:
+        """Per-config columns of the node-level *scalar* model terms.
+
+        Voltage scalings involve transcendentals (``** 2``, ``** 1.8``)
+        whose numpy ufuncs are not guaranteed bit-identical to Python's
+        ``**``; each term is therefore computed by the existing scalar
+        model per unique node key (a handful of presets span any
+        sweep) and broadcast — the broadcast cell *is* the Python float
+        the dict path used.
+        """
+        mcpat = self.musa.mcpat
+        dp = self.musa.drampower
+        n = len(nodes)
+        escale = np.empty(n)
+        spin = np.empty(n)
+        e_instr = np.empty(n)
+        flop_factor = np.empty(n)
+        leak_core = np.empty(n)
+        l2l3_leak = np.empty(n)
+        background = np.empty(n)
+        energy_ok = np.empty(n, dtype=bool)
+        m_f: Dict = {}
+        m_core: Dict = {}
+        m_vec: Dict = {}
+        m_leak: Dict = {}
+        m_sram: Dict = {}
+        m_mem: Dict = {}
+        for i, node in enumerate(nodes):
+            f = node.frequency_ghz
+            v = m_f.get(f)
+            if v is None:
+                v = (energy_scale(f), mcpat.idle_spin_w(node))
+                m_f[f] = v
+            escale[i], spin[i] = v
+
+            c = node.core
+            ei = m_core.get(c.label)
+            if ei is None:
+                ei = (mcpat.e_instr_base_nj
+                      + mcpat.e_instr_ooo_nj * c.window_capability)
+                m_core[c.label] = ei
+            e_instr[i] = ei
+
+            vb = node.vector_bits
+            ff = m_vec.get(vb)
+            if ff is None:
+                ff = mcpat.flop_energy_factor(node)
+                m_vec[vb] = ff
+            flop_factor[i] = ff
+
+            k = (c.label, vb, f)
+            lw = m_leak.get(k)
+            if lw is None:
+                lw = mcpat.core_l1_leakage_w(node)
+                m_leak[k] = lw
+            # Scalar path: core_l1_leakage_w(node) * node.n_cores
+            # (float * int, exact for any realistic core count).
+            leak_core[i] = lw * node.n_cores
+
+            k = (node.cache.label, node.n_cores, f)
+            sw = m_sram.get(k)
+            if sw is None:
+                sw = mcpat.l2_l3_leakage_w(node)
+                m_sram[k] = sw
+            l2l3_leak[i] = sw
+
+            mem = node.memory
+            mv = m_mem.get(mem.label)
+            if mv is None:
+                mv = (mem.total_dimms * dp.background_w_per_dimm,
+                      mem.energy_data_available)
+                m_mem[mem.label] = mv
+            background[i], energy_ok[i] = mv
+        return {
+            "escale": escale, "spin": spin, "e_instr": e_instr,
+            "flop_factor": flop_factor, "leak_core": leak_core,
+            "l2l3_leak": l2l3_leak, "background": background,
+            "energy_ok": energy_ok,
+        }
+
+    def _evaluate_frame(self, nodes, n_ranks, n_iterations, include_comm,
+                        mode, batch_replay=True):
+        musa = self.musa
+        mcpat = musa.mcpat
+        dp = musa.drampower
+        nb = NodeBatch.from_nodes(nodes)
+        n_configs = len(nodes)
+        n_iter = n_iterations or musa.app.default_iterations
+        scales = musa.app.rank_scales(n_ranks)
+        max_scale = float(scales.max())
+        comm_iter = musa.comm_iteration_ns(n_ranks) if include_comm else 0.0
+
+        kernel_memo: Dict = {}
+        cols_per_phase = [self._phase_cols(inv, nb, kernel_memo)
+                          for inv in self._invariants]
+        compute_iter = np.zeros(n_configs)
+        for pc in cols_per_phase:
+            compute_iter = compute_iter + pc.makespan
+
+        if mode == "fast":
+            # Scalar: n_iter * (ci * max_scale + comm_iter), per config.
+            total_ns = n_iter * (compute_iter * max_scale + comm_iter)
+        else:
+            trace = musa._burst_trace(n_ranks, n_iterations)
+            if batch_replay:
+                cols = {id(p): pc.makespan
+                        for p, pc in zip(musa.phases, cols_per_phase)}
+
+                def duration_batch(rank, phase, _cols=cols):
+                    return _cols[id(phase)] * scales[rank]
+
+                total_ns = np.array(
+                    [r.total_ns for r in replay_batch(
+                        trace, musa.network, duration_batch, n_configs)],
+                    dtype=np.float64)
+            else:
+                totals = []
+                for i in range(n_configs):
+                    by_id = {id(p): float(pc.makespan[i])
+                             for p, pc in zip(musa.phases, cols_per_phase)}
+
+                    def duration(rank, phase, _by_id=by_id):
+                        return _by_id[id(phase)] * scales[rank]
+
+                    totals.append(
+                        replay(trace, musa.network, duration).total_ns)
+                total_ns = np.array(totals, dtype=np.float64)
+
+        if np.any(total_ns <= 0):
+            raise ValueError("run has non-positive duration")
+        total_s = total_ns * 1e-9
+        sc = self._node_scalar_cols(nodes)
+        n_cores_f = nb.n_cores.astype(np.float64)
+
+        # -- dynamic_energy_j + the _assemble_result detail loop, columnwise;
+        # accumulation runs phase-by-phase in source order (left-to-right
+        # float addition, exactly the scalar `+=` sequence).
+        core_dyn = np.zeros(n_configs)
+        l2l3_dyn = np.zeros(n_configs)
+        agg_instr = np.zeros(n_configs)
+        agg_l2 = np.zeros(n_configs)
+        agg_l3 = np.zeros(n_configs)
+        agg_dram = np.zeros(n_configs)
+        agg_bytes = np.zeros(n_configs)
+        row_hit_num = np.zeros(n_configs)
+        store_num = np.zeros(n_configs)
+        busy_core_ns = np.zeros(n_configs)
+        util_peak = np.zeros(n_configs)
+        for pc in cols_per_phase:
+            amort = np.where(pc.lanes_eff > 1.0,
+                             mcpat.vector_amortization, 1.0)
+            e_flop = (mcpat.e_flop_nj * amort) * sc["flop_factor"]
+            other_ops = np.maximum(0.0, (pc.instr - pc.flops) - pc.l1)
+            core_nj = ((pc.instr * sc["e_instr"] + pc.flops * e_flop)
+                       + ((other_ops * mcpat.e_int_op_nj) * 0.5)) \
+                + pc.l1 * mcpat.e_l1_access_nj
+            l2l3_nj = (pc.l2 * mcpat.e_l2_access_nj
+                       + pc.l3 * mcpat.e_l3_access_nj)
+            core_dyn = core_dyn + ((core_nj * 1e-9) * sc["escale"]) * n_iter
+            l2l3_dyn = l2l3_dyn + ((l2l3_nj * 1e-9) * sc["escale"]) * n_iter
+            agg_instr = agg_instr + pc.instr * n_iter
+            agg_l2 = agg_l2 + pc.l2 * n_iter
+            agg_l3 = agg_l3 + pc.l3 * n_iter
+            agg_dram = agg_dram + pc.dram * n_iter
+            agg_bytes = agg_bytes + pc.dram_bytes * n_iter
+            row_hit_num = row_hit_num + (pc.row_hit * pc.dram_bytes) * n_iter
+            store_num = store_num + (pc.store_frac * pc.dram) * n_iter
+            busy_core_ns = busy_core_ns + pc.busy * n_iter
+            util_peak = np.maximum(util_peak, pc.util)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            row_hit = np.where(agg_bytes != 0.0,
+                               row_hit_num / agg_bytes, 0.0)
+            store_frac = np.where(agg_dram != 0.0,
+                                  store_num / agg_dram, 0.0)
+            mpki_l1 = np.where(agg_instr != 0.0,
+                               (1000.0 * agg_l2) / agg_instr, 0.0)
+            mpki_l2 = np.where(agg_instr != 0.0,
+                               (1000.0 * agg_l3) / agg_instr, 0.0)
+            mpki_l3 = np.where(agg_instr != 0.0,
+                               (1000.0 * agg_dram) / agg_instr, 0.0)
+
+        busy_frac = np.minimum(1.0, busy_core_ns / (total_ns * n_cores_f))
+        idle_cores = n_cores_f * (1.0 - busy_frac)
+        core_l1_w = (core_dyn / total_s + sc["leak_core"]) \
+            + idle_cores * sc["spin"]
+        l2_l3_w = l2l3_dyn / total_s + sc["l2l3_leak"]
+
+        lines_per_s = agg_bytes / 64.0 / total_s
+        writes_per_s = lines_per_s * store_frac
+        reads_per_s = lines_per_s * (1.0 - store_frac)
+        # DramPowerModel.from_rates, columnwise; ``None`` (HBM) cells
+        # masked out.
+        n_col = reads_per_s + writes_per_s
+        acts_per_s = n_col * (1.0 - row_hit)
+        activate_w = (acts_per_s * dp.e_act_nj) * 1e-9
+        rdwr_w = (reads_per_s * dp.e_rd_nj
+                  + writes_per_s * dp.e_wr_nj) * 1e-9
+        refresh_w = sc["background"] * dp.refresh_fraction
+        memory_w = ((sc["background"] + activate_w) + rdwr_w) + refresh_w
+        none_mask = ~sc["energy_ok"]
+        memory_w = np.where(none_mask, 0.0, memory_w)
+        power_total_w = np.where(
+            none_mask, 0.0, (core_l1_w + l2_l3_w) + memory_w)
+        energy_j = np.where(none_mask, 0.0, power_total_w * total_s)
+
+        gmem = agg_bytes / 64.0 / total_ns
+        occupancy = busy_core_ns / (total_ns * n_cores_f)
+
+        app_col = np.empty(n_configs, dtype=object)
+        app_col[:] = musa.app.name
+        columns = {
+            "app": app_col,
+            "core": np.array([nd.core.label for nd in nodes], dtype=object),
+            "cache": np.array([nd.cache.label for nd in nodes], dtype=object),
+            "memory": np.array([nd.memory.label for nd in nodes],
+                               dtype=object),
+            "frequency": np.array([nd.frequency_ghz for nd in nodes],
+                                  dtype=np.float64),
+            "vector": np.array([nd.vector_bits for nd in nodes],
+                               dtype=np.int64),
+            "cores": np.asarray(nb.n_cores, dtype=np.int64),
+            "time_ns": total_ns,
+            "power_core_l1_w": core_l1_w,
+            "power_l2_l3_w": l2_l3_w,
+            "power_memory_w": (memory_w, none_mask),
+            "power_total_w": (power_total_w, none_mask),
+            "energy_j": (energy_j, none_mask),
+            "mpki_l1": mpki_l1,
+            "mpki_l2": mpki_l2,
+            "mpki_l3": mpki_l3,
+            "gmem_req_per_s": gmem,
+            "bw_utilization": util_peak,
+            "occupancy": occupancy,
+        }
+        if not none_mask.any():
+            columns["power_memory_w"] = memory_w
+            columns["power_total_w"] = power_total_w
+            columns["energy_j"] = energy_j
+        return ResultFrame.from_columns(RECORD_KEYS, columns)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+from collections.abc import Mapping
 from typing import Any, Optional
 
 __all__ = ["canonical_dumps", "canonical_loads", "content_digest",
@@ -47,7 +48,9 @@ def _encode(obj: Any) -> Any:
         if math.isinf(obj):
             return {NONFINITE_KEY: _ENCODE[obj]}
         return obj
-    if isinstance(obj, dict):
+    if isinstance(obj, Mapping):
+        # dicts and read-only views alike (e.g. a columnar FrameRow):
+        # both serialize to the same key-sorted canonical bytes.
         if NONFINITE_KEY in obj:
             raise ValueError(
                 f"mapping uses the reserved key {NONFINITE_KEY!r}")

@@ -3,17 +3,37 @@
 A :class:`ResultSet` holds one flat record per (application, node
 configuration) simulation, with JSON round-trip, filtering and grouping
 helpers used by the normalization layer and the benchmark reports.
-Records are plain dicts so worker processes can ship them cheaply.
+
+Since the columnar data plane (DESIGN §10) an entry is either a plain
+dict or a :class:`~repro.core.frame.FrameRow` — a lazy ``Mapping`` view
+into a :class:`~repro.core.frame.ResultFrame` that only materializes
+scalars on key access.  Both shapes compare equal field-for-field, so
+``__eq__``/iteration/lookup semantics are unchanged; ``save`` renders
+frame-backed entries from the frame's cached canonical lines without
+ever building their dicts, and ``values`` reads whole columns when the
+set is backed by a single frame.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from .canon import canonical_dumps, canonical_loads
+from .frame import FrameRow, ResultFrame
 
 __all__ = ["ResultSet", "CONFIG_KEYS"]
 
@@ -22,19 +42,28 @@ CONFIG_KEYS: Tuple[str, ...] = (
     "app", "core", "cache", "memory", "frequency", "vector", "cores",
 )
 
+Record = Mapping[str, Any]
+
 
 class ResultSet:
     """An append-only collection of sweep records."""
 
-    def __init__(self, records: Optional[Sequence[Dict[str, Any]]] = None):
-        self._records: List[Dict[str, Any]] = []
+    def __init__(self, records: Optional[Sequence[Record]] = None):
+        self._records: List[Record] = []
         self._index: Dict[Tuple, int] = {}
         for r in records or ():
             self.add(r)
 
     # -- construction ---------------------------------------------------------
 
-    def add(self, record: Dict[str, Any]) -> None:
+    def add(self, record: Record, copy: bool = True) -> None:
+        """Insert one record.
+
+        ``copy=False`` is the trusted-internal-path fast lane: callers
+        that hand over a record they will never mutate again (a freshly
+        parsed load, a frame row) skip the defensive ``dict()`` copy.
+        Frame rows are immutable views and are never copied.
+        """
         missing = [k for k in CONFIG_KEYS if k not in record]
         if missing:
             raise ValueError(f"record missing config keys: {missing}")
@@ -42,13 +71,38 @@ class ResultSet:
         if key in self._index:
             raise ValueError(f"duplicate record for config {key}")
         self._index[key] = len(self._records)
-        self._records.append(dict(record))
+        if copy and type(record) is dict:
+            record = dict(record)
+        self._records.append(record)
+
+    def add_frame(self, frame: ResultFrame) -> None:
+        """Bulk-insert every row of a frame as lazy entries.
+
+        Config keys and duplicates are validated from the frame's
+        columns; no row dict is materialized.
+        """
+        if len(frame) == 0:
+            return
+        missing = [k for k in CONFIG_KEYS if k not in frame.keys]
+        if missing:
+            raise ValueError(f"record missing config keys: {missing}")
+        key_cols = [frame.column(k).tolist() for k in CONFIG_KEYS]
+        for i, key in enumerate(zip(*key_cols)):
+            self._add_keyed(key, frame.row(i))
+
+    def _add_keyed(self, key: Tuple, record: Record) -> None:
+        """Trusted insert: the caller guarantees ``key == _key(record)``
+        and that the record carries every config key."""
+        if key in self._index:
+            raise ValueError(f"duplicate record for config {key}")
+        self._index[key] = len(self._records)
+        self._records.append(record)
 
     @staticmethod
-    def _key(record: Dict[str, Any]) -> Tuple:
+    def _key(record: Record) -> Tuple:
         return tuple(record[k] for k in CONFIG_KEYS)
 
-    def extend(self, records: Sequence[Dict[str, Any]]) -> None:
+    def extend(self, records: Sequence[Record]) -> None:
         for r in records:
             self.add(r)
 
@@ -57,7 +111,19 @@ class ResultSet:
     def __len__(self) -> int:
         return len(self._records)
 
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
+    def __iter__(self) -> Iterator[Record]:
+        """Iterate records, materializing frame-backed entries.
+
+        ``list(rs)`` must keep yielding plain dicts — bare
+        ``json.dumps(list(rs))`` is the golden-digest contract — so
+        lazy rows materialize here, on access.  Internal columnar
+        paths use :meth:`lazy` instead.
+        """
+        for r in self._records:
+            yield r.to_dict() if isinstance(r, FrameRow) else r
+
+    def lazy(self) -> Iterator[Record]:
+        """Iterate entries as stored — frame rows stay lazy views."""
         return iter(self._records)
 
     def __eq__(self, other: object) -> bool:
@@ -65,6 +131,22 @@ class ResultSet:
         if not isinstance(other, ResultSet):
             return NotImplemented
         return self._records == other._records
+
+    def _backing_frame(self) -> Optional[Tuple[ResultFrame, np.ndarray]]:
+        """``(frame, row_indices)`` when every entry is a row of one
+        frame — the column fast path for ``values``/``save``."""
+        if not self._records:
+            return None
+        first = self._records[0]
+        if not isinstance(first, FrameRow):
+            return None
+        frame = first.frame
+        idx = np.empty(len(self._records), dtype=np.intp)
+        for j, e in enumerate(self._records):
+            if not isinstance(e, FrameRow) or e.frame is not frame:
+                return None
+            idx[j] = e.index
+        return frame, idx
 
     def failures(self) -> "ResultSet":
         """Failed-task stubs recorded by the fault-tolerant sweep."""
@@ -74,7 +156,7 @@ class ResultSet:
         """Records carrying real simulation results (no failure stubs)."""
         return self.filter(lambda r: not r.get("failed"))
 
-    def lookup(self, **config) -> Dict[str, Any]:
+    def lookup(self, **config) -> Record:
         """Exact-match lookup by full config key."""
         missing = [k for k in CONFIG_KEYS if k not in config]
         if missing:
@@ -85,7 +167,7 @@ class ResultSet:
         except KeyError:
             raise KeyError(f"no record for config {key}") from None
 
-    def partner(self, record: Dict[str, Any], **overrides) -> Dict[str, Any]:
+    def partner(self, record: Record, **overrides) -> Record:
         """The record sharing every config key except the overridden ones.
 
         This implements the paper's pairing: a 256-bit sample's partner
@@ -95,10 +177,34 @@ class ResultSet:
         cfg.update(overrides)
         return self.lookup(**cfg)
 
-    def filter(self, predicate: Optional[Callable[[Dict], bool]] = None,
+    def filter(self, predicate: Optional[Callable[[Record], bool]] = None,
                **equals) -> "ResultSet":
-        """Sub-set by field equality and/or a predicate."""
+        """Sub-set by field equality and/or a predicate.
+
+        Equality-only filters over a frame-backed set run column-wise:
+        one vectorized mask per field instead of one cell access per
+        record per field, and the surviving rows are re-keyed from the
+        config columns without materializing any row dict.
+        """
         out = ResultSet()
+        backing = (self._backing_frame()
+                   if predicate is None and equals else None)
+        if backing is not None and all(k in backing[0].keys for k in equals):
+            frame, idx = backing
+            keep = np.ones(len(idx), dtype=bool)
+            for k, v in equals.items():
+                col = frame.column(k)[idx]
+                if frame.column_kind(k) == "obj":
+                    keep &= np.fromiter((c == v for c in col.tolist()),
+                                        dtype=bool, count=len(col))
+                else:
+                    keep &= col == v
+            kept = np.nonzero(keep)[0]
+            key_cols = [frame.column(k)[idx[kept]].tolist()
+                        for k in CONFIG_KEYS]
+            for j, key in zip(kept.tolist(), zip(*key_cols)):
+                out._add_keyed(key, self._records[j])
+            return out
         for r in self._records:
             if any(r.get(k) != v for k, v in equals.items()):
                 continue
@@ -108,7 +214,16 @@ class ResultSet:
         return out
 
     def values(self, field: str) -> np.ndarray:
-        """Field values as an array (None -> nan)."""
+        """Field values as an array (None/missing -> nan).
+
+        Frame-backed sets slice the column directly — no per-record
+        materialization on the warm analysis path.
+        """
+        backing = self._backing_frame()
+        if backing is not None:
+            frame, idx = backing
+            if field in frame.keys and frame.column_kind(field) != "obj":
+                return frame.column(field)[idx].astype(np.float64)
         vals = [r.get(field) for r in self._records]
         return np.array([np.nan if v is None else v for v in vals],
                         dtype=np.float64)
@@ -133,15 +248,34 @@ class ResultSet:
 
     # -- persistence ----------------------------------------------------------
 
+    def canonical_text(self) -> str:
+        """The canonical JSON text of the whole set.
+
+        Byte-identical to ``canonical_dumps({"records": [...]})`` over
+        materialized records; frame-backed entries splice the frame's
+        cached canonical line instead of re-encoding a dict.
+        """
+        parts: List[str] = []
+        for r in self._records:
+            if isinstance(r, FrameRow):
+                parts.append(r.frame.canonical_lines()[r.index])
+            else:
+                parts.append(canonical_dumps(r))
+        return '{"records":[' + ",".join(parts) + "]}"
+
     def save(self, path: Union[str, Path]) -> None:
         """Write canonical JSON: key-sorted, non-finite floats sentinel-
         encoded — equal ResultSets produce byte-identical files."""
         p = Path(path)
         p.parent.mkdir(parents=True, exist_ok=True)
-        p.write_text(canonical_dumps({"records": self._records}),
-                     encoding="utf-8")
+        p.write_text(self.canonical_text(), encoding="utf-8")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ResultSet":
         data = canonical_loads(Path(path).read_text(encoding="utf-8"))
-        return cls(data["records"])
+        out = cls()
+        for r in data["records"]:
+            # Freshly parsed records are owned by this set: adding them
+            # without the defensive copy halves load's allocation cost.
+            out.add(r, copy=False)
+        return out

@@ -23,25 +23,51 @@ occurrence, and :meth:`ResultStore.invalidate` compacts by atomic
 rewrite.  All operations are thread-safe — the serve worker pool calls
 into one shared store.
 
+Since the columnar data plane (DESIGN §10) the store also speaks a
+**block** line format: one ``{"__block__": ...}`` JSONL line carries a
+whole :class:`~repro.core.frame.ResultFrame` of records sharing one
+``(mode, ranks, code_version)`` identity plus their per-record keys and
+a common provenance.  Per-record keys are computed vectorized from the
+frame's columns (:func:`store_keys_frame`) and are bit-identical to
+:func:`store_key` of the same inputs, so a store written by the
+columnar path serves the same content addresses as the dict path.
+Entries loaded from a block stay columnar: ``get`` materializes a thin
+entry dict whose ``record`` is a lazy ``FrameRow`` view.
+
 Observability: ``store.hit`` / ``store.miss`` / ``store.put`` /
-``store.invalidated`` / ``store.corrupt_lines``, surfaced by
-:func:`repro.obs.summarize`.
+``store.invalidated`` / ``store.corrupt_lines``, plus
+``store.block.put`` / ``store.block.records`` / ``store.block.loaded``
+for the columnar plane, surfaced by :func:`repro.obs.summarize`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..obs import get_metrics
 from .canon import canonical_dumps, canonical_loads, content_digest
+from .frame import ResultFrame, scalar_fragment
 
 __all__ = ["ResultStore", "make_provenance", "store_key",
-           "STORE_KEY_SCHEMA"]
+           "store_keys_batch", "store_keys_frame",
+           "STORE_KEY_SCHEMA", "STORE_BLOCK_KEY", "STORE_BLOCK_SCHEMA"]
 
 #: Version tag of the key schema.  Bump when the keyed-input structure
 #: changes so old entries can never alias new keys.
@@ -63,6 +89,158 @@ def store_key(app: str, config: Dict[str, Any], mode: str, ranks: int,
         "ranks": int(ranks),
         "code_version": code_version,
     })
+
+
+#: Reserved top-level key marking a columnar block line in the store
+#: file (one frame of records + per-record keys + shared provenance).
+STORE_BLOCK_KEY = "__block__"
+
+#: Version of the store block layout; readers reject versions they do
+#: not understand rather than misparse them.
+STORE_BLOCK_SCHEMA = 1
+
+#: The six config axes, in canonical (sorted) key order — the order
+#: their fragments appear in a rendered key text.
+_AXIS_KEYS_SORTED: Tuple[str, ...] = (
+    "cache", "core", "cores", "frequency", "memory", "vector")
+
+
+def _config_fragment(config: Mapping[str, Any],
+                     memo: Optional[Dict[Any, str]] = None) -> str:
+    """The ``"config":{...}`` inner text of a key serialization,
+    byte-identical to ``canonical_dumps(dict(config))``."""
+    items = sorted(config.items())
+    parts = []
+    for k, v in items:
+        if memo is not None:
+            frag = memo.get(v)
+            if frag is None:
+                frag = memo[v] = scalar_fragment(v)
+        else:
+            frag = scalar_fragment(v)
+        parts.append(json.dumps(k) + ":" + frag)
+    return "{" + ",".join(parts) + "}"
+
+
+def _key_text_parts(app: str, mode: str, ranks: int,
+                    code_version: str) -> Tuple[str, str]:
+    """(head, tail) around the config fragment of one key text.
+
+    Splicing ``head + config_fragment + tail`` reproduces
+    ``canonical_dumps`` of the keyed-input dict byte-for-byte (sorted
+    top-level keys: app, code_version, config, mode, ranks, schema).
+    """
+    head = ('{"app":' + json.dumps(app)
+            + ',"code_version":' + json.dumps(code_version)
+            + ',"config":')
+    tail = (',"mode":' + json.dumps(mode)
+            + ',"ranks":' + str(int(ranks))
+            + ',"schema":' + str(STORE_KEY_SCHEMA) + "}")
+    return head, tail
+
+
+def store_keys_batch(app: str, configs: Sequence[Mapping[str, Any]],
+                     mode: str, ranks: int,
+                     code_version: str) -> List[str]:
+    """Vectorized :func:`store_key` over one app's config sequence.
+
+    Renders each key text by fragment splicing (axis values memoized
+    across rows — a design space reuses a handful of labels) instead of
+    building and canonically serializing one dict per point.
+    Bit-identical to calling :func:`store_key` per config.
+    """
+    head, tail = _key_text_parts(app, mode, ranks, code_version)
+    memo: Dict[Any, str] = {}
+    return [
+        hashlib.sha256(
+            (head + _config_fragment(cfg, memo) + tail).encode("utf-8")
+        ).hexdigest()
+        for cfg in configs
+    ]
+
+
+def store_keys_frame(frame: ResultFrame, mode: str, ranks: int,
+                     code_version: str) -> List[str]:
+    """Per-row store keys of a result frame, from its columns.
+
+    The frame's config columns carry exactly the values
+    ``NodeConfig.axis_values()`` reports (labels and axis scalars), so
+    the keys are bit-identical to :func:`store_key` over the same
+    points — pinned by the store tests.
+    """
+    cols = {k: frame.column(k).tolist() for k in _AXIS_KEYS_SORTED}
+    apps = frame.column("app").tolist()
+    memo: Dict[Any, str] = {}
+    heads: Dict[str, Tuple[str, str]] = {}
+    keys = []
+    for i in range(len(frame)):
+        app = apps[i]
+        parts = heads.get(app)
+        if parts is None:
+            parts = heads[app] = _key_text_parts(
+                app, mode, ranks, code_version)
+        frags = []
+        for k in _AXIS_KEYS_SORTED:
+            v = cols[k][i]
+            frag = memo.get(v)
+            if frag is None:
+                frag = memo[v] = scalar_fragment(v)
+            frags.append('"' + k + '":' + frag)
+        text = parts[0] + "{" + ",".join(frags) + "}" + parts[1]
+        keys.append(hashlib.sha256(text.encode("utf-8")).hexdigest())
+    return keys
+
+
+class _Block:
+    """One loaded/written store block: a frame plus shared identity.
+
+    Entries materialize lazily per row — a thin dict whose ``record``
+    is a :class:`~repro.core.frame.FrameRow` view, so serving a warm
+    query never rebuilds record dicts.
+    """
+
+    __slots__ = ("frame", "keys", "mode", "ranks", "code_version",
+                 "provenance")
+
+    def __init__(self, frame: ResultFrame, keys: Sequence[str], mode: str,
+                 ranks: int, code_version: str, provenance: Dict) -> None:
+        self.frame = frame
+        self.keys = list(keys)
+        self.mode = mode
+        self.ranks = ranks
+        self.code_version = code_version
+        self.provenance = provenance
+
+    def entry(self, i: int) -> Dict:
+        row = self.frame.row(i)
+        inputs = {"app": row["app"],
+                  "config": {k: row[k] for k in
+                             ("core", "cache", "memory", "frequency",
+                              "vector", "cores")},
+                  "mode": self.mode, "ranks": self.ranks,
+                  "code_version": self.code_version}
+        return {"key": self.keys[i], "inputs": inputs, "record": row,
+                "provenance": self.provenance}
+
+    def payload(self, rows: Optional[Sequence[int]] = None) -> Dict:
+        """The block-line payload covering ``rows`` (default: all)."""
+        if rows is None or len(rows) == len(self.keys):
+            frame, keys = self.frame, self.keys
+        else:
+            frame = self.frame.select(rows)
+            keys = [self.keys[i] for i in rows]
+        return {STORE_BLOCK_KEY: {
+            "schema": STORE_BLOCK_SCHEMA,
+            "mode": self.mode, "ranks": self.ranks,
+            "code_version": self.code_version,
+            "keys": keys, "provenance": self.provenance,
+            "frame": frame.to_block_payload(),
+        }}
+
+
+#: Internal entry slot: a materialized entry dict (scalar line) or a
+#: ``(block, row)`` reference into a columnar block.
+_Slot = Union[Dict, Tuple[_Block, int]]
 
 
 class ResultStore:
@@ -89,7 +267,7 @@ class ResultStore:
         self.path = Path(path)
         self.fsync_every = fsync_every
         self._lock = threading.Lock()
-        self._entries: Dict[str, Dict] = {}
+        self._entries: Dict[str, _Slot] = {}
         self._since_sync = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._load()
@@ -101,7 +279,7 @@ class ResultStore:
         if not self.path.exists():
             return
         obs = get_metrics()
-        corrupt = duplicates = 0
+        corrupt = duplicates = blocks = 0
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -109,6 +287,16 @@ class ResultStore:
                     continue
                 try:
                     entry = canonical_loads(line)
+                    if (isinstance(entry, dict)
+                            and STORE_BLOCK_KEY in entry):
+                        block = self._decode_block(entry[STORE_BLOCK_KEY])
+                        blocks += 1
+                        for j, key in enumerate(block.keys):
+                            if key in self._entries:
+                                duplicates += 1
+                                continue
+                            self._entries[key] = (block, j)
+                        continue
                     key = entry["key"]
                 except (json.JSONDecodeError, ValueError, KeyError,
                         TypeError):
@@ -122,7 +310,29 @@ class ResultStore:
             obs.inc("store.corrupt_lines", corrupt)
         if duplicates:
             obs.inc("store.duplicates_dropped", duplicates)
+        if blocks:
+            obs.inc("store.block.loaded", blocks)
         obs.inc("store.entries_loaded", len(self._entries))
+
+    @staticmethod
+    def _decode_block(b: Dict) -> _Block:
+        if b.get("schema") != STORE_BLOCK_SCHEMA:
+            raise ValueError(
+                f"unsupported store block schema: {b.get('schema')!r}")
+        frame = ResultFrame.from_block_payload(b["frame"])
+        keys = list(b["keys"])
+        if len(keys) != len(frame):
+            raise ValueError(
+                f"store block: {len(keys)} keys != {len(frame)} rows")
+        return _Block(frame, keys, b["mode"], int(b["ranks"]),
+                      b["code_version"], b["provenance"])
+
+    @staticmethod
+    def _materialize(slot: _Slot) -> Dict:
+        if type(slot) is tuple:
+            block, j = slot
+            return block.entry(j)
+        return slot
 
     # -- access ---------------------------------------------------------------
 
@@ -137,14 +347,18 @@ class ResultStore:
     def entries(self) -> List[Dict]:
         """Snapshot of every entry (insertion order)."""
         with self._lock:
-            return list(self._entries.values())
+            return [self._materialize(s) for s in self._entries.values()]
 
     def get(self, key: str) -> Optional[Dict]:
-        """The stored entry for ``key``, counting the hit or miss."""
+        """The stored entry for ``key``, counting the hit or miss.
+
+        Block-backed entries materialize a thin dict whose ``record``
+        is a lazy ``FrameRow`` view of the stored frame.
+        """
         with self._lock:
-            entry = self._entries.get(key)
-        get_metrics().inc("store.hit" if entry is not None else "store.miss")
-        return entry
+            slot = self._entries.get(key)
+        get_metrics().inc("store.hit" if slot is not None else "store.miss")
+        return None if slot is None else self._materialize(slot)
 
     def put(self, key: str, record: Dict, inputs: Dict,
             provenance: Dict) -> Dict:
@@ -166,6 +380,41 @@ class ResultStore:
                 self._flush_locked()
         get_metrics().inc("store.put")
         return entry
+
+    def put_frame(self, frame: ResultFrame, mode: str, ranks: int,
+                  code_version: str, provenance: Dict) -> List[str]:
+        """Store every row of a frame as one columnar block line.
+
+        Keys are computed vectorized from the frame's columns
+        (bit-identical to :func:`store_key` per row); rows whose key is
+        already present are skipped (first occurrence wins, like
+        :meth:`put`).  One line, one write, at most one fsync — this is
+        the columnar data plane's store write path.  Returns the
+        per-row keys for *all* rows, stored or pre-existing.
+        """
+        keys = store_keys_frame(frame, mode, ranks, code_version)
+        with self._lock:
+            fresh = [i for i, k in enumerate(keys)
+                     if k not in self._entries]
+            if not fresh:
+                return keys
+            block = _Block(frame, keys, mode, int(ranks), code_version,
+                           provenance)
+            if len(fresh) < len(keys):
+                block = _Block(frame.select(fresh),
+                               [keys[i] for i in fresh], mode,
+                               int(ranks), code_version, provenance)
+            for j, k in enumerate(block.keys):
+                self._entries[k] = (block, j)
+            self._fh.write(canonical_dumps(block.payload()) + "\n")
+            self._since_sync += len(block.keys)
+            if self._since_sync >= self.fsync_every:
+                self._flush_locked()
+        obs = get_metrics()
+        obs.inc("store.put", len(fresh))
+        obs.inc("store.block.put")
+        obs.inc("store.block.records", len(fresh))
+        return keys
 
     def put_point(self, app: str, config: Dict[str, Any], mode: str,
                   ranks: int, code_version: str, record: Dict,
@@ -208,8 +457,8 @@ class ResultStore:
             return predicate(entry) if predicate is not None else True
 
         with self._lock:
-            keep = {k: e for k, e in self._entries.items()
-                    if not matches(e)}
+            keep = {k: s for k, s in self._entries.items()
+                    if not matches(self._materialize(s))}
             removed = len(self._entries) - len(keep)
             if removed:
                 self._entries = keep
@@ -225,12 +474,39 @@ class ResultStore:
             != current_code_version)
 
     def _rewrite_locked(self) -> None:
-        """Atomic compaction: write a temp file, fsync, rename over."""
+        """Atomic compaction: write a temp file, fsync, rename over.
+
+        Streams line-at-a-time: scalar entries re-render one canonical
+        line each, and surviving rows of a block are written back as
+        one (possibly row-subset) block line — no per-row entry dicts
+        are ever materialized, so compaction memory is bounded by one
+        block, not the store size.
+        """
         self._fh.close()
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with tmp.open("w", encoding="utf-8") as fh:
-            for entry in self._entries.values():
-                fh.write(canonical_dumps(entry) + "\n")
+            run_block: Optional[_Block] = None
+            run_rows: List[int] = []
+
+            def flush_run() -> None:
+                nonlocal run_block
+                if run_block is not None:
+                    fh.write(canonical_dumps(
+                        run_block.payload(run_rows)) + "\n")
+                run_block = None
+                run_rows.clear()
+
+            for slot in self._entries.values():
+                if type(slot) is tuple:
+                    block, j = slot
+                    if block is not run_block:
+                        flush_run()
+                        run_block = block
+                    run_rows.append(j)
+                else:
+                    flush_run()
+                    fh.write(canonical_dumps(slot) + "\n")
+            flush_run()
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)

@@ -87,6 +87,7 @@ from ..config.space import DesignSpace
 from ..obs import MetricsRegistry, ProgressMeter, get_metrics, set_metrics, warn
 from .batch import BatchEvaluator
 from .checkpoint import Journal, replay_journal, task_key
+from .frame import FrameRow, pack_frame, unpack_frame
 from .musa import Musa
 from .results import ResultSet
 
@@ -159,7 +160,7 @@ _BATCH_EVALUATORS: Dict[str, BatchEvaluator] = {}
 #: (or directly for inline runs).
 _WORKER: Dict[str, object] = {"fault_hook": None, "timeout_s": None,
                               "batch": False, "batch_size": 1,
-                              "mode": "fast"}
+                              "mode": "fast", "frame": True}
 
 
 def _musa_for(app_name: str) -> Musa:
@@ -175,12 +176,14 @@ def _evaluator_for(app_name: str) -> BatchEvaluator:
 
 
 def _init_worker(fault_hook, timeout_s, batch: bool = False,
-                 batch_size: int = 1, mode: str = "fast") -> None:
+                 batch_size: int = 1, mode: str = "fast",
+                 frame: bool = True) -> None:
     _WORKER["fault_hook"] = fault_hook
     _WORKER["timeout_s"] = timeout_s
     _WORKER["batch"] = batch
     _WORKER["batch_size"] = batch_size
     _WORKER["mode"] = mode
+    _WORKER["frame"] = frame
 
 
 def _timeout_unavailable(seconds: float, why: str) -> None:
@@ -291,17 +294,29 @@ def _execute_batch(batch) -> Tuple[List[Tuple], Optional[BaseException]]:
                         continue
                 runnable.append(task)
             if runnable:
-                results = None
+                ok_payloads = None
+                evaluator = _evaluator_for(app_name)
+                nodes = [t[3] for t in runnable]
                 try:
-                    results = _evaluator_for(app_name).evaluate(
-                        [t[3] for t in runnable], n_ranks=n_ranks, mode=mode)
+                    if _WORKER.get("frame", True):
+                        # Columnar path: one frame for the whole batch;
+                        # outcomes carry lazy row views of it, so the
+                        # journal can write one block line per shard
+                        # and no record dicts are ever materialized.
+                        res_frame = evaluator.evaluate_frame(
+                            nodes, n_ranks=n_ranks, mode=mode)
+                        ok_payloads = res_frame.rows()
+                    else:
+                        results = evaluator.evaluate(
+                            nodes, n_ranks=n_ranks, mode=mode)
+                        ok_payloads = [r.record() for r in results]
                 except (SweepAbort, TaskTimeout):
                     raise
                 except Exception:
                     reg.inc("sweep.batch.fallback")
-                if results is not None:
-                    for task, res in zip(runnable, results):
-                        outcomes.append((task[0], task[1], True, res.record()))
+                if ok_payloads is not None:
+                    for task, payload in zip(runnable, ok_payloads):
+                        outcomes.append((task[0], task[1], True, payload))
                 else:
                     for task in runnable:  # scalar fallback; hooks already ran
                         idx, attempt, _, node, _ = task
@@ -384,6 +399,54 @@ def _run_chunk(chunk) -> Tuple[List[Tuple], Dict]:
         set_metrics(prev)
         prev.merge(chunk_reg.snapshot())
     return outcomes, chunk_reg.snapshot()
+
+
+# ---------------------------------------------------------- frame IPC wire
+
+def _pack_outcomes(outcomes: List[Tuple]) -> Tuple[List[Tuple], List[Tuple]]:
+    """Wire-encode a chunk's outcomes for the results queue.
+
+    Frame-backed success payloads collapse to ``("__row__", fi, row)``
+    references into a side list of packed frames — each distinct frame
+    crosses the process boundary once (as one ndarray pickle, or a
+    shared-memory segment when large), instead of N per-row pickles.
+    Returns ``(wire_outcomes, packed_frames)``.
+    """
+    frames: List = []
+    frame_slot: Dict[int, int] = {}
+    wire: List[Tuple] = []
+    for idx, attempt, ok, payload in outcomes:
+        if ok and type(payload) is FrameRow:
+            fi = frame_slot.get(id(payload.frame))
+            if fi is None:
+                fi = frame_slot[id(payload.frame)] = len(frames)
+                frames.append(payload.frame)
+            wire.append((idx, attempt, ok, ("__row__", fi, payload.index)))
+        else:
+            wire.append((idx, attempt, ok, payload))
+    return wire, [pack_frame(f) for f in frames]
+
+
+def _unpack_outcomes(wire: List[Tuple], packed: List[Tuple]) -> List[Tuple]:
+    """Decode :func:`_pack_outcomes` output on the parent side.
+
+    Counts each frame's transport (``sweep.ipc.shm`` /
+    ``sweep.ipc.pickle``) and rebinds row references to the
+    reconstructed frames.
+    """
+    reg = get_metrics()
+    frames = []
+    for transport, payload in packed:
+        reg.inc(f"sweep.ipc.{transport}")
+        frames.append(unpack_frame(transport, payload))
+    out: List[Tuple] = []
+    for idx, attempt, ok, payload in wire:
+        if (ok and type(payload) is tuple and len(payload) == 3
+                and payload[0] == "__row__"):
+            _, fi, row = payload
+            payload = frames[fi].row(row)
+        out.append((idx, attempt, ok, payload))
+    return out
 
 
 # ------------------------------------------------------------ parent side
@@ -482,12 +545,35 @@ class _Scheduler:
     def pending(self) -> bool:
         return bool(self.queue or self.retry_heap)
 
-    def _finish(self, idx: int, record: Dict) -> None:
+    def _finish(self, idx: int, record: Dict,
+                journal: bool = True) -> None:
         self.completed[idx] = record
-        if self.journal is not None:
+        if journal and self.journal is not None:
             self.journal.append(record)
         if self.meter is not None:
             self.meter.update()
+
+    def record_outcomes(self, outcomes: Sequence[Tuple]) -> None:
+        """Record a shard's outcomes, journaling frame-backed successes
+        as one columnar block line per frame.
+
+        Failures and scalar successes keep the per-record path
+        unchanged; retry/stub/metrics semantics are identical to
+        calling :meth:`record_outcome` per outcome.
+        """
+        frame_rows: Dict[int, List[FrameRow]] = {}
+        for idx, attempt, ok, payload in outcomes:
+            if ok and type(payload) is FrameRow and self.journal is not None:
+                frame_rows.setdefault(id(payload.frame), []).append(payload)
+                self.reg.inc("sweep.tasks.completed")
+                self._finish(idx, payload, journal=False)
+            else:
+                self.record_outcome(idx, attempt, ok, payload)
+        for rows in frame_rows.values():
+            frame = rows[0].frame
+            if len(rows) != len(frame):
+                frame = frame.select([r.index for r in rows])
+            self.journal.append_frame(frame)
 
     def record_outcome(self, idx: int, attempt: int, ok: bool,
                        payload) -> None:
@@ -540,8 +626,7 @@ def _run_inline(sched: _Scheduler, n_ranks: int) -> None:
                 outcomes = [(t[0], t[1], False,
                              f"{type(exc).__name__}: {exc}") for t in batch]
                 abort = None
-            for idx, attempt, ok, payload in outcomes:
-                sched.record_outcome(idx, attempt, ok, payload)
+            sched.record_outcomes(outcomes)
             if abort is not None:
                 # Pre-abort members are journaled above before the
                 # campaign stops — a resume skips them.
@@ -580,8 +665,12 @@ def _drain_ready(sched: _Scheduler, inflight: Dict[int, object],
                 abort = exc
             continue
         sched.reg.merge(delta)
-        for idx, attempt, ok, payload in outcomes:
-            sched.record_outcome(idx, attempt, ok, payload)
+        recorder = getattr(sched, "record_outcomes", None)
+        if recorder is not None:
+            recorder(outcomes)
+        else:  # minimal scheduler doubles (tests) only record per-task
+            for idx, attempt, ok, payload in outcomes:
+                sched.record_outcome(idx, attempt, ok, payload)
     if abort is not None:
         raise abort
 
@@ -618,7 +707,9 @@ def _worker_main(inbox, results, init_args) -> None:
             return
         shard_id, chunk = item
         try:
-            results.put((shard_id, "ok", _run_chunk(chunk)))
+            outcomes, delta = _run_chunk(chunk)
+            wire, packed = _pack_outcomes(outcomes)
+            results.put((shard_id, "ok", (wire, packed, delta)))
         except SweepAbort as exc:
             results.put((shard_id, "abort", str(exc)))
         except BaseException as exc:  # keep the worker alive
@@ -645,7 +736,8 @@ class _ShardResult:
             pairs, msg = self._payload
             return ([(idx, attempt, False, msg) for idx, attempt in pairs],
                     {})
-        return self._payload
+        wire, packed, delta = self._payload
+        return _unpack_outcomes(wire, packed), delta
 
 
 def _pop_chunk(sched: _Scheduler, n_ranks: int, chunk_size: int) -> List:
@@ -674,7 +766,7 @@ def _make_shards(sched: _Scheduler, n_ranks: int, chunk_size: int) -> List:
 
 def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
                 chunk_size: int, fault_hook, timeout_s, batch,
-                batch_size, mode) -> None:
+                batch_size, mode, frame: bool = True) -> None:
     """Work-stealing shard scheduler over dedicated worker processes.
 
     Queued tasks are packed into app x config-batch shards and dealt
@@ -691,7 +783,7 @@ def _run_pooled(sched: _Scheduler, n_ranks: int, processes: int,
     """
     reg = sched.reg
     ctx = _pool_context()
-    init_args = (fault_hook, timeout_s, batch, batch_size, mode)
+    init_args = (fault_hook, timeout_s, batch, batch_size, mode, frame)
     results_q = ctx.Queue()
     inboxes = []
     workers = []
@@ -829,6 +921,7 @@ def run_sweep(
     batch_size: int = 256,
     mode: str = "fast",
     shard: Optional[Union[str, Tuple[int, int]]] = None,
+    frame: bool = True,
 ) -> ResultSet:
     """Simulate every (application, configuration) pair.
 
@@ -888,6 +981,15 @@ def run_sweep(
         :func:`repro.core.checkpoint.merge_journal` — resuming the full
         sweep from the merged journal reproduces the single-process
         ResultSet byte-for-byte without re-evaluating anything.
+    frame:
+        Keep results columnar end-to-end (the default): batched
+        evaluations return one :class:`~repro.core.frame.ResultFrame`
+        per shard, workers ship it as a single pickle or shared-memory
+        block (``sweep.ipc.shm`` / ``sweep.ipc.pickle``), the journal
+        writes one block line per shard, and the returned ResultSet
+        holds lazy row views.  ``frame=False`` forces the per-record
+        dict path — the retained bit-identity oracle; both paths
+        produce byte-identical journals on resume, records and digests.
 
     The returned ResultSet is in canonical task order regardless of
     ``processes``/``chunk_size``/``batch_size``; failed tasks appear as
@@ -919,7 +1021,7 @@ def run_sweep(
             done: Dict[Tuple, Dict] = {}
             if resume is not None:
                 replayed = replay_journal(resume)
-                for rec in replayed.results:
+                for rec in replayed.results.lazy():
                     done[task_key(rec)] = rec
 
             indices = (range(len(tasks)) if shard_kn is None
@@ -957,7 +1059,8 @@ def run_sweep(
             sched.queue.extend((i, 0) for i in pending)
 
             if processes <= 1 or len(pending) <= 1:
-                _init_worker(fault_hook, timeout_s, batch, batch_size, mode)
+                _init_worker(fault_hook, timeout_s, batch, batch_size, mode,
+                             frame)
                 _run_inline(sched, n_ranks)
             else:
                 if chunk_size is None:
@@ -968,7 +1071,8 @@ def run_sweep(
                     chunk_size = min(cap, max(1, len(pending)
                                               // (processes * 4)))
                 _run_pooled(sched, n_ranks, processes, chunk_size,
-                            fault_hook, timeout_s, batch, batch_size, mode)
+                            fault_hook, timeout_s, batch, batch_size, mode,
+                            frame)
     finally:
         if journal is not None:
             journal.close()

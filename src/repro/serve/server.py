@@ -22,6 +22,7 @@ import json
 from typing import Dict, Optional, Tuple
 
 from ..core.canon import canonical_dumps
+from ..core.frame import FrameRow
 from ..obs import get_metrics, summarize
 from .state import QueryError, ServeState
 
@@ -65,11 +66,41 @@ async def _read_request(reader: asyncio.StreamReader
     return method, target.split("?", 1)[0], body
 
 
+_SPLICE = "__records_splice__"
+
+
+def _render_payload(payload: Dict) -> str:
+    """``canonical_dumps(payload)``, splicing frame-backed records.
+
+    A warm sweep response is mostly frame rows whose canonical bytes
+    the frames already cache; rendering those by splice instead of
+    re-encoding per-row dicts is the serve side of the columnar data
+    plane.  Byte-identical to ``canonical_dumps`` of the same payload
+    (covered by the serve frame tests).
+    """
+    result = payload.get("result")
+    records = (result.get("records")
+               if isinstance(result, dict) else None)
+    if (not isinstance(records, list) or not records
+            or not any(isinstance(r, FrameRow) for r in records)):
+        return canonical_dumps(payload)
+    parts = []
+    for r in records:
+        if isinstance(r, FrameRow):
+            parts.append(r.frame.canonical_lines()[r.index])
+        else:
+            parts.append(canonical_dumps(r))
+    shell = canonical_dumps(
+        {**payload, "result": {**result, "records": _SPLICE}})
+    return shell.replace('"records":' + json.dumps(_SPLICE),
+                         '"records":[' + ",".join(parts) + "]", 1)
+
+
 def _response(status: int, payload: Dict) -> bytes:
     reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
               405: "Method Not Allowed",
               500: "Internal Server Error"}.get(status, "OK")
-    body = (canonical_dumps(payload) + "\n").encode("utf-8")
+    body = (_render_payload(payload) + "\n").encode("utf-8")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"

@@ -67,7 +67,7 @@ from ..core.batch import BatchEvaluator
 from ..core.canon import content_digest
 from ..core.musa import Musa
 from ..core.results import ResultSet
-from ..core.store import ResultStore, store_key
+from ..core.store import ResultStore, store_keys_batch
 from ..obs import get_metrics
 
 __all__ = ["QueryError", "ServeState"]
@@ -240,8 +240,14 @@ class ServeState:
         mode, ranks = norm["mode"], norm["ranks"]
         nodes = space.configs()
         axes = [node.axis_values() for node in nodes]
-        keys = {(app, i): store_key(app, ax, mode, ranks, self.code_version)
-                for app in norm["apps"] for i, ax in enumerate(axes)}
+        # Vectorized content addressing: one fragment-spliced key render
+        # per point instead of a dict build + canonical serialization
+        # (bit-identical to store_key, pinned by the store tests).
+        keys = {}
+        for app in norm["apps"]:
+            for i, key in enumerate(store_keys_batch(
+                    app, axes, mode, ranks, self.code_version)):
+                keys[(app, i)] = key
 
         records: Dict[Tuple[str, int], Dict] = {}
         misses: Dict[str, List[int]] = {}
@@ -260,7 +266,7 @@ class ServeState:
                 reg = get_metrics()
                 for app, idxs in misses.items():
                     before = reg.snapshot()
-                    results = self._evaluator(app).evaluate(
+                    frame = self._evaluator(app).evaluate_frame(
                         [nodes[i] for i in idxs], n_ranks=ranks, mode=mode)
                     delta = reg.delta(before, reg.snapshot())
                     evaluated += len(idxs)
@@ -272,13 +278,12 @@ class ServeState:
                             "created_s": time.time(),
                             "batch_size": len(idxs),
                             "obs": delta.get("counters", {})}
-                    for i, res in zip(idxs, results):
-                        rec = res.record()
-                        records[(app, i)] = rec
-                        inputs = {"app": app, "config": axes[i],
-                                  "mode": mode, "ranks": ranks,
-                                  "code_version": self.code_version}
-                        self.store.put(keys[(app, i)], rec, inputs, prov)
+                    # One columnar block line stores the whole batch;
+                    # its vectorized keys match keys[(app, i)] exactly.
+                    self.store.put_frame(frame, mode, ranks,
+                                         self.code_version, prov)
+                    for j, i in enumerate(idxs):
+                        records[(app, i)] = frame.row(j)
 
         ordered = [records[(app, i)] for app in norm["apps"]
                    for i in range(len(nodes))]

@@ -115,6 +115,7 @@ class TestSweepBatching:
             raise RuntimeError("injected evaluator bug")
 
         monkeypatch.setattr(_BE, "evaluate", boom)
+        monkeypatch.setattr(_BE, "evaluate_frame", boom)
         reg = get_metrics()
         before = reg.counter("sweep.batch.fallback")
         rs = run_sweep(["spmz"], tiny_space, processes=1, batch=True,

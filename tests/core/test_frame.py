@@ -1,0 +1,168 @@
+"""Property tests for the columnar result frame (DESIGN §10).
+
+The frame's whole contract is *byte* equivalence with the dict path:
+for any uniform-schema records, ``canonical_lines``/``record_digests``
+must match ``canonical_dumps``/``content_digest`` of the equivalent
+dicts exactly — including NaN/inf sentinels, None cells, booleans
+(failure stubs) and nested values — and the journal/store block form
+plus both IPC transports must round-trip without perturbing a byte.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canon import canonical_dumps, canonical_loads, content_digest
+from repro.core.frame import (
+    BLOCK_KEY,
+    FrameRow,
+    ResultFrame,
+    pack_frame,
+    scalar_fragment,
+    unpack_frame,
+)
+
+_KEYS = st.text(
+    st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=8,
+).filter(lambda k: not k.startswith("__"))
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2 ** 70, max_value=2 ** 70),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=12),
+    st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=3),
+)
+
+
+@st.composite
+def record_batches(draw):
+    """A list of records sharing one schema, arbitrary column shapes."""
+    keys = draw(st.lists(_KEYS, min_size=1, max_size=6, unique=True))
+    n = draw(st.integers(min_value=1, max_value=8))
+    cols = {k: draw(st.lists(_SCALARS, min_size=n, max_size=n))
+            for k in keys}
+    return [{k: cols[k][i] for k in keys} for i in range(n)]
+
+
+class TestFrameEqualsDictPath:
+    @settings(max_examples=120, deadline=None)
+    @given(records=record_batches())
+    def test_canonical_lines_and_digests_bit_identical(self, records):
+        frame = ResultFrame.from_records(records)
+        assert frame.canonical_lines() == \
+            [canonical_dumps(r) for r in records]
+        assert frame.record_digests() == \
+            [content_digest(r) for r in records]
+        # FrameRow is a Mapping: canon encodes it like the dict itself.
+        assert [canonical_dumps(row) for row in frame.rows()] == \
+            frame.canonical_lines()
+
+    @settings(max_examples=80, deadline=None)
+    @given(records=record_batches())
+    def test_block_form_round_trips(self, records):
+        frame = ResultFrame.from_records(records)
+        line = frame.to_block_line()
+        payload = canonical_loads(line)[BLOCK_KEY]
+        back = ResultFrame.from_block_payload(payload)
+        # The decoded frame re-renders the exact same bytes, so resume
+        # from a block journal can never drift from the dict path.
+        assert back.canonical_lines() == frame.canonical_lines()
+        assert back.keys == frame.keys
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=record_batches())
+    def test_ipc_transports_round_trip(self, records):
+        frame = ResultFrame.from_records(records)
+        for transport, payload in (pack_frame(frame),):
+            back = unpack_frame(transport, payload)
+            assert back.canonical_lines() == frame.canonical_lines()
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=record_batches(),
+           data=st.data())
+    def test_select_preserves_bytes(self, records, data):
+        frame = ResultFrame.from_records(records)
+        idx = data.draw(st.lists(
+            st.integers(0, len(records) - 1), max_size=len(records)))
+        sub = frame.select(idx)
+        assert sub.canonical_lines() == \
+            [frame.canonical_lines()[i] for i in idx]
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=record_batches())
+    def test_row_materialization_matches_records(self, records):
+        frame = ResultFrame.from_records(records)
+        got = frame.to_records()
+        # NaN breaks dict ==; compare through canonical bytes instead.
+        assert [canonical_dumps(r) for r in got] == \
+            [canonical_dumps(r) for r in records]
+
+
+class TestFailureStubs:
+    def test_stub_frame_round_trips(self):
+        stubs = [{"app": "spmz", "core": "medium", "cache": "64M:512K",
+                  "memory": "4chDDR4", "frequency": 2.0, "vector": v,
+                  "cores": 64, "failed": True, "error": "boom",
+                  "attempts": a}
+                 for v, a in ((128, 1), (256, 3))]
+        frame = ResultFrame.from_records(stubs)
+        assert frame.column_kind("failed") == "obj"  # bools stay bools
+        assert frame.to_records() == stubs
+        assert frame.canonical_lines() == \
+            [canonical_dumps(s) for s in stubs]
+        back = ResultFrame.from_block_payload(
+            canonical_loads(frame.to_block_line())[BLOCK_KEY])
+        assert back.to_records() == stubs
+
+    def test_none_and_nonfinite_sentinels(self):
+        recs = [{"x": None, "y": float("nan"), "z": 1.5},
+                {"x": 2.0, "y": float("inf"), "z": float("-inf")}]
+        frame = ResultFrame.from_records(recs)
+        lines = frame.canonical_lines()
+        assert lines[0] == ('{"x":null,"y":{"__nonfinite__":"nan"},'
+                            '"z":1.5}')
+        assert lines[1] == ('{"x":2.0,"y":{"__nonfinite__":"inf"},'
+                            '"z":{"__nonfinite__":"-inf"}}')
+        assert frame.cell("x", 0) is None
+        back = ResultFrame.from_block_payload(
+            canonical_loads(frame.to_block_line())[BLOCK_KEY])
+        assert back.canonical_lines() == lines
+
+
+class TestFrameBasics:
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ResultFrame.from_records([{"__nonfinite__": 1}])
+        with pytest.raises(ValueError):
+            ResultFrame.from_records([{BLOCK_KEY: 1}])
+
+    def test_mixed_schema_rejected(self):
+        with pytest.raises(ValueError):
+            ResultFrame.from_records([{"a": 1}, {"b": 2}])
+
+    def test_unknown_block_schema_rejected(self):
+        frame = ResultFrame.from_records([{"a": 1}])
+        payload = dict(frame.to_block_payload())
+        payload["schema"] = 99
+        with pytest.raises(ValueError):
+            ResultFrame.from_block_payload(payload)
+
+    def test_frame_row_is_lazy_mapping(self):
+        frame = ResultFrame.from_records([{"a": 1, "b": 2.5}])
+        row = frame.row(0)
+        assert isinstance(row, FrameRow)
+        assert row == {"a": 1, "b": 2.5}
+        assert row["a"] == 1 and type(row["a"]) is int
+        assert row["b"] == 2.5 and type(row["b"]) is float
+        assert json.dumps(row.to_dict(), sort_keys=True) == \
+            '{"a": 1, "b": 2.5}'
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=_SCALARS)
+    def test_scalar_fragment_matches_canonical_dumps(self, v):
+        assert scalar_fragment(v) == canonical_dumps(v)

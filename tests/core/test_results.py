@@ -41,6 +41,40 @@ class TestBasics:
             rs.lookup(**rec(vector=512))
 
 
+class TestAddCopySemantics:
+    """Regression for the PR 10 data-plane fix: ``add`` copied every
+    record unconditionally; trusted paths (load, frame rows, journal
+    replay) now skip the defensive copy."""
+
+    def test_default_add_copies(self):
+        r = rec(time_ns=1.0)
+        rs = ResultSet()
+        rs.add(r)
+        r["time_ns"] = 999.0  # caller mutates after insert
+        assert rs.lookup(**rec())["time_ns"] == 1.0
+
+    def test_trusted_add_adopts_the_record(self):
+        r = rec(time_ns=1.0)
+        rs = ResultSet()
+        rs.add(r, copy=False)
+        assert rs.lookup(**rec()) is r
+
+    def test_frame_rows_are_never_copied(self):
+        from repro.core.frame import ResultFrame
+
+        frame = ResultFrame.from_records([rec(time_ns=1.0)])
+        rs = ResultSet()
+        rs.add(frame.row(0))
+        entry = next(rs.lazy())
+        assert entry.frame is frame  # still the lazy view, not a dict
+
+    def test_load_round_trip_unchanged(self, tmp_path):
+        rs = ResultSet([rec(vector=128, time_ns=1.0),
+                        rec(vector=256, time_ns=2.0)])
+        rs.save(tmp_path / "r.json")
+        assert ResultSet.load(tmp_path / "r.json") == rs
+
+
 class TestPartner:
     def test_partner_pairs_on_other_axes(self):
         rs = ResultSet([

@@ -6,6 +6,8 @@ must fail here first, not silently blind the instrumentation.
 """
 
 import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -48,6 +50,17 @@ def workload_counters():
         run_sweep(["spmz"], smoke_design_space(), processes=1, metrics=reg)
         run_sweep(["spmz"], smoke_design_space(), processes=1, metrics=reg,
                   mode="replay", n_ranks=8)
+        # Pooled: workers ship frame blocks over the IPC transports.
+        run_sweep(["spmz"], smoke_design_space(), processes=2,
+                  chunk_size=4, metrics=reg)
+        # Columnar store plane: one block line for the whole frame.
+        from repro.core.store import ResultStore
+        ev = sweep_mod._BATCH_EVALUATORS["spmz"]
+        frame = ev.evaluate_frame(list(smoke_design_space()))
+        with tempfile.TemporaryDirectory() as td:
+            with ResultStore(Path(td) / "pins.jsonl") as store:
+                store.put_frame(frame, "fast", 8, "pins",
+                                {"engine": "pins"})
         musa = Musa(get_app("lulesh"))
         trace = musa._burst_trace(8, 1)
         scales = musa.app.rank_scales(8)
@@ -104,6 +117,43 @@ def test_required_counters_are_real_emitted_names(workload_counters):
                                        "replay.batch.peeled_configs"}
     for name in always:
         assert counters.get(name, 0) > 0, f"required counter {name} silent"
+
+
+def test_data_plane_counters_emitted(workload_counters):
+    counters = workload_counters
+    # Columnar data plane (DESIGN §10): pooled shards ship whole frames
+    # (one transport count per frame) and the store writes block lines.
+    assert counters.get("sweep.ipc.pickle", 0) \
+        + counters.get("sweep.ipc.shm", 0) > 0
+    assert counters.get("store.block.put", 0) > 0
+    assert counters.get("store.block.records", 0) > 0
+
+
+def test_sweep_ipc_transport_counters():
+    """Both IPC transports are counted by exact pinned name: small
+    frames ride the queue pickle, large ones a shared-memory segment."""
+    from repro.core.frame import ResultFrame
+
+    reg = MetricsRegistry()
+    prev = get_metrics()
+    set_metrics(reg)
+    try:
+        small = ResultFrame.from_records([{"app": "a", "x": 1.0}])
+        big = ResultFrame.from_records(
+            [{"app": "a", "pad": "y" * 1024 + str(i)} for i in range(128)])
+        for frame, transport in ((small, "pickle"), (big, "shm")):
+            outcomes = [(i, 1, True, frame.row(i))
+                        for i in range(len(frame))]
+            wire, packed = sweep_mod._pack_outcomes(outcomes)
+            assert len(packed) == 1, "one frame must pack once, not per row"
+            assert packed[0][0] == transport
+            out = sweep_mod._unpack_outcomes(wire, packed)
+            assert [dict(p) for _, _, _, p in out] == frame.to_records()
+        counters = reg.snapshot()["counters"]
+        assert counters["sweep.ipc.pickle"] == 1
+        assert counters["sweep.ipc.shm"] == 1
+    finally:
+        set_metrics(prev)
 
 
 def test_array_driver_does_not_alias_other_drivers(workload_counters):
